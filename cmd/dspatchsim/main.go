@@ -1,0 +1,101 @@
+// Command dspatchsim regenerates the DSPatch paper's tables and figures.
+//
+// Usage:
+//
+//	dspatchsim -experiment fig12           # quick scale (default)
+//	dspatchsim -experiment fig15 -full     # full 75-workload roster
+//	dspatchsim -experiment all
+//	dspatchsim -list
+package main
+
+import (
+	"flag"
+	"fmt"
+	"os"
+	"strings"
+
+	"dspatch/internal/experiments"
+)
+
+var experimentOrder = []string{
+	"table1", "table3", "fig1", "fig4", "fig5", "fig6", "fig11",
+	"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
+	"fig19", "fig20", "headline",
+}
+
+func main() {
+	exp := flag.String("experiment", "", "experiment id (see -list) or 'all'")
+	full := flag.Bool("full", false, "run the full 75-workload roster (slow)")
+	refs := flag.Int("refs", 0, "override memory references per run")
+	list := flag.Bool("list", false, "list experiment ids")
+	flag.Parse()
+
+	if *list {
+		fmt.Println(strings.Join(experimentOrder, "\n"))
+		return
+	}
+	if *exp == "" {
+		fmt.Fprintln(os.Stderr, "usage: dspatchsim -experiment <id|all> [-full] [-refs N]")
+		fmt.Fprintln(os.Stderr, "ids:", strings.Join(experimentOrder, " "))
+		os.Exit(2)
+	}
+
+	scale := experiments.Quick()
+	if *full {
+		scale = experiments.Full()
+	}
+	if *refs > 0 {
+		scale.Refs = *refs
+	}
+
+	ids := []string{*exp}
+	if *exp == "all" {
+		ids = experimentOrder
+	}
+	for _, id := range ids {
+		run(id, scale)
+	}
+}
+
+func run(id string, s experiments.Scale) {
+	w := os.Stdout
+	switch id {
+	case "table1":
+		experiments.FormatStorage(w, "Table 1: DSPatch storage", experiments.Table1())
+	case "table3":
+		experiments.FormatStorage(w, "Table 3: prefetcher storage budgets", experiments.Table3())
+	case "fig1":
+		experiments.FormatScaling(w, "Fig 1: prefetcher scaling with DRAM bandwidth", experiments.Fig1(s))
+	case "fig4":
+		experiments.FormatCategory(w, "Fig 4: BOP/SMS/SPP by category (1ch DDR4-2133)", experiments.Fig4(s))
+	case "fig5":
+		experiments.FormatFig5(w, experiments.Fig5(s))
+	case "fig6":
+		experiments.FormatScaling(w, "Fig 6: scaling incl. eSPP/eBOP", experiments.Fig6(s))
+	case "fig11":
+		experiments.FormatFig11(w, experiments.Fig11a(s), experiments.Fig11b(s))
+	case "fig12":
+		experiments.FormatCategory(w, "Fig 12: single-thread performance", experiments.Fig12(s))
+	case "fig13":
+		experiments.FormatFig13(w, experiments.Fig13(s))
+	case "fig14":
+		experiments.FormatCategory(w, "Fig 14: adjunct prefetchers to SPP", experiments.Fig14(s))
+	case "fig15":
+		experiments.FormatScaling(w, "Fig 15: performance scaling with DRAM bandwidth", experiments.Fig15(s))
+	case "fig16":
+		experiments.FormatFig16(w, experiments.Fig16(s))
+	case "fig17":
+		experiments.FormatCategory(w, "Fig 17: homogeneous 4-core mixes", experiments.Fig17(s))
+	case "fig18":
+		experiments.FormatFig18(w, experiments.Fig18(s))
+	case "fig19":
+		experiments.FormatFig19(w, experiments.Fig19(s))
+	case "fig20":
+		experiments.FormatFig20(w, experiments.Fig20(s))
+	case "headline":
+		experiments.FormatHeadline(w, experiments.Headline(s))
+	default:
+		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
+		os.Exit(2)
+	}
+}

@@ -1,0 +1,160 @@
+// Package dspatch is a from-scratch Go reproduction of "DSPatch: Dual
+// Spatial Pattern Prefetcher" (Bera, Nori, Mutlu, Subramoney — MICRO 2019),
+// together with the complete simulation substrate the paper's evaluation
+// needs: a trace-driven out-of-order core model, a three-level cache
+// hierarchy, a DDR4 model with the paper's 2-bit bandwidth-utilization
+// signal, the competing prefetchers (SPP, BOP, SMS, AMPM, eSPP, eBOP, a
+// PC-stride L1 baseline and a streamer), 75 synthetic workloads in the
+// paper's nine categories, and a harness that regenerates every table and
+// figure of the evaluation.
+//
+// This package is the public façade. Typical entry points:
+//
+//	pf := dspatch.NewDSPatch(dspatch.DefaultDSPatchConfig()) // the prefetcher itself
+//	res := dspatch.Simulate(dspatch.WorkloadByName("mcf"), dspatch.SingleThread())
+//	fig := dspatch.Fig12(dspatch.QuickScale())               // paper experiments
+//
+// The implementation lives in internal packages; see DESIGN.md for the
+// system inventory and EXPERIMENTS.md for paper-versus-measured results.
+package dspatch
+
+import (
+	"dspatch/internal/bitpattern"
+	"dspatch/internal/core"
+	"dspatch/internal/memaddr"
+	"dspatch/internal/prefetch"
+	"dspatch/internal/sim"
+	"dspatch/internal/trace"
+)
+
+// Re-exported fundamental types.
+type (
+	// Addr is a byte-granular physical address.
+	Addr = memaddr.Addr
+	// Line is a 64B cache-line address.
+	Line = memaddr.Line
+	// Page is a 4KB physical page number.
+	Page = memaddr.Page
+	// PC is a program counter used as prefetcher context.
+	PC = memaddr.PC
+
+	// Pattern is an anchored spatial bit-pattern (paper §3.3).
+	Pattern = bitpattern.Pattern
+	// Quartile is a 2-bit quantized fraction — the DRAM bandwidth signal
+	// and the pattern-goodness measures use it (paper §3.2, §3.5).
+	Quartile = bitpattern.Quartile
+
+	// DSPatchConfig parameterizes the prefetcher (paper Table 1).
+	DSPatchConfig = core.Config
+	// DSPatch is the dual spatial pattern prefetcher.
+	DSPatch = core.DSPatch
+	// DSPatchStats reports the prefetcher's internal behaviour.
+	DSPatchStats = core.Stats
+
+	// PrefetchRequest is one prefetch candidate.
+	PrefetchRequest = prefetch.Request
+	// PrefetchAccess is one training event.
+	PrefetchAccess = prefetch.Access
+	// Prefetcher is the interface every algorithm implements.
+	Prefetcher = prefetch.Prefetcher
+	// PrefetchContext supplies the bandwidth-utilization signal.
+	PrefetchContext = prefetch.Context
+
+	// Workload is one synthetic benchmark.
+	Workload = trace.Workload
+	// WorkloadCategory is one of the paper's nine classes.
+	WorkloadCategory = trace.Category
+
+	// SimOptions configures a simulation run.
+	SimOptions = sim.Options
+	// SimResult is a run's outcome.
+	SimResult = sim.Result
+	// PrefetcherKind names an L2 prefetcher configuration.
+	PrefetcherKind = sim.PF
+)
+
+// Bandwidth-utilization quartiles.
+const (
+	Q0 = bitpattern.Q0 // < 25%
+	Q1 = bitpattern.Q1 // 25–50%
+	Q2 = bitpattern.Q2 // 50–75%
+	Q3 = bitpattern.Q3 // >= 75%
+)
+
+// DSPatch operating modes (paper Fig. 19 ablations).
+const (
+	ModeFull       = core.ModeFull
+	ModeAlwaysCovP = core.ModeAlwaysCovP
+	ModeModCovP    = core.ModeModCovP
+)
+
+// Prefetcher selections for SimOptions.L2.
+const (
+	NoPrefetcher   = sim.PFNone
+	BOP            = sim.PFBOP
+	EnhancedBOP    = sim.PFEBOP
+	SMS            = sim.PFSMS
+	SPP            = sim.PFSPP
+	EnhancedSPP    = sim.PFESPP
+	AMPM           = sim.PFAMPM
+	Streamer       = sim.PFStreamer
+	DSPatchPF      = sim.PFDSPatch
+	DSPatchPlusSPP = sim.PFDSPatchSPP
+	BOPPlusSPP     = sim.PFBOPSPP
+	SMS256PlusSPP  = sim.PFSMS256SPP
+	EBOPPlusSPP    = sim.PFEBOPSPP
+)
+
+// DefaultDSPatchConfig returns the paper's 3.6KB configuration: 64-entry
+// Page Buffer, 256-entry Signature Prediction Table, 128B-granularity
+// compression and dual triggers.
+func DefaultDSPatchConfig() DSPatchConfig { return core.DefaultConfig() }
+
+// NewDSPatch builds a DSPatch prefetcher instance. It implements Prefetcher:
+// feed it L1 misses via Train and it returns prefetch candidates.
+func NewDSPatch(cfg DSPatchConfig) *DSPatch { return core.New(cfg) }
+
+// NewPrefetcher builds any of the evaluated prefetchers by name.
+func NewPrefetcher(kind PrefetcherKind) Prefetcher { return sim.NewPrefetcher(kind) }
+
+// StaticBandwidth returns a PrefetchContext that always reports the given
+// utilization quartile — useful for driving a prefetcher outside the full
+// simulator.
+func StaticBandwidth(q Quartile) PrefetchContext { return prefetch.StaticContext{Util: q} }
+
+// Workloads returns the full 75-workload roster.
+func Workloads() []Workload { return trace.Workloads }
+
+// WorkloadByName returns the named workload, panicking on unknown names (it
+// is a programming error; see Workloads for the roster).
+func WorkloadByName(name string) Workload {
+	w, ok := trace.ByName(name)
+	if !ok {
+		panic("dspatch: unknown workload " + name)
+	}
+	return w
+}
+
+// WorkloadsByCategory returns the workloads of one paper category.
+func WorkloadsByCategory(cat WorkloadCategory) []Workload { return trace.ByCategory(cat) }
+
+// MemIntensiveWorkloads returns the paper's 42 high-MPKI workloads.
+func MemIntensiveWorkloads() []Workload { return trace.MemIntensive() }
+
+// SingleThread returns the paper's single-thread machine: one core, 2MB LLC,
+// one DDR4-2133 channel.
+func SingleThread() SimOptions { return sim.DefaultST() }
+
+// MultiProgrammed returns the paper's 4-core machine: shared 8MB LLC, two
+// DDR4-2133 channels.
+func MultiProgrammed() SimOptions { return sim.DefaultMP() }
+
+// Simulate runs one workload on one core.
+func Simulate(w Workload, opt SimOptions) SimResult { return sim.RunSingle(w, opt) }
+
+// SimulateMix runs one workload per core (use MultiProgrammed options for
+// the paper's 4-core configuration).
+func SimulateMix(ws []Workload, opt SimOptions) SimResult { return sim.Run(ws, opt) }
+
+// Speedup returns per-core IPC ratios of with over base.
+func Speedup(base, with SimResult) []float64 { return sim.Speedup(base, with) }

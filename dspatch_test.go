@@ -1,0 +1,68 @@
+package dspatch
+
+import "testing"
+
+func TestFacadeDSPatchRoundTrip(t *testing.T) {
+	pf := NewDSPatch(DefaultDSPatchConfig())
+	ctx := StaticBandwidth(Q0)
+	foot := []int{2, 3, 8, 9}
+	for page := Page(0); page < 10; page++ {
+		for i, off := range foot {
+			pc := PC(0x10)
+			if i > 0 {
+				pc = 0x20
+			}
+			pf.Train(PrefetchAccess{PC: pc, Line: page.Line(off)}, ctx, nil)
+		}
+	}
+	pf.Flush(ctx)
+	reqs := pf.Train(PrefetchAccess{PC: 0x10, Line: Page(99).Line(2)}, ctx, nil)
+	if len(reqs) == 0 {
+		t.Fatal("trained DSPatch issued no prefetches via the public API")
+	}
+	if kb := float64(pf.StorageBits()) / 8192; kb > 3.7 {
+		t.Errorf("storage %.2fKB exceeds the paper budget", kb)
+	}
+}
+
+func TestFacadeWorkloads(t *testing.T) {
+	if len(Workloads()) != 75 {
+		t.Errorf("Workloads() = %d, want 75", len(Workloads()))
+	}
+	if len(MemIntensiveWorkloads()) != 42 {
+		t.Errorf("MemIntensiveWorkloads() = %d, want 42", len(MemIntensiveWorkloads()))
+	}
+	w := WorkloadByName("mcf")
+	if w.Name != "mcf" {
+		t.Error("WorkloadByName failed")
+	}
+	defer func() {
+		if recover() == nil {
+			t.Error("unknown workload should panic")
+		}
+	}()
+	WorkloadByName("definitely-not-a-workload")
+}
+
+func TestFacadeSimulate(t *testing.T) {
+	opt := SingleThread()
+	opt.Refs = 5_000
+	base := opt
+	base.L2 = NoPrefetcher
+	b := Simulate(WorkloadByName("linpack"), base)
+	opt.L2 = DSPatchPlusSPP
+	r := Simulate(WorkloadByName("linpack"), opt)
+	sp := Speedup(b, r)
+	if len(sp) != 1 || sp[0] <= 0 {
+		t.Fatalf("Speedup = %v", sp)
+	}
+}
+
+func TestFacadePrefetcherRoster(t *testing.T) {
+	for _, kind := range []PrefetcherKind{BOP, EnhancedBOP, SMS, SPP, EnhancedSPP, AMPM, Streamer, DSPatchPF} {
+		p := NewPrefetcher(kind)
+		if p.StorageBits() <= 0 {
+			t.Errorf("%s reports no storage", kind)
+		}
+	}
+}

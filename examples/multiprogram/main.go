@@ -1,0 +1,54 @@
+// Multiprogram: the paper's multi-programmed experiment in miniature — four
+// cores sharing an 8MB LLC and two DDR4-2133 channels (Table 2), comparing
+// standalone SPP against DSPatch+SPP on a heterogeneous mix (Fig. 18).
+//
+// Run with: go run ./examples/multiprogram
+package main
+
+import (
+	"fmt"
+
+	"dspatch"
+)
+
+func main() {
+	mix := []dspatch.Workload{
+		dspatch.WorkloadByName("mcf"),           // pointer chasing
+		dspatch.WorkloadByName("lbm17"),         // bandwidth-hungry streams
+		dspatch.WorkloadByName("sysmark-excel"), // recurring spatial footprints
+		dspatch.WorkloadByName("npb-cg"),        // HPC mix
+	}
+
+	opt := dspatch.MultiProgrammed()
+	opt.Refs = 60_000
+
+	base := opt
+	base.L2 = dspatch.NoPrefetcher
+	b := dspatch.SimulateMix(mix, base)
+
+	fmt.Printf("4-core mix on %0.f GB/s peak DRAM (two DDR4-2133 channels)\n\n", b.PeakBandwidth)
+	fmt.Printf("%-14s", "core/workload")
+	for _, w := range mix {
+		fmt.Printf("  %-14s", w.Name)
+	}
+	fmt.Println("  avg BW")
+
+	fmt.Printf("%-14s", "baseline IPC")
+	for _, ipc := range b.IPC {
+		fmt.Printf("  %-14.3f", ipc)
+	}
+	fmt.Printf("  %.1f GB/s\n", b.AvgBandwidthGBps)
+
+	for _, pf := range []dspatch.PrefetcherKind{dspatch.SPP, dspatch.DSPatchPlusSPP} {
+		opt.L2 = pf
+		r := dspatch.SimulateMix(mix, opt)
+		fmt.Printf("%-14s", pf)
+		for i, s := range dspatch.Speedup(b, r) {
+			fmt.Printf("  %+.1f%% (%.3f)", (s-1)*100, r.IPC[i])
+		}
+		fmt.Printf("  %.1f GB/s\n", r.AvgBandwidthGBps)
+	}
+
+	fmt.Println("\nDSPatch rides the remaining bandwidth headroom: its accuracy-biased")
+	fmt.Println("pattern keeps it useful even when four cores compete for DRAM.")
+}

@@ -1,0 +1,72 @@
+// Patterns: the anatomy of DSPatch's anchored dual bit-patterns, retracing
+// the paper's Fig. 2 (reordered streams collapse onto one anchored pattern)
+// and Fig. 3/9 (OR-modulated CovP vs AND-modulated AccP).
+//
+// Run with: go run ./examples/patterns
+package main
+
+import (
+	"fmt"
+
+	"dspatch/internal/bitpattern"
+)
+
+func build(width int, offsets []int) bitpattern.Pattern {
+	p := bitpattern.New(width)
+	for _, o := range offsets {
+		p = p.Set(o)
+	}
+	return p
+}
+
+func main() {
+	// ---- Paper Fig. 2: four temporal orders, one anchored pattern. ----
+	fmt.Println("Fig. 2 — reordering-immunity of anchored patterns")
+	streams := [][]int{
+		{1, 5, 4, 11, 12}, // stream B
+		{1, 5, 11, 4, 12}, // stream C
+		{1, 4, 5, 12, 11}, // stream D
+		{1, 12, 11, 5, 4}, // stream E
+	}
+	for i, s := range streams {
+		p := build(16, s)
+		anchored := p.Anchor(s[0])
+		fmt.Printf("  stream %c order %v -> pattern %s -> anchored %s\n",
+			'B'+i, s, p, anchored)
+	}
+	fmt.Println("  (identical anchored patterns: one table entry serves all four)")
+
+	// ---- Fig. 3/9: modulating CovP (OR) and AccP (AND). ----
+	fmt.Println("\nFig. 3/9 — coverage-biased vs accuracy-biased modulation")
+	generations := [][]int{
+		{0, 2, 3, 8},
+		{0, 2, 3, 9},
+		{0, 2, 3, 8, 9},
+	}
+	covP := bitpattern.New(16)
+	accP := bitpattern.New(16)
+	for g, offs := range generations {
+		prog := build(16, offs)
+		accP = prog.And(covP) // AccP: replaced by program & stored CovP
+		covP = covP.Or(prog)  // CovP: grown by OR
+		fmt.Printf("  gen %d program %s\n        CovP %s  AccP %s\n",
+			g+1, prog, covP, accP)
+	}
+
+	// ---- Fig. 8: quantified goodness. ----
+	fmt.Println("\nFig. 8 — popcount-quantified accuracy and coverage")
+	program := build(16, []int{0, 2, 3, 9, 10})
+	m := bitpattern.Compare(covP, program)
+	fmt.Printf("  predicted=%d real=%d accurate=%d -> accuracy %s, coverage %s\n",
+		m.Pred, m.Real, m.Accurate, m.AccuracyQ(), m.CoverageQ())
+
+	// ---- §3.8: 128B-granularity compression. ----
+	fmt.Println("\n§3.8 — 128B-granularity compression")
+	fine := build(16, []int{0, 1, 6, 7, 12})
+	comp := fine.Compress()
+	back := comp.Expand()
+	fmt.Printf("  64B pattern  %s (16 bits)\n", fine)
+	fmt.Printf("  128B pattern %s (8 bits, half the storage)\n", comp)
+	fmt.Printf("  re-expanded  %s (over-predicts %d line)\n",
+		back, back.AndNot(fine).PopCount())
+}

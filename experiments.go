@@ -1,0 +1,80 @@
+package dspatch
+
+import "dspatch/internal/experiments"
+
+// Experiment re-exports: one call per table/figure of the paper's
+// evaluation. See EXPERIMENTS.md for the paper-versus-measured record and
+// cmd/dspatchsim for a CLI over the same functions.
+type (
+	// Scale bounds experiment cost (QuickScale vs FullScale).
+	Scale = experiments.Scale
+	// CategoryResult is the per-category layout of Figs. 4/12/14/17.
+	CategoryResult = experiments.CategoryResult
+	// ScalingResult is the bandwidth-sweep layout of Figs. 1/6/15.
+	ScalingResult = experiments.ScalingResult
+	// StorageRow is one line of the storage tables.
+	StorageRow = experiments.StorageRow
+	// HeadlineResult carries the abstract's summary numbers.
+	HeadlineResult = experiments.HeadlineResult
+)
+
+// QuickScale is a laptop-sized sample (2 workloads per category, short
+// traces); FullScale is the paper's full roster.
+func QuickScale() Scale { return experiments.Quick() }
+
+// FullScale runs all 75 workloads at paper-length traces.
+func FullScale() Scale { return experiments.Full() }
+
+// Table1 regenerates the DSPatch storage breakdown (paper Table 1).
+func Table1() []StorageRow { return experiments.Table1() }
+
+// Table3 regenerates the competitor storage budgets (paper Table 3).
+func Table3() []StorageRow { return experiments.Table3() }
+
+// Fig1 regenerates prefetcher scaling with DRAM bandwidth (paper Fig. 1).
+func Fig1(s Scale) ScalingResult { return experiments.Fig1(s) }
+
+// Fig4 regenerates the BOP/SMS/SPP category comparison (paper Fig. 4).
+func Fig4(s Scale) CategoryResult { return experiments.Fig4(s) }
+
+// Fig5 regenerates the SMS storage sweep (paper Fig. 5).
+func Fig5(s Scale) []experiments.Fig5Row { return experiments.Fig5(s) }
+
+// Fig6 regenerates bandwidth scaling incl. eSPP/eBOP (paper Fig. 6).
+func Fig6(s Scale) ScalingResult { return experiments.Fig6(s) }
+
+// Fig11a regenerates the delta-occurrence distribution (paper Fig. 11a).
+func Fig11a(s Scale) experiments.Fig11aResult { return experiments.Fig11a(s) }
+
+// Fig11b regenerates the compression-misprediction histogram (Fig. 11b).
+func Fig11b(s Scale) [6]float64 { return experiments.Fig11b(s) }
+
+// Fig12 regenerates the single-thread evaluation (paper Fig. 12).
+func Fig12(s Scale) CategoryResult { return experiments.Fig12(s) }
+
+// Fig13 regenerates the 42-workload memory-intensive line graph (Fig. 13).
+func Fig13(s Scale) []experiments.Fig13Row { return experiments.Fig13(s) }
+
+// Fig14 regenerates the adjunct-to-SPP comparison (paper Fig. 14).
+func Fig14(s Scale) CategoryResult { return experiments.Fig14(s) }
+
+// Fig15 regenerates DSPatch+SPP bandwidth scaling (paper Fig. 15).
+func Fig15(s Scale) ScalingResult { return experiments.Fig15(s) }
+
+// Fig16 regenerates the coverage/misprediction stacks (paper Fig. 16).
+func Fig16(s Scale) []experiments.Fig16Row { return experiments.Fig16(s) }
+
+// Fig17 regenerates the homogeneous multi-programmed runs (paper Fig. 17).
+func Fig17(s Scale) CategoryResult { return experiments.Fig17(s) }
+
+// Fig18 regenerates the MP bandwidth comparison (paper Fig. 18).
+func Fig18(s Scale) []experiments.Fig18Row { return experiments.Fig18(s) }
+
+// Fig19 regenerates the AccP-contribution ablation (paper Fig. 19).
+func Fig19(s Scale) experiments.Fig19Result { return experiments.Fig19(s) }
+
+// Fig20 regenerates the appendix pollution taxonomy (paper Fig. 20).
+func Fig20(s Scale) []experiments.Fig20Row { return experiments.Fig20(s) }
+
+// Headline regenerates the abstract's summary numbers.
+func Headline(s Scale) HeadlineResult { return experiments.Headline(s) }

@@ -1,0 +1,91 @@
+package ampm
+
+import (
+	"testing"
+
+	"dspatch/internal/memaddr"
+	"dspatch/internal/prefetch"
+)
+
+func acc(line uint64) prefetch.Access { return prefetch.Access{Line: memaddr.Line(line)} }
+
+func TestDetectsUnitStride(t *testing.T) {
+	a := New(DefaultConfig())
+	a.Train(acc(0), nil, nil)
+	a.Train(acc(1), nil, nil)
+	out := a.Train(acc(2), nil, nil)
+	found := false
+	for _, r := range out {
+		if r.Line == 3 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("offsets 0,1,2 should predict 3; got %v", out)
+	}
+}
+
+func TestDetectsStride2(t *testing.T) {
+	a := New(DefaultConfig())
+	a.Train(acc(10), nil, nil)
+	a.Train(acc(12), nil, nil)
+	out := a.Train(acc(14), nil, nil)
+	found := false
+	for _, r := range out {
+		if r.Line == 16 {
+			found = true
+		}
+	}
+	if !found {
+		t.Errorf("stride-2 should predict 16; got %v", out)
+	}
+}
+
+func TestNoDuplicatePrefetches(t *testing.T) {
+	a := New(DefaultConfig())
+	a.Train(acc(0), nil, nil)
+	a.Train(acc(1), nil, nil)
+	first := a.Train(acc(2), nil, nil)
+	second := a.Train(acc(2), nil, nil)
+	if len(first) == 0 {
+		t.Fatal("expected initial prediction")
+	}
+	for _, r := range second {
+		for _, f := range first {
+			if r.Line == f.Line {
+				t.Errorf("duplicate prefetch %d", r.Line)
+			}
+		}
+	}
+}
+
+func TestDegreeBound(t *testing.T) {
+	a := New(DefaultConfig())
+	// Dense page: many candidate strides.
+	for i := 0; i < 20; i++ {
+		a.Train(acc(uint64(i)), nil, nil)
+	}
+	out := a.Train(acc(20), nil, nil)
+	if len(out) > a.cfg.Degree {
+		t.Errorf("emitted %d > degree %d", len(out), a.cfg.Degree)
+	}
+}
+
+func TestMapEviction(t *testing.T) {
+	a := New(Config{Maps: 2, MaxStride: 4, Degree: 2})
+	a.Train(acc(0), nil, nil)                   // page 0
+	a.Train(acc(memaddr.LinesPage), nil, nil)   // page 1
+	a.Train(acc(2*memaddr.LinesPage), nil, nil) // page 2 evicts page 0
+	if e := a.lookup(memaddr.Page(0)); e != nil {
+		t.Error("page 0 should have been evicted")
+	}
+	if e := a.lookup(memaddr.Page(2)); e == nil {
+		t.Error("page 2 should be tracked")
+	}
+}
+
+func TestStorage(t *testing.T) {
+	if kb := float64(New(DefaultConfig()).StorageBits()) / 8192; kb > 2 {
+		t.Errorf("AMPM storage %.2fKB too large", kb)
+	}
+}

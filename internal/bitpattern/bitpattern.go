@@ -1,0 +1,231 @@
+// Package bitpattern implements the anchored spatial bit-patterns at the core
+// of DSPatch (MICRO 2019, §3.3–§3.8).
+//
+// A Pattern records which cache lines (or 128B super-lines after compression)
+// of a memory region were touched. Patterns can be anchored — rotated so that
+// bit 0 corresponds to the region's trigger access — which makes access
+// streams that differ only by out-of-order shuffling collapse onto one
+// representation (paper Fig. 2). Simple OR/AND modulation then derives the
+// coverage-biased (CovP) and accuracy-biased (AccP) patterns (Fig. 3, Fig. 9),
+// and popcount arithmetic quantifies prediction accuracy and coverage in
+// quartiles (Fig. 8).
+package bitpattern
+
+import "math/bits"
+
+// Pattern is a spatial bit-pattern over a region of Width() places.
+// The zero value is an empty pattern of width 0; construct with New.
+// Widths up to 64 are supported, which covers every granularity DSPatch
+// uses: 64 (4KB page at 64B lines), 32 (2KB segment at 64B lines, or 4KB
+// page at 128B granularity) and 16 (2KB segment at 128B granularity).
+type Pattern struct {
+	bits  uint64
+	width uint8
+}
+
+// New returns an empty pattern of the given width. Widths outside [1,64]
+// panic: a mis-sized pattern is a programming error, not a runtime condition.
+func New(width int) Pattern {
+	if width < 1 || width > 64 {
+		panic("bitpattern: width out of range [1,64]")
+	}
+	return Pattern{width: uint8(width)}
+}
+
+// FromBits returns a pattern of the given width with the low width bits of b.
+func FromBits(b uint64, width int) Pattern {
+	p := New(width)
+	p.bits = b & p.mask()
+	return p
+}
+
+func (p Pattern) mask() uint64 {
+	if p.width == 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<p.width - 1
+}
+
+// Width returns the number of places in the pattern.
+func (p Pattern) Width() int { return int(p.width) }
+
+// Bits returns the raw bits of the pattern.
+func (p Pattern) Bits() uint64 { return p.bits }
+
+// Set returns p with bit i set. Out-of-range i panics.
+func (p Pattern) Set(i int) Pattern {
+	p.checkIndex(i)
+	p.bits |= 1 << uint(i)
+	return p
+}
+
+// Clear returns p with bit i cleared.
+func (p Pattern) Clear(i int) Pattern {
+	p.checkIndex(i)
+	p.bits &^= 1 << uint(i)
+	return p
+}
+
+// Get reports whether bit i is set.
+func (p Pattern) Get(i int) bool {
+	p.checkIndex(i)
+	return p.bits&(1<<uint(i)) != 0
+}
+
+func (p Pattern) checkIndex(i int) {
+	if i < 0 || i >= int(p.width) {
+		panic("bitpattern: index out of range")
+	}
+}
+
+// PopCount returns the number of set bits.
+func (p Pattern) PopCount() int { return bits.OnesCount64(p.bits) }
+
+// Empty reports whether no bits are set.
+func (p Pattern) Empty() bool { return p.bits == 0 }
+
+// Or returns the bitwise OR of p and q. Widths must match.
+func (p Pattern) Or(q Pattern) Pattern {
+	p.checkWidth(q)
+	p.bits |= q.bits
+	return p
+}
+
+// And returns the bitwise AND of p and q. Widths must match.
+func (p Pattern) And(q Pattern) Pattern {
+	p.checkWidth(q)
+	p.bits &= q.bits
+	return p
+}
+
+// AndNot returns the bits of p not present in q. Widths must match.
+func (p Pattern) AndNot(q Pattern) Pattern {
+	p.checkWidth(q)
+	p.bits &^= q.bits
+	return p
+}
+
+// Equal reports whether p and q have the same width and bits.
+func (p Pattern) Equal(q Pattern) bool { return p.width == q.width && p.bits == q.bits }
+
+func (p Pattern) checkWidth(q Pattern) {
+	if p.width != q.width {
+		panic("bitpattern: width mismatch")
+	}
+}
+
+// Anchor rotates the pattern so bit 0 aligns with the trigger offset:
+// anchored bit i corresponds to original bit (i+trigger) mod Width.
+// This is the "rotate left to the trigger" operation of paper Fig. 2.
+func (p Pattern) Anchor(trigger int) Pattern {
+	return p.rotate(trigger)
+}
+
+// Unanchor is the inverse of Anchor: it maps an anchored (trigger-relative)
+// pattern back to absolute region offsets given the trigger offset.
+func (p Pattern) Unanchor(trigger int) Pattern {
+	return p.rotate(-trigger)
+}
+
+// rotate rotates right-to-left by k places within the pattern width, so that
+// result bit i equals original bit (i+k) mod width.
+func (p Pattern) rotate(k int) Pattern {
+	w := int(p.width)
+	k %= w
+	if k < 0 {
+		k += w
+	}
+	if k == 0 {
+		return p
+	}
+	p.bits = (p.bits>>uint(k) | p.bits<<uint(w-k)) & p.mask()
+	return p
+}
+
+// Compress halves the granularity: output bit i is set if input bit 2i or
+// 2i+1 is set. With 64B lines this is the paper's 128B-granularity
+// compression (§3.8). Width must be even.
+func (p Pattern) Compress() Pattern {
+	if p.width%2 != 0 {
+		panic("bitpattern: compress needs even width")
+	}
+	out := New(int(p.width) / 2)
+	// odd-even merge: OR each even bit with its odd neighbour, then gather.
+	merged := p.bits | p.bits>>1
+	for i := 0; i < out.Width(); i++ {
+		if merged&(1<<uint(2*i)) != 0 {
+			out.bits |= 1 << uint(i)
+		}
+	}
+	return out
+}
+
+// Expand doubles the granularity: input bit i sets output bits 2i and 2i+1.
+// It is the prediction-side inverse of Compress — a set 128B bit yields
+// prefetch candidates for both 64B lines it covers.
+func (p Pattern) Expand() Pattern {
+	if p.width > 32 {
+		panic("bitpattern: expand would exceed 64 bits")
+	}
+	out := New(int(p.width) * 2)
+	for i := 0; i < int(p.width); i++ {
+		if p.bits&(1<<uint(i)) != 0 {
+			out.bits |= 3 << uint(2*i)
+		}
+	}
+	return out
+}
+
+// Half returns the 2KB-segment half of a full-page pattern: seg 0 is the low
+// half, seg 1 the high half. The result has half the width of p.
+func (p Pattern) Half(seg int) Pattern {
+	if p.width%2 != 0 {
+		panic("bitpattern: half needs even width")
+	}
+	hw := int(p.width) / 2
+	out := New(hw)
+	if seg == 0 {
+		out.bits = p.bits & out.mask()
+	} else {
+		out.bits = (p.bits >> uint(hw)) & out.mask()
+	}
+	return out
+}
+
+// Concat joins lo (segment 0) and hi (segment 1) into one double-width
+// pattern.
+func Concat(lo, hi Pattern) Pattern {
+	if lo.width != hi.width {
+		panic("bitpattern: concat width mismatch")
+	}
+	out := New(int(lo.width) * 2)
+	out.bits = lo.bits | hi.bits<<lo.width
+	return out
+}
+
+// Offsets appends to dst the indices of the set bits, in ascending order.
+func (p Pattern) Offsets(dst []int) []int {
+	b := p.bits
+	for b != 0 {
+		i := bits.TrailingZeros64(b)
+		dst = append(dst, i)
+		b &= b - 1
+	}
+	return dst
+}
+
+// String renders the pattern LSB-first in 4-bit groups, e.g. "0100 1100".
+func (p Pattern) String() string {
+	buf := make([]byte, 0, int(p.width)+int(p.width)/4)
+	for i := 0; i < int(p.width); i++ {
+		if i > 0 && i%4 == 0 {
+			buf = append(buf, ' ')
+		}
+		if p.Get(i) {
+			buf = append(buf, '1')
+		} else {
+			buf = append(buf, '0')
+		}
+	}
+	return string(buf)
+}

@@ -1,0 +1,239 @@
+package bitpattern
+
+import (
+	"math/rand"
+	"testing"
+	"testing/quick"
+)
+
+func TestNewWidths(t *testing.T) {
+	for _, w := range []int{1, 16, 32, 64} {
+		p := New(w)
+		if p.Width() != w {
+			t.Errorf("New(%d).Width() = %d", w, p.Width())
+		}
+		if !p.Empty() {
+			t.Errorf("New(%d) not empty", w)
+		}
+	}
+}
+
+func TestNewPanicsOnBadWidth(t *testing.T) {
+	for _, w := range []int{0, -1, 65} {
+		func() {
+			defer func() {
+				if recover() == nil {
+					t.Errorf("New(%d) did not panic", w)
+				}
+			}()
+			New(w)
+		}()
+	}
+}
+
+func TestSetGetClear(t *testing.T) {
+	p := New(64)
+	p = p.Set(0).Set(5).Set(63)
+	for i := 0; i < 64; i++ {
+		want := i == 0 || i == 5 || i == 63
+		if p.Get(i) != want {
+			t.Errorf("bit %d = %v, want %v", i, p.Get(i), want)
+		}
+	}
+	if p.PopCount() != 3 {
+		t.Errorf("PopCount = %d, want 3", p.PopCount())
+	}
+	p = p.Clear(5)
+	if p.Get(5) || p.PopCount() != 2 {
+		t.Errorf("Clear failed: %v", p)
+	}
+}
+
+func TestFromBitsMasks(t *testing.T) {
+	p := FromBits(^uint64(0), 16)
+	if p.Bits() != 0xffff {
+		t.Errorf("FromBits should mask to width: got %#x", p.Bits())
+	}
+}
+
+func TestOrAndSemantics(t *testing.T) {
+	a := FromBits(0b1100, 8)
+	b := FromBits(0b1010, 8)
+	if got := a.Or(b).Bits(); got != 0b1110 {
+		t.Errorf("Or = %#b", got)
+	}
+	if got := a.And(b).Bits(); got != 0b1000 {
+		t.Errorf("And = %#b", got)
+	}
+	if got := a.AndNot(b).Bits(); got != 0b0100 {
+		t.Errorf("AndNot = %#b", got)
+	}
+}
+
+// TestAnchorPaperFigure2 reproduces the paper's running example: access
+// streams B and C (trigger offset 1) both map to bit-pattern
+// BP2 = 0100 1100 0001 1000 (LSB-first) and anchor to the same pattern.
+func TestAnchorPaperFigure2(t *testing.T) {
+	// BP2 written LSB-first over 16 offsets: bits set at 1,4,5,11,12.
+	bp2 := New(16).Set(1).Set(4).Set(5).Set(11).Set(12)
+	// Stream B: offsets 1,5,4,11,12 (trigger 1). Stream C: 1,5,11,4,12.
+	build := func(offsets []int) Pattern {
+		p := New(16)
+		for _, o := range offsets {
+			p = p.Set(o)
+		}
+		return p
+	}
+	b := build([]int{1, 5, 4, 11, 12})
+	c := build([]int{1, 5, 11, 4, 12})
+	if !b.Equal(bp2) || !c.Equal(bp2) {
+		t.Fatalf("streams B and C should share BP2; B=%v C=%v want %v", b, c, bp2)
+	}
+	// Anchoring to trigger 1 rotates so the trigger becomes bit 0.
+	anch := bp2.Anchor(1)
+	want := New(16).Set(0).Set(3).Set(4).Set(10).Set(11)
+	if !anch.Equal(want) {
+		t.Errorf("anchored = %v, want %v", anch, want)
+	}
+}
+
+func TestAnchorUnanchorInverse(t *testing.T) {
+	f := func(raw uint64, trig uint8) bool {
+		p := FromBits(raw, 64)
+		k := int(trig) % 64
+		return p.Anchor(k).Unanchor(k).Equal(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnchorPreservesPopCount(t *testing.T) {
+	f := func(raw uint64, trig uint8) bool {
+		p := FromBits(raw, 32)
+		return p.Anchor(int(trig)%32).PopCount() == p.PopCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestAnchorTriggerBecomesBitZero(t *testing.T) {
+	// If the trigger offset's bit is set, the anchored pattern has bit 0 set.
+	for trig := 0; trig < 64; trig++ {
+		p := New(64).Set(trig)
+		if !p.Anchor(trig).Get(0) {
+			t.Errorf("trigger %d: anchored bit 0 not set", trig)
+		}
+	}
+}
+
+func TestAnchorZeroIsIdentity(t *testing.T) {
+	p := FromBits(0xdeadbeefcafe, 64)
+	if !p.Anchor(0).Equal(p) {
+		t.Error("Anchor(0) should be identity")
+	}
+}
+
+func TestCompressExpand(t *testing.T) {
+	// bits 0 and 1 compress to bit 0; bit 7 compresses to bit 3.
+	p := New(8).Set(0).Set(1).Set(7)
+	c := p.Compress()
+	if c.Width() != 4 {
+		t.Fatalf("compressed width = %d", c.Width())
+	}
+	want := New(4).Set(0).Set(3)
+	if !c.Equal(want) {
+		t.Errorf("Compress = %v, want %v", c, want)
+	}
+	e := c.Expand()
+	wantE := New(8).Set(0).Set(1).Set(6).Set(7)
+	if !e.Equal(wantE) {
+		t.Errorf("Expand = %v, want %v", e, wantE)
+	}
+}
+
+func TestCompressNeverLosesCoverage(t *testing.T) {
+	// Expand(Compress(p)) must be a superset of p: compression may over-
+	// predict (hurting accuracy) but never under-predict (paper §3.8).
+	f := func(raw uint64) bool {
+		p := FromBits(raw, 64)
+		sup := p.Compress().Expand()
+		return p.And(sup).Equal(p)
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestCompressMispredictionBound(t *testing.T) {
+	// The extra (mispredicted) lines from compression are at most PopCount(p):
+	// each set 128B bit adds at most one untouched 64B line.
+	f := func(raw uint64) bool {
+		p := FromBits(raw, 64)
+		extra := p.Compress().Expand().AndNot(p).PopCount()
+		return extra <= p.PopCount()
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}
+
+func TestHalfConcat(t *testing.T) {
+	p := FromBits(0xABCD_1234_5678_9EF0, 64)
+	lo, hi := p.Half(0), p.Half(1)
+	if lo.Bits() != 0x5678_9EF0 || hi.Bits() != 0xABCD_1234 {
+		t.Errorf("halves = %#x, %#x", lo.Bits(), hi.Bits())
+	}
+	if !Concat(lo, hi).Equal(p) {
+		t.Error("Concat(Half(0), Half(1)) != original")
+	}
+}
+
+func TestOffsets(t *testing.T) {
+	p := New(32).Set(3).Set(17).Set(31)
+	got := p.Offsets(nil)
+	want := []int{3, 17, 31}
+	if len(got) != len(want) {
+		t.Fatalf("Offsets = %v, want %v", got, want)
+	}
+	for i := range want {
+		if got[i] != want[i] {
+			t.Fatalf("Offsets = %v, want %v", got, want)
+		}
+	}
+}
+
+func TestString(t *testing.T) {
+	p := New(8).Set(1).Set(4)
+	if s := p.String(); s != "0100 1000" {
+		t.Errorf("String = %q", s)
+	}
+}
+
+func TestRotateFullCycle(t *testing.T) {
+	// Rotating width times returns the original.
+	rng := rand.New(rand.NewSource(42))
+	for i := 0; i < 100; i++ {
+		p := FromBits(rng.Uint64(), 32)
+		q := p
+		for k := 0; k < 32; k++ {
+			q = q.Anchor(1)
+		}
+		if !q.Equal(p) {
+			t.Fatalf("32 single rotations != identity: %v vs %v", q, p)
+		}
+	}
+}
+
+func TestAnchorComposition(t *testing.T) {
+	// Anchor(a).Anchor(b) == Anchor(a+b mod w)
+	f := func(raw uint64, a, b uint8) bool {
+		p := FromBits(raw, 64)
+		x, y := int(a)%64, int(b)%64
+		return p.Anchor(x).Anchor(y).Equal(p.Anchor((x + y) % 64))
+	}
+	if err := quick.Check(f, nil); err != nil {
+		t.Error(err)
+	}
+}

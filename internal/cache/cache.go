@@ -1,0 +1,248 @@
+// Package cache implements the set-associative cache tag stores of the
+// simulated hierarchy (paper Table 2): LRU replacement, per-line prefetch
+// and use bits, low-priority insertion (used by DSPatch when the coverage
+// pattern is untrusted, §3.6), and an optional prefetch-aware dead-block
+// victim policy approximating the baseline LLC replacement of the paper.
+//
+// Timing (latencies, MSHRs) is composed on top by package memsys; this
+// package is purely the state of which lines are resident.
+package cache
+
+import "dspatch/internal/memaddr"
+
+// Config sizes one cache level.
+type Config struct {
+	Name      string // for reporting, e.g. "L1D"
+	SizeBytes int
+	Ways      int
+	// DeadBlockAware enables prefetch-aware victim selection: prefetched
+	// lines that were never demanded are evicted first, approximating the
+	// dead-block predictor the paper's baseline LLC uses.
+	DeadBlockAware bool
+}
+
+// Sets returns the number of sets implied by the configuration.
+func (c Config) Sets() int { return c.SizeBytes / memaddr.LineBytes / c.Ways }
+
+// way is one cache line's tag state.
+type way struct {
+	tag      uint64
+	lru      uint64 // last-touch stamp; 0 on low-priority fill
+	valid    bool
+	dirty    bool
+	prefetch bool // filled by a prefetch and not yet demanded
+	used     bool // demanded at least once since fill
+}
+
+// Stats counts the events needed for the paper's coverage/accuracy and
+// pollution analyses.
+type Stats struct {
+	DemandAccesses uint64
+	DemandHits     uint64
+	DemandMisses   uint64
+	PrefetchFills  uint64
+	PrefetchHits   uint64 // demand hits that were the first use of a prefetched line
+	PrefetchUnused uint64 // prefetched lines evicted without any demand use
+	Evictions      uint64
+	DirtyEvictions uint64
+}
+
+// Cache is one level's tag store. The zero value is unusable; construct with
+// New.
+type Cache struct {
+	cfg     Config
+	sets    []way // len = Sets()*Ways, set i occupies [i*Ways, (i+1)*Ways)
+	setMask uint64
+	stamp   uint64
+	stats   Stats
+}
+
+// New builds a cache from cfg. Set count must be a power of two.
+func New(cfg Config) *Cache {
+	sets := cfg.Sets()
+	if sets <= 0 || sets&(sets-1) != 0 {
+		panic("cache: set count must be a positive power of two")
+	}
+	return &Cache{
+		cfg:     cfg,
+		sets:    make([]way, sets*cfg.Ways),
+		setMask: uint64(sets - 1),
+	}
+}
+
+// Config returns the configuration the cache was built with.
+func (c *Cache) Config() Config { return c.cfg }
+
+// Stats returns a copy of the accumulated counters.
+func (c *Cache) Stats() Stats { return c.stats }
+
+func (c *Cache) set(l memaddr.Line) []way {
+	i := uint64(l) & c.setMask
+	return c.sets[i*uint64(c.cfg.Ways) : (i+1)*uint64(c.cfg.Ways)]
+}
+
+func (c *Cache) tag(l memaddr.Line) uint64 { return uint64(l) >> uint(popShift(c.setMask)) }
+
+func popShift(mask uint64) int {
+	n := 0
+	for mask != 0 {
+		mask >>= 1
+		n++
+	}
+	return n
+}
+
+// Result describes the outcome of a demand access.
+type Result struct {
+	Hit bool
+	// FirstUseOfPrefetch reports that this demand hit a line a prefetcher
+	// brought in and is its first demand use — the event that counts toward
+	// prefetch coverage.
+	FirstUseOfPrefetch bool
+}
+
+// Access performs a demand load or store: it updates LRU and the per-line
+// use bits and returns whether the line was resident.
+func (c *Cache) Access(l memaddr.Line, write bool) Result {
+	c.stats.DemandAccesses++
+	set := c.set(l)
+	tag := c.tag(l)
+	c.stamp++
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			c.stats.DemandHits++
+			r := Result{Hit: true}
+			if w.prefetch && !w.used {
+				r.FirstUseOfPrefetch = true
+				c.stats.PrefetchHits++
+			}
+			w.prefetch = false
+			w.used = true
+			w.lru = c.stamp
+			if write {
+				w.dirty = true
+			}
+			return r
+		}
+	}
+	c.stats.DemandMisses++
+	return Result{}
+}
+
+// Probe reports whether l is resident without perturbing any state.
+func (c *Cache) Probe(l memaddr.Line) bool {
+	set := c.set(l)
+	tag := c.tag(l)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+// FillOpts qualifies a fill.
+type FillOpts struct {
+	Prefetch bool
+	// LowPriority inserts the line at LRU position so it is the next victim
+	// unless promoted by a demand hit (DSPatch's pollution mitigation).
+	LowPriority bool
+	Dirty       bool
+}
+
+// Victim describes the line displaced by a Fill.
+type Victim struct {
+	Valid         bool
+	Line          memaddr.Line
+	WasPrefetched bool // line was prefetched and never demanded
+	Dirty         bool
+}
+
+// Fill installs line l. If l is already resident the flags are merged and no
+// victim results. Otherwise the victim (if any way was valid) is returned so
+// callers can write back dirty data and run pollution accounting.
+func (c *Cache) Fill(l memaddr.Line, opts FillOpts) Victim {
+	set := c.set(l)
+	tag := c.tag(l)
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			// Duplicate fill (e.g. a prefetch landing after the demand
+			// already missed and filled). Keep the strongest state.
+			w.dirty = w.dirty || opts.Dirty
+			return Victim{}
+		}
+	}
+	if opts.Prefetch {
+		c.stats.PrefetchFills++
+	}
+	vi := c.pickVictim(set)
+	w := &set[vi]
+	var victim Victim
+	if w.valid {
+		victim = Victim{Valid: true, Line: c.lineOf(l, w.tag), WasPrefetched: w.prefetch && !w.used, Dirty: w.dirty}
+		c.stats.Evictions++
+		if w.dirty {
+			c.stats.DirtyEvictions++
+		}
+		if w.prefetch && !w.used {
+			c.stats.PrefetchUnused++
+		}
+	}
+	c.stamp++
+	*w = way{tag: tag, valid: true, dirty: opts.Dirty, prefetch: opts.Prefetch, lru: c.stamp}
+	if opts.LowPriority {
+		w.lru = 0
+	}
+	return victim
+}
+
+// Invalidate removes l if resident, returning whether it was dirty.
+func (c *Cache) Invalidate(l memaddr.Line) (present, dirty bool) {
+	set := c.set(l)
+	tag := c.tag(l)
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			present, dirty = true, w.dirty
+			w.valid = false
+			return
+		}
+	}
+	return
+}
+
+// pickVictim chooses the way to replace: invalid first; then, when
+// DeadBlockAware, the LRU prefetched-but-unused line; otherwise plain LRU.
+func (c *Cache) pickVictim(set []way) int {
+	best, bestStamp := -1, ^uint64(0)
+	for i := range set {
+		if !set[i].valid {
+			return i
+		}
+	}
+	if c.cfg.DeadBlockAware {
+		for i := range set {
+			if set[i].prefetch && !set[i].used && set[i].lru < bestStamp {
+				best, bestStamp = i, set[i].lru
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	for i := range set {
+		if set[i].lru < bestStamp {
+			best, bestStamp = i, set[i].lru
+		}
+	}
+	return best
+}
+
+// lineOf reconstructs a victim's line address from its tag and the set the
+// fill targeted.
+func (c *Cache) lineOf(fillLine memaddr.Line, tag uint64) memaddr.Line {
+	setIdx := uint64(fillLine) & c.setMask
+	return memaddr.Line(tag<<uint(popShift(c.setMask)) | setIdx)
+}

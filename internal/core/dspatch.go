@@ -1,0 +1,492 @@
+// Package core implements DSPatch — the Dual Spatial Pattern Prefetcher of
+// Bera, Nori, Mutlu and Subramoney (MICRO 2019) — the primary contribution
+// this repository reproduces.
+//
+// DSPatch observes L1 misses per 4KB physical page in a small Page Buffer
+// (PB). When a page generation ends (PB eviction), the accumulated access
+// bit-pattern is anchored (rotated) to each trigger access and folded into a
+// Signature Prediction Table (SPT) entry selected by a folded-XOR hash of
+// the trigger PC. Each SPT entry stores two modulated patterns:
+//
+//   - CovP, coverage-biased: grown by ORing successive anchored program
+//     patterns (at most three bit-adding ORs, tracked by 2-bit OrCount),
+//   - AccP, accuracy-biased: replaced by program & CovP on every update,
+//
+// plus 2-bit goodness counters (MeasureCovP, MeasureAccP) per 2KB half. At
+// prediction time the 2-bit DRAM bandwidth-utilization quartile broadcast by
+// the memory controller selects CovP (low utilization), AccP (high
+// utilization) or nothing (Fig. 10). Patterns are stored at 128B granularity
+// (32 bits per page, §3.8) and each 2KB segment's first access may trigger:
+// a segment-0 trigger predicts the whole page, a segment-1 trigger only the
+// 2KB relative to itself (§3.7).
+package core
+
+import (
+	"dspatch/internal/bitpattern"
+	"dspatch/internal/memaddr"
+	"dspatch/internal/prefetch"
+)
+
+// Mode selects between the full DSPatch algorithm and the two ablation
+// variants of paper Fig. 19.
+type Mode int
+
+// Modes.
+const (
+	// ModeFull is the complete algorithm with bandwidth-driven selection.
+	ModeFull Mode = iota
+	// ModeAlwaysCovP always predicts with the coverage-biased pattern,
+	// ignoring bandwidth utilization.
+	ModeAlwaysCovP
+	// ModeModCovP predicts with CovP but throttles to nothing when
+	// bandwidth utilization is in the highest quartile; it never uses AccP.
+	ModeModCovP
+)
+
+func (m Mode) String() string {
+	switch m {
+	case ModeAlwaysCovP:
+		return "AlwaysCovP"
+	case ModeModCovP:
+		return "ModCovP"
+	default:
+		return "DSPatch"
+	}
+}
+
+// Config parameterizes DSPatch. DefaultConfig matches the paper (Table 1).
+type Config struct {
+	PBEntries  int // tracked pages (64)
+	SPTEntries int // signature entries, tagless direct-mapped (256)
+
+	// Compress stores patterns at 128B granularity, halving pattern storage
+	// (§3.8). Disable only for the ablation study.
+	Compress bool
+	// DualTrigger enables the second (segment-1) trigger per page (§3.7).
+	DualTrigger bool
+
+	OrCountBits uint                // 2 → at most 3 bit-adding ORs
+	MeasureBits uint                // 2-bit goodness counters
+	AccThr      bitpattern.Quartile // accuracy threshold (50% → Q2)
+	CovThr      bitpattern.Quartile // coverage threshold (50% → Q2)
+	Mode        Mode
+}
+
+// DefaultConfig returns the paper's 3.6KB configuration.
+func DefaultConfig() Config {
+	return Config{
+		PBEntries:   64,
+		SPTEntries:  256,
+		Compress:    true,
+		DualTrigger: true,
+		OrCountBits: 2,
+		MeasureBits: 2,
+		AccThr:      bitpattern.Q2,
+		CovThr:      bitpattern.Q2,
+		Mode:        ModeFull,
+	}
+}
+
+// trigger records the first access to one 2KB segment of a tracked page.
+type trigger struct {
+	pcHash uint64 // folded-XOR of the trigger PC (the SPT index)
+	off    int    // trigger line offset within the page [0,64)
+	valid  bool
+}
+
+// pbEntry is one Page Buffer entry (Table 1: page number, 64b pattern, two
+// trigger PC+offset pairs).
+type pbEntry struct {
+	page     memaddr.Page
+	pattern  bitpattern.Pattern // 64b, absolute line offsets in the page
+	triggers [memaddr.SegsPage]trigger
+	valid    bool
+	used     uint64
+}
+
+// sptEntry is one Signature Prediction Table entry (Table 1: CovP 32b,
+// AccP 32b, and per-half OrCount/MeasureCovP/MeasureAccP 2b counters).
+// Patterns live in trigger-anchored space: bit 0 is the trigger line. Half 0
+// covers the 2KB relative to the trigger; half 1 the rest of the page.
+type sptEntry struct {
+	covP bitpattern.Pattern
+	accP bitpattern.Pattern
+
+	orCount    [2]bitpattern.SatCounter
+	measureCov [2]bitpattern.SatCounter
+	measureAcc [2]bitpattern.SatCounter
+}
+
+// Stats reports DSPatch-internal prediction behaviour.
+type Stats struct {
+	Triggers        uint64
+	PredictionsCovP uint64 // trigger halves predicted with CovP
+	PredictionsAccP uint64
+	PredictionsNone uint64 // trigger halves suppressed by the selector
+	PatternResets   uint64 // CovP relearn events
+	PageEvictions   uint64
+
+	// CompressionHist buckets the per-page-generation misprediction rate
+	// that 128B-granularity compression alone would cause (paper Fig. 11b):
+	// exactly 0%, (0,12.5%], (12.5,25%], (25,37.5%], (37.5,50%), exactly 50%.
+	CompressionHist [6]uint64
+}
+
+// DSPatch is one core's prefetcher instance. It implements
+// prefetch.Prefetcher; train it on L1 misses observed at the L2.
+type DSPatch struct {
+	cfg   Config
+	pb    []pbEntry
+	spt   []sptEntry
+	clock uint64
+	stats Stats
+
+	patW int // stored pattern width: 32 compressed, 64 uncompressed
+}
+
+// New builds a DSPatch instance.
+func New(cfg Config) *DSPatch {
+	if cfg.SPTEntries&(cfg.SPTEntries-1) != 0 {
+		panic("core: SPT entries must be a power of two")
+	}
+	w := memaddr.LinesPage
+	if cfg.Compress {
+		w /= 2
+	}
+	d := &DSPatch{
+		cfg:  cfg,
+		pb:   make([]pbEntry, cfg.PBEntries),
+		spt:  make([]sptEntry, cfg.SPTEntries),
+		patW: w,
+	}
+	for i := range d.spt {
+		d.initEntry(&d.spt[i])
+	}
+	return d
+}
+
+func (d *DSPatch) initEntry(e *sptEntry) {
+	e.covP = bitpattern.New(d.patW)
+	e.accP = bitpattern.New(d.patW)
+	for h := 0; h < 2; h++ {
+		e.orCount[h] = bitpattern.NewSatCounter(d.cfg.OrCountBits)
+		e.measureCov[h] = bitpattern.NewSatCounter(d.cfg.MeasureBits)
+		e.measureAcc[h] = bitpattern.NewSatCounter(d.cfg.MeasureBits)
+	}
+}
+
+// Name implements prefetch.Prefetcher.
+func (d *DSPatch) Name() string {
+	if d.cfg.Mode != ModeFull {
+		return "dspatch-" + d.cfg.Mode.String()
+	}
+	return "dspatch"
+}
+
+// Stats returns a copy of the internal counters.
+func (d *DSPatch) Stats() Stats { return d.stats }
+
+// sptIndex is the folded-XOR hash of the PC into the tagless SPT (§3.4).
+func (d *DSPatch) sptIndex(pc memaddr.PC) uint64 {
+	bits := uint(log2(d.cfg.SPTEntries))
+	return memaddr.FoldXOR(uint64(pc), bits)
+}
+
+// Train implements prefetch.Prefetcher: observe one L1 miss, update the PB,
+// and emit prefetches if this access triggers a segment.
+func (d *DSPatch) Train(a prefetch.Access, ctx prefetch.Context, dst []prefetch.Request) []prefetch.Request {
+	d.clock++
+	page := a.Line.Page()
+	off := a.Line.PageOffset()
+	seg := a.Line.Segment()
+
+	e := d.lookupPB(page)
+	if e == nil {
+		e = d.allocPB(page, ctx) // may learn from the evicted generation
+	}
+	e.used = d.clock
+
+	isTrigger := !e.triggers[seg].valid
+	e.pattern = e.pattern.Set(off)
+	if !isTrigger {
+		return dst
+	}
+	if seg == 1 && !d.cfg.DualTrigger {
+		// Single-trigger ablation: segment 1 never triggers, and its
+		// accesses only accumulate into the page pattern.
+		return dst
+	}
+	e.triggers[seg] = trigger{pcHash: d.sptIndex(a.PC), off: off, valid: true}
+	d.stats.Triggers++
+	return d.predict(page, e.triggers[seg], seg, ctx, dst)
+}
+
+func (d *DSPatch) lookupPB(page memaddr.Page) *pbEntry {
+	for i := range d.pb {
+		if d.pb[i].valid && d.pb[i].page == page {
+			return &d.pb[i]
+		}
+	}
+	return nil
+}
+
+func (d *DSPatch) allocPB(page memaddr.Page, ctx prefetch.Context) *pbEntry {
+	victim := 0
+	oldest := ^uint64(0)
+	for i := range d.pb {
+		if !d.pb[i].valid {
+			victim = i
+			oldest = 0
+			break
+		}
+		if d.pb[i].used < oldest {
+			oldest, victim = d.pb[i].used, i
+		}
+	}
+	if d.pb[victim].valid {
+		d.learn(&d.pb[victim], ctx)
+	}
+	d.pb[victim] = pbEntry{page: page, pattern: bitpattern.New(memaddr.LinesPage), valid: true}
+	return &d.pb[victim]
+}
+
+// anchored converts the PB's absolute 64b program pattern into the stored
+// representation for a given trigger: rotate so the trigger line is bit 0,
+// then (optionally) compress to 128B granularity.
+func (d *DSPatch) anchored(program bitpattern.Pattern, trigOff int) bitpattern.Pattern {
+	p := program.Anchor(trigOff)
+	if d.cfg.Compress {
+		p = p.Compress()
+	}
+	return p
+}
+
+// halves splits a stored-width pattern into its near (relative 2KB) and far
+// halves.
+func halves(p bitpattern.Pattern) [2]bitpattern.Pattern {
+	return [2]bitpattern.Pattern{p.Half(0), p.Half(1)}
+}
+
+// setHalf writes half h of dst from src (src has half width of dst).
+func setHalf(dst, src bitpattern.Pattern, h int) bitpattern.Pattern {
+	if h == 0 {
+		return bitpattern.Concat(src, dst.Half(1))
+	}
+	return bitpattern.Concat(dst.Half(0), src)
+}
+
+// learn folds one finished page generation into the SPT (step 5 of Fig. 7).
+func (d *DSPatch) learn(e *pbEntry, ctx prefetch.Context) {
+	d.stats.PageEvictions++
+	d.noteCompressionError(e.pattern)
+	bw := bitpattern.Q0
+	if ctx != nil {
+		bw = ctx.BandwidthUtilization()
+	}
+	for seg := 0; seg < memaddr.SegsPage; seg++ {
+		tr := e.triggers[seg]
+		if !tr.valid {
+			continue
+		}
+		prog := d.anchored(e.pattern, tr.off)
+		ent := &d.spt[tr.pcHash]
+		// A segment-0 trigger owns the whole page (both halves); a
+		// segment-1 trigger only its trigger-relative 2KB (half 0).
+		nHalves := 2
+		if seg == 1 {
+			nHalves = 1
+		}
+		d.updateEntry(ent, prog, nHalves, bw)
+	}
+}
+
+// updateEntry applies the §3.6 modulation rules to one SPT entry given an
+// observed anchored program pattern.
+func (d *DSPatch) updateEntry(ent *sptEntry, prog bitpattern.Pattern, nHalves int, bw bitpattern.Quartile) {
+	progH := halves(prog)
+	covOldH := halves(ent.covP)
+	accH := halves(ent.accP)
+	for h := 0; h < nHalves; h++ {
+		// Goodness measurement against the patterns as they stood.
+		mCov := bitpattern.Compare(covOldH[h], progH[h])
+		if mCov.AccuracyQ() < d.cfg.AccThr || mCov.CoverageQ() < d.cfg.CovThr {
+			ent.measureCov[h].Inc()
+		} else {
+			ent.measureCov[h].Dec()
+		}
+		mAcc := bitpattern.Compare(accH[h], progH[h])
+		if mAcc.AccuracyQ() < bitpattern.Q2 {
+			ent.measureAcc[h].Inc()
+		} else {
+			ent.measureAcc[h].Dec()
+		}
+
+		// AccP: replaced by program & stored CovP (pre-OR; see DESIGN.md §4.2).
+		newAcc := progH[h].And(covOldH[h])
+		ent.accP = setHalf(ent.accP, newAcc, h)
+
+		// CovP: relearn from scratch when saturatedly bad and either the
+		// bandwidth is peaking or coverage collapsed; otherwise OR-grow up
+		// to the OrCount cap.
+		switch {
+		case ent.measureCov[h].Saturated() && (bw == bitpattern.Q3 || mCov.CoverageQ() < bitpattern.Q2):
+			ent.covP = setHalf(ent.covP, progH[h], h)
+			ent.orCount[h].Reset()
+			ent.measureCov[h].Reset()
+			d.stats.PatternResets++
+		case !ent.orCount[h].Saturated():
+			merged := covOldH[h].Or(progH[h])
+			if !merged.Equal(covOldH[h]) {
+				ent.orCount[h].Inc()
+			}
+			ent.covP = setHalf(ent.covP, merged, h)
+		}
+	}
+}
+
+// predict issues prefetches for a fresh trigger (steps 3–4 of Fig. 7).
+func (d *DSPatch) predict(page memaddr.Page, tr trigger, seg int, ctx prefetch.Context, dst []prefetch.Request) []prefetch.Request {
+	ent := &d.spt[tr.pcHash]
+	bw := bitpattern.Q0
+	if ctx != nil {
+		bw = ctx.BandwidthUtilization()
+	}
+	nHalves := 2
+	if seg == 1 {
+		nHalves = 1
+	}
+	covH := halves(ent.covP)
+	accH := halves(ent.accP)
+	halfW := d.patW / 2
+	for h := 0; h < nHalves; h++ {
+		pat, lowPri, ok := d.selectPattern(ent, h, bw, covH[h], accH[h])
+		if !ok || pat.Empty() {
+			continue
+		}
+		if d.cfg.Compress {
+			pat = pat.Expand()
+		}
+		// Translate anchored half-relative offsets back to page offsets:
+		// anchored index i in half h is page line (trigger + h*32 + i) mod 64.
+		base := tr.off + h*halfW*expandFactor(d.cfg.Compress)
+		for _, i := range pat.Offsets(offsetScratch[:0]) {
+			pageOff := (base + i) % memaddr.LinesPage
+			if pageOff == tr.off {
+				continue // the trigger line is the demand itself
+			}
+			dst = append(dst, prefetch.Request{Line: page.Line(pageOff), LowPriority: lowPri})
+		}
+	}
+	return dst
+}
+
+// offsetScratch avoids per-prediction allocations; DSPatch instances are not
+// safe for concurrent use (each simulated core owns one), matching the
+// single-owner design of the rest of the simulator.
+var offsetScratch [memaddr.LinesPage]int
+
+func expandFactor(compress bool) int {
+	if compress {
+		return 2
+	}
+	return 1
+}
+
+// selectPattern implements the Fig. 10 selection tree (and the Fig. 19
+// ablation modes) for one trigger half. It returns the chosen pattern, a
+// low-priority-fill hint, and whether to prefetch at all.
+func (d *DSPatch) selectPattern(ent *sptEntry, h int, bw bitpattern.Quartile, cov, acc bitpattern.Pattern) (bitpattern.Pattern, bool, bool) {
+	switch d.cfg.Mode {
+	case ModeAlwaysCovP:
+		d.stats.PredictionsCovP++
+		return cov, false, true
+	case ModeModCovP:
+		if bw == bitpattern.Q3 {
+			d.stats.PredictionsNone++
+			return bitpattern.Pattern{}, false, false
+		}
+		d.stats.PredictionsCovP++
+		return cov, false, true
+	}
+	switch {
+	case bw == bitpattern.Q3:
+		if ent.measureAcc[h].Saturated() {
+			d.stats.PredictionsNone++
+			return bitpattern.Pattern{}, false, false
+		}
+		d.stats.PredictionsAccP++
+		return acc, false, true
+	case bw == bitpattern.Q2:
+		if ent.measureCov[h].Saturated() {
+			d.stats.PredictionsAccP++
+			return acc, false, true
+		}
+		d.stats.PredictionsCovP++
+		return cov, false, true
+	default:
+		// Below 50% utilization: coverage pattern; fill at low priority if
+		// its goodness counter says it has been inaccurate.
+		d.stats.PredictionsCovP++
+		return cov, ent.measureCov[h].Saturated(), true
+	}
+}
+
+// noteCompressionError records, for one finished page generation, the
+// misprediction rate 128B compression alone would cause (Fig. 11b):
+// extra lines predicted by expand(compress(P)) that P never touched,
+// relative to the compressed prediction size.
+func (d *DSPatch) noteCompressionError(program bitpattern.Pattern) {
+	pred := program.Compress().Expand()
+	extra := pred.AndNot(program).PopCount()
+	total := pred.PopCount()
+	if total == 0 {
+		return
+	}
+	rate := 8 * extra / total // in eighths: 0..4 (max 50%)
+	var bucket int
+	switch {
+	case extra == 0:
+		bucket = 0
+	case 2*extra == total:
+		bucket = 5 // exactly 50%
+	case rate < 1:
+		bucket = 1 // (0, 12.5%]
+	case rate < 2:
+		bucket = 2 // (12.5, 25%]
+	case rate < 3:
+		bucket = 3 // (25, 37.5%]
+	default:
+		bucket = 4 // (37.5, 50%)
+	}
+	d.stats.CompressionHist[bucket]++
+}
+
+// Flush learns from every live PB entry, as if all pages aged out. Useful at
+// the end of a simulation so short traces still train the SPT.
+func (d *DSPatch) Flush(ctx prefetch.Context) {
+	for i := range d.pb {
+		if d.pb[i].valid {
+			d.learn(&d.pb[i], ctx)
+			d.pb[i].valid = false
+		}
+	}
+}
+
+// StorageBits implements prefetch.Prefetcher using the paper's Table 1
+// accounting: PB entry = page(36) + pattern(64) + 2×(PC 8 + offset 6);
+// SPT entry = CovP + AccP + 2×(OrCount + MeasureCovP + MeasureAccP).
+func (d *DSPatch) StorageBits() int {
+	pb := d.cfg.PBEntries * (36 + memaddr.LinesPage + 2*(8+6))
+	per := 2*d.patW + 2*(int(d.cfg.OrCountBits)+2*int(d.cfg.MeasureBits))
+	spt := d.cfg.SPTEntries * per
+	return pb + spt
+}
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

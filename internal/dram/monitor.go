@@ -1,0 +1,94 @@
+package dram
+
+import "dspatch/internal/bitpattern"
+
+// Monitor implements the paper's bandwidth-utilization tracker (§3.2): a
+// counter at the memory controller counts CAS commands; every window of
+// 4×tRC cycles the counter is halved (hysteresis); every tRC the counter is
+// compared against the 25/50/75% quartile thresholds of the peak CAS count
+// per window, producing a 2-bit signal that is broadcast to all cores.
+//
+// The steady state of "accumulate r CAS per window, then halve" converges to
+// a start-of-window value of r, so tRC samples taken during a window read
+// between 1.25r and 2r (average 13r/8). The quartile thresholds are therefore
+// taken against 13/8 × PeakCASPerWindow, which makes the quantized signal an
+// unbiased estimate of the true utilization fraction (see DESIGN.md §4.3).
+//
+// The monitor is advanced lazily: state is brought up to date whenever a CAS
+// is recorded or the signal is sampled, which is equivalent to per-cycle
+// updates because nothing changes between events.
+type Monitor struct {
+	counter    int
+	peak       int    // 13/8 × peak CAS per window
+	windowLen  uint64 // 4 × tRC
+	sampleLen  uint64 // tRC
+	nextHalve  uint64
+	lastSample uint64
+	signal     bitpattern.Quartile
+
+	// Sticky running statistics for reporting.
+	samples      uint64
+	quartileHist [4]uint64
+}
+
+// NewMonitor builds a bandwidth monitor for the given DRAM configuration.
+func NewMonitor(cfg Config) *Monitor {
+	trc := cfg.TRC()
+	return &Monitor{
+		peak:      cfg.PeakCASPerWindow() * 13 / 8,
+		windowLen: 4 * trc,
+		sampleLen: trc,
+		nextHalve: 4 * trc,
+	}
+}
+
+// RecordCAS notes one column access command issued at cycle now.
+func (m *Monitor) RecordCAS(now uint64) {
+	m.advance(now)
+	m.counter++
+}
+
+// Signal returns the current 2-bit utilization quartile as of cycle now.
+func (m *Monitor) Signal(now uint64) bitpattern.Quartile {
+	m.advance(now)
+	return m.signal
+}
+
+// Fraction returns counter/peak as an exact fraction for reporting.
+func (m *Monitor) Fraction(now uint64) float64 {
+	m.advance(now)
+	if m.peak == 0 {
+		return 0
+	}
+	f := float64(m.counter) / float64(m.peak)
+	if f > 1 {
+		f = 1
+	}
+	return f
+}
+
+// QuartileHistogram returns how many tRC samples fell into each quartile.
+func (m *Monitor) QuartileHistogram() [4]uint64 { return m.quartileHist }
+
+// advance replays window halvings and tRC samplings up to cycle now.
+func (m *Monitor) advance(now uint64) {
+	for m.nextHalve <= now {
+		// Sample the signal at every tRC boundary inside the elapsed window.
+		for m.lastSample+m.sampleLen <= m.nextHalve {
+			m.lastSample += m.sampleLen
+			m.sample()
+		}
+		m.counter >>= 1
+		m.nextHalve += m.windowLen
+	}
+	for m.lastSample+m.sampleLen <= now {
+		m.lastSample += m.sampleLen
+		m.sample()
+	}
+}
+
+func (m *Monitor) sample() {
+	m.signal = bitpattern.QuartileOf(m.counter, m.peak)
+	m.samples++
+	m.quartileHist[m.signal]++
+}

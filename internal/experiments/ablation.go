@@ -1,0 +1,24 @@
+package experiments
+
+import (
+	"dspatch/internal/sim"
+	"dspatch/internal/stats"
+)
+
+// AblationDelta measures one prefetcher configuration's geomean performance
+// delta over the baseline on the memory-intensive sample — the harness for
+// the DESIGN.md §6 design-choice ablations (compression on/off, dual vs
+// single trigger, SPT sizing).
+func AblationDelta(kind sim.PF, s Scale) float64 {
+	var ratios []float64
+	for _, w := range s.memIntensive() {
+		opt := s.stOptions()
+		base := opt
+		base.L2 = sim.PFNone
+		b := sim.RunSingle(w, base)
+		opt.L2 = kind
+		r := sim.RunSingle(w, opt)
+		ratios = append(ratios, sim.Speedup(b, r)[0])
+	}
+	return stats.GeomeanSpeedupPct(ratios)
+}

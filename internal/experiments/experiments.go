@@ -1,0 +1,211 @@
+// Package experiments regenerates every table and figure of the DSPatch
+// paper's evaluation (see DESIGN.md §5 for the experiment index). Each
+// Fig*/Table* function runs the needed simulations at the requested Scale
+// and returns typed rows; Format* helpers render them as text tables that
+// mirror the paper's layout.
+package experiments
+
+import (
+	"math"
+
+	"dspatch/internal/dram"
+	"dspatch/internal/sim"
+	"dspatch/internal/stats"
+	"dspatch/internal/trace"
+)
+
+// Scale bounds experiment cost. Quick keeps `go test -bench=.` laptop-sized;
+// Full reproduces the paper's whole roster (cmd/dspatchsim -full).
+type Scale struct {
+	Refs        int // memory references per workload run
+	PerCategory int // workloads sampled per category (0 = all)
+	MPMixes     int // multi-programmed mixes (Fig. 17/18)
+	Seed        int64
+}
+
+// Quick is the default bench scale.
+func Quick() Scale { return Scale{Refs: 40_000, PerCategory: 2, MPMixes: 4, Seed: 1} }
+
+// Full is the paper-scale configuration.
+func Full() Scale { return Scale{Refs: 200_000, PerCategory: 0, MPMixes: 42, Seed: 1} }
+
+// workloads returns the evaluation roster at this scale, category-balanced.
+func (s Scale) workloads() []trace.Workload {
+	if s.PerCategory <= 0 {
+		return trace.Workloads
+	}
+	var out []trace.Workload
+	for _, cat := range trace.Categories {
+		ws := trace.ByCategory(cat)
+		n := s.PerCategory
+		if n > len(ws) {
+			n = len(ws)
+		}
+		// Prefer memory-intensive members: they carry the paper's signal.
+		taken := 0
+		for _, w := range ws {
+			if taken == n {
+				break
+			}
+			if w.MemIntensive {
+				out = append(out, w)
+				taken++
+			}
+		}
+		for _, w := range ws {
+			if taken == n {
+				break
+			}
+			if !w.MemIntensive {
+				out = append(out, w)
+				taken++
+			}
+		}
+	}
+	return out
+}
+
+// memIntensive returns the high-MPKI subset at this scale.
+func (s Scale) memIntensive() []trace.Workload {
+	ws := trace.MemIntensive()
+	if s.PerCategory <= 0 {
+		return ws
+	}
+	// Balanced sample: s.PerCategory per category where available.
+	byCat := map[trace.Category]int{}
+	var out []trace.Workload
+	for _, w := range ws {
+		if byCat[w.Category] < s.PerCategory {
+			byCat[w.Category]++
+			out = append(out, w)
+		}
+	}
+	return out
+}
+
+// stOptions is the paper's single-thread machine at this scale.
+func (s Scale) stOptions() sim.Options {
+	o := sim.DefaultST()
+	o.Refs = s.Refs
+	o.Seed = s.Seed
+	return o
+}
+
+// runDelta simulates workload w under the baseline and with pf, returning
+// the performance delta percentage.
+func runDelta(w trace.Workload, opt sim.Options, pf sim.PF) float64 {
+	base := opt
+	base.L2 = sim.PFNone
+	b := sim.RunSingle(w, base)
+	with := opt
+	with.L2 = pf
+	r := sim.RunSingle(w, with)
+	return stats.SpeedupPct(sim.Speedup(b, r)[0])
+}
+
+// CategoryResult holds per-category performance deltas for a prefetcher set
+// (the layout of Figs. 4, 12, 14, 17).
+type CategoryResult struct {
+	Prefetchers []sim.PF
+	Categories  []trace.Category
+	// Delta[pf][cat] is the geomean performance delta (%) of that category.
+	Delta [][]float64
+	// Geomean[pf] aggregates across every workload run.
+	Geomean []float64
+}
+
+// categorySweep runs each workload once per prefetcher (plus one baseline)
+// and aggregates per category.
+func categorySweep(ws []trace.Workload, opt sim.Options, pfs []sim.PF) CategoryResult {
+	res := CategoryResult{Prefetchers: pfs, Categories: trace.Categories}
+	perCat := make([]map[trace.Category][]float64, len(pfs))
+	all := make([][]float64, len(pfs))
+	for i := range pfs {
+		perCat[i] = map[trace.Category][]float64{}
+	}
+	for _, w := range ws {
+		base := opt
+		base.L2 = sim.PFNone
+		b := sim.RunSingle(w, base)
+		for i, pf := range pfs {
+			with := opt
+			with.L2 = pf
+			r := sim.RunSingle(w, with)
+			ratio := sim.Speedup(b, r)[0]
+			perCat[i][w.Category] = append(perCat[i][w.Category], ratio)
+			all[i] = append(all[i], ratio)
+		}
+	}
+	for i := range pfs {
+		var row []float64
+		for _, cat := range res.Categories {
+			row = append(row, deltaOrNaN(perCat[i][cat]))
+		}
+		res.Delta = append(res.Delta, row)
+		res.Geomean = append(res.Geomean, stats.GeomeanSpeedupPct(all[i]))
+	}
+	return res
+}
+
+// deltaOrNaN aggregates speedup ratios, or returns NaN when the category
+// had no runs at this scale (rendered as "n/a").
+func deltaOrNaN(ratios []float64) float64 {
+	if len(ratios) == 0 {
+		return math.NaN()
+	}
+	return stats.GeomeanSpeedupPct(ratios)
+}
+
+// BWPoint is one memory configuration of the bandwidth-scaling figures.
+type BWPoint struct {
+	Name string
+	Cfg  dram.Config
+}
+
+// bwPoints returns the six configurations of Figs. 1, 6 and 15: one and two
+// channels of DDR4-1600/2133/2400.
+func bwPoints() []BWPoint {
+	var out []BWPoint
+	for _, ch := range []int{1, 2} {
+		for _, mt := range []int{1600, 2133, 2400} {
+			cfg := dram.DDR4(ch, mt)
+			out = append(out, BWPoint{Name: cfg.String(), Cfg: cfg})
+		}
+	}
+	return out
+}
+
+// ScalingResult holds performance deltas across DRAM bandwidth points
+// (Figs. 1, 6, 15).
+type ScalingResult struct {
+	Points      []BWPoint
+	Prefetchers []sim.PF
+	// Delta[pf][point] is the geomean performance delta (%).
+	Delta [][]float64
+}
+
+// bandwidthSweep runs the workload set across all six bandwidth points.
+func bandwidthSweep(ws []trace.Workload, s Scale, pfs []sim.PF) ScalingResult {
+	res := ScalingResult{Points: bwPoints(), Prefetchers: pfs}
+	res.Delta = make([][]float64, len(pfs))
+	for _, pt := range res.Points {
+		opt := s.stOptions()
+		opt.DRAM = pt.Cfg
+		ratios := make([][]float64, len(pfs))
+		for _, w := range ws {
+			base := opt
+			base.L2 = sim.PFNone
+			b := sim.RunSingle(w, base)
+			for i, pf := range pfs {
+				with := opt
+				with.L2 = pf
+				r := sim.RunSingle(w, with)
+				ratios[i] = append(ratios[i], sim.Speedup(b, r)[0])
+			}
+		}
+		for i := range pfs {
+			res.Delta[i] = append(res.Delta[i], stats.GeomeanSpeedupPct(ratios[i]))
+		}
+	}
+	return res
+}

@@ -1,0 +1,159 @@
+package experiments
+
+import (
+	"fmt"
+	"io"
+	"math"
+	"strings"
+	"text/tabwriter"
+)
+
+// FormatCategory renders a CategoryResult as a text table mirroring the
+// paper's bar-chart layout (rows = prefetchers, columns = categories).
+func FormatCategory(w io.Writer, title string, r CategoryResult) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "prefetcher")
+	for _, c := range r.Categories {
+		fmt.Fprintf(tw, "\t%s", c)
+	}
+	fmt.Fprint(tw, "\tGEOMEAN\n")
+	for i, pf := range r.Prefetchers {
+		fmt.Fprintf(tw, "%s", pf)
+		for _, d := range r.Delta[i] {
+			if math.IsNaN(d) {
+				fmt.Fprint(tw, "\tn/a")
+			} else {
+				fmt.Fprintf(tw, "\t%+.1f%%", d)
+			}
+		}
+		fmt.Fprintf(tw, "\t%+.1f%%\n", r.Geomean[i])
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// FormatScaling renders a ScalingResult (rows = prefetchers, columns = DRAM
+// bandwidth points in ascending peak order).
+func FormatScaling(w io.Writer, title string, r ScalingResult) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprint(tw, "prefetcher")
+	for _, p := range r.Points {
+		fmt.Fprintf(tw, "\t%s (%.1fGBps)", p.Name, p.Cfg.PeakBandwidthGBps())
+	}
+	fmt.Fprintln(tw)
+	for i, pf := range r.Prefetchers {
+		fmt.Fprintf(tw, "%s", pf)
+		for _, d := range r.Delta[i] {
+			fmt.Fprintf(tw, "\t%+.1f%%", d)
+		}
+		fmt.Fprintln(tw)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// FormatStorage renders a storage table in KB.
+func FormatStorage(w io.Writer, title string, rows []StorageRow) {
+	fmt.Fprintf(w, "%s\n%s\n", title, strings.Repeat("-", len(title)))
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%d bits\t%.2f KB\n", r.Structure, r.Detail, r.Bits, float64(r.Bits)/8192)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// FormatFig5 renders the SMS storage sweep.
+func FormatFig5(w io.Writer, rows []Fig5Row) {
+	fmt.Fprintln(w, "Fig 5: SMS performance vs pattern-history-table size")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "PHT entries\tstorage\tperf delta")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%d\t%.1f KB\t%+.1f%%\n", r.PHTEntries, r.StorageKB, r.DeltaPct)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// FormatFig11 renders both halves of Fig. 11.
+func FormatFig11(w io.Writer, a Fig11aResult, b [6]float64) {
+	fmt.Fprintln(w, "Fig 11a: delta occurrence distribution")
+	fmt.Fprintf(w, "  +1: %.0f%%  -1: %.0f%%  ±2,±3: %.0f%%  other: %.0f%%\n",
+		100*a.PlusOne, 100*a.MinusOne, 100*a.TwoThree, 100*a.Other)
+	labels := []string{"exactly 0%", "0-12.5%", "12.5-25%", "25-37.5%", "37.5-50%", "exactly 50%"}
+	fmt.Fprintln(w, "Fig 11b: misprediction rate due to 128B-granularity compression")
+	for i, l := range labels {
+		fmt.Fprintf(w, "  %-12s %.0f%%\n", l, 100*b[i])
+	}
+	fmt.Fprintln(w)
+}
+
+// FormatFig13 renders the memory-intensive line graph as a sorted table.
+func FormatFig13(w io.Writer, rows []Fig13Row) {
+	fmt.Fprintln(w, "Fig 13: 42 memory-intensive workloads (sorted by DSPatch+SPP)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "workload\tcategory\tSMS\tSPP\tDSPatch+SPP")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%+.1f%%\t%+.1f%%\t%+.1f%%\n", r.Workload, r.Category, r.SMS, r.SPP, r.DSPatchS)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// FormatFig16 renders the coverage/misprediction stacks.
+func FormatFig16(w io.Writer, rows []Fig16Row) {
+	fmt.Fprintln(w, "Fig 16: coverage and mispredictions (fractions of would-be L2 misses)")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "category\tprefetcher\tcovered\tuncovered\tmispredicted")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%s\t%s\t%.0f%%\t%.0f%%\t%.0f%%\n", r.Category, r.Prefetcher,
+			100*r.Covered, 100*r.Uncovered, 100*r.Mispred)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// FormatFig18 renders the MP bandwidth comparison.
+func FormatFig18(w io.Writer, rows []Fig18Row) {
+	fmt.Fprintln(w, "Fig 18: multi-programmed mixes vs DRAM bandwidth")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "config\tmix\tBOP\tSMS\tSPP\tDSPatch+SPP")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "DDR4-%d\t%s\t%+.1f%%\t%+.1f%%\t%+.1f%%\t%+.1f%%\n", r.MTps, r.Mix,
+			r.Delta["bop"], r.Delta["sms"], r.Delta["spp"], r.Delta["dspatch+spp"])
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// FormatFig19 renders the accuracy-pattern ablation.
+func FormatFig19(w io.Writer, r Fig19Result) {
+	fmt.Fprintln(w, "Fig 19: contribution of the accuracy-biased pattern (4-core, memory-intensive)")
+	fmt.Fprintf(w, "  DSPatch:    %+.1f%%\n  AlwaysCovP: %+.1f%%\n  ModCovP:    %+.1f%%\n\n",
+		r.DSPatch, r.AlwaysCovP, r.ModCovP)
+}
+
+// FormatFig20 renders the pollution taxonomy.
+func FormatFig20(w io.Writer, rows []Fig20Row) {
+	fmt.Fprintln(w, "Fig 20: LLC pollution taxonomy under an aggressive streamer")
+	tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+	fmt.Fprintln(tw, "LLC\tNoReuse\tPrefetchedBeforeUse\tBadPollution")
+	for _, r := range rows {
+		fmt.Fprintf(tw, "%dMB\t%.1f%%\t%.1f%%\t%.1f%%\n", r.LLCMB,
+			100*r.NoReuse, 100*r.PrefetchedBeforeUse, 100*r.BadPollution)
+	}
+	tw.Flush()
+	fmt.Fprintln(w)
+}
+
+// FormatHeadline renders the abstract's summary numbers.
+func FormatHeadline(w io.Writer, h HeadlineResult) {
+	fmt.Fprintln(w, "Headline numbers (paper values in parentheses)")
+	fmt.Fprintf(w, "  DSPatch+SPP over SPP:            %+.1f%% (≈+6%%)\n", h.DSPatchSPPOverSPPPct)
+	fmt.Fprintf(w, "  ... on memory-intensive set:     %+.1f%% (≈+9%%)\n", h.DSPatchSPPOverSPPHotPct)
+	fmt.Fprintf(w, "  standalone DSPatch vs SPP:       %+.1f%% (≈+1%%)\n", h.DSPatchVsSPPPct)
+	fmt.Fprintf(w, "  coverage gain over SPP:          %+.1f%% (≈+15%%)\n", h.CoverageGainPct)
+	fmt.Fprintf(w, "  misprediction increase over SPP: %+.1f%% (≈+6.5%%)\n", h.MispredGainPct)
+}

@@ -1,0 +1,558 @@
+// Package memsys composes the simulated memory system: per-core private L1
+// and L2 caches, a shared last-level cache, and DRAM. It owns all the timing
+// the cache tag stores do not: hit latencies, MSHR occupancy, in-flight miss
+// merging, prefetch issue (L1 stride prefetcher trained on L1 accesses; the
+// evaluated L2 prefetcher trained on L1 misses, filling L2 and LLC per the
+// paper's §4.1), write-back traffic, and the coverage/accuracy accounting
+// behind the paper's Fig. 16.
+package memsys
+
+import (
+	"dspatch/internal/bitpattern"
+	"dspatch/internal/cache"
+	"dspatch/internal/dram"
+	"dspatch/internal/memaddr"
+	"dspatch/internal/prefetch"
+)
+
+// Config sizes the hierarchy. Latencies are cumulative round trips from the
+// core (see DESIGN.md §4.4).
+type Config struct {
+	L1  cache.Config
+	L2  cache.Config
+	LLC cache.Config
+
+	L1HitLat  uint64
+	L2HitLat  uint64
+	LLCHitLat uint64
+
+	L1MSHRs int
+	L2MSHRs int
+
+	// MaxPrefetchesPerTrain caps how many candidates one training event may
+	// issue (queue backpressure).
+	MaxPrefetchesPerTrain int
+}
+
+// DefaultConfig returns the paper's Table 2 hierarchy for the given core
+// count and LLC capacity (2MB single-thread, 8MB shared for 4 cores).
+func DefaultConfig(llcBytes int) Config {
+	return Config{
+		L1:  cache.Config{Name: "L1D", SizeBytes: 32 << 10, Ways: 8},
+		L2:  cache.Config{Name: "L2", SizeBytes: 256 << 10, Ways: 8},
+		LLC: cache.Config{Name: "LLC", SizeBytes: llcBytes, Ways: 16, DeadBlockAware: true},
+
+		L1HitLat:  5,
+		L2HitLat:  13, // 5 + 8
+		LLCHitLat: 43, // 5 + 8 + 30
+
+		L1MSHRs: 16,
+		L2MSHRs: 32,
+
+		MaxPrefetchesPerTrain: 48,
+	}
+}
+
+// flight records an outstanding fetch from DRAM.
+type flight struct {
+	ready    uint64
+	prefetch bool
+}
+
+// CoverageStats is the per-core accounting behind Fig. 16.
+type CoverageStats struct {
+	L1Accesses uint64
+	L1Misses   uint64 // = L2 demand accesses
+
+	Covered   uint64 // demand first-uses of prefetched lines (L2 or LLC, incl. in-flight merges)
+	Uncovered uint64 // demand fetches that went to DRAM unaided
+
+	PrefetchDRAM   uint64 // L2-prefetcher fetches that consumed DRAM bandwidth
+	PrefetchDRAML1 uint64 // L1-prefetcher fetches that consumed DRAM bandwidth
+	PrefetchLLC    uint64 // prefetches satisfied from the LLC
+	PrefetchDrop   uint64 // dropped: duplicate, in-flight or MSHR-full
+
+	DemandDRAM uint64
+	Writebacks uint64
+}
+
+// Coverage returns covered / (covered + uncovered): the fraction of
+// would-be memory accesses the prefetcher saved.
+func (s CoverageStats) Coverage() float64 {
+	den := s.Covered + s.Uncovered
+	if den == 0 {
+		return 0
+	}
+	return float64(s.Covered) / float64(den)
+}
+
+// MispredictionRate returns unused DRAM prefetches normalized to the same
+// denominator as Coverage, matching the stacked bars of Fig. 16.
+func (s CoverageStats) MispredictionRate(unused uint64) float64 {
+	den := s.Covered + s.Uncovered
+	if den == 0 {
+		return 0
+	}
+	return float64(unused) / float64(den)
+}
+
+// Accuracy returns useful / issued prefetches.
+func (s CoverageStats) Accuracy(useful, unused uint64) float64 {
+	if useful+unused == 0 {
+		return 0
+	}
+	return float64(useful) / float64(useful+unused)
+}
+
+// System is one simulated machine: shared LLC + DRAM plus per-core ports.
+type System struct {
+	cfg   Config
+	dram  *dram.DRAM
+	llc   *cache.Cache
+	ports []*Port
+
+	pollution *PollutionTracker // nil unless enabled
+}
+
+// NewSystem builds a machine with the given number of cores. Prefetcher
+// factories may be nil for no prefetching at that level.
+func NewSystem(cfg Config, d *dram.DRAM, cores int, l1pf, l2pf func() prefetch.Prefetcher) *System {
+	s := &System{cfg: cfg, dram: d, llc: cache.New(cfg.LLC)}
+	for i := 0; i < cores; i++ {
+		p := &Port{
+			sys: s,
+			l1:  cache.New(cfg.L1),
+			l2:  cache.New(cfg.L2),
+
+			inflight: make(map[memaddr.Line]flight),
+			l1mshr:   make([]uint64, cfg.L1MSHRs),
+			l2mshr:   make([]uint64, cfg.L2MSHRs),
+		}
+		if l1pf != nil {
+			p.l1pf = l1pf()
+		}
+		if l2pf != nil {
+			p.l2pf = l2pf()
+		}
+		s.ports = append(s.ports, p)
+	}
+	return s
+}
+
+// EnablePollutionTracking attaches a Fig. 20 pollution tracker. instrs must
+// report the current retired-instruction count of the system.
+func (s *System) EnablePollutionTracking(instrs func() uint64) *PollutionTracker {
+	s.pollution = newPollutionTracker(instrs)
+	return s.pollution
+}
+
+// Port returns core i's access port.
+func (s *System) Port(i int) *Port { return s.ports[i] }
+
+// DRAM returns the shared memory.
+func (s *System) DRAM() *dram.DRAM { return s.dram }
+
+// LLC returns the shared last-level cache.
+func (s *System) LLC() *cache.Cache { return s.llc }
+
+// BandwidthUtilization implements prefetch.Context against the live DRAM
+// monitor; the current cycle is supplied by the port during training.
+func (s *System) utilizationAt(now uint64) bitpattern.Quartile {
+	return s.dram.Utilization(now)
+}
+
+// Port is one core's view of the memory system.
+type Port struct {
+	sys *System
+	l1  *cache.Cache
+	l2  *cache.Cache
+
+	l1pf prefetch.Prefetcher
+	l2pf prefetch.Prefetcher
+
+	inflight map[memaddr.Line]flight
+	l1mshr   []uint64 // completion times, round-robin = "oldest frees first"
+	l1mshrI  int
+	l2mshr   []uint64
+	l2mshrI  int
+
+	reqBuf []prefetch.Request
+	// pq is the core's prefetch queue: candidates wait here and drain a few
+	// per access event as MSHRs and controller slots free up, so a large
+	// trigger burst (DSPatch/SMS predict up to a page at once) spreads over
+	// time instead of being dropped wholesale.
+	pq     []queuedPrefetch
+	pqHead int
+	now    uint64 // cycle of the in-progress access, for the BW context
+
+	stats         CoverageStats
+	prefUseful    uint64
+	prefUsefulLLC uint64
+	prefUsefulL1  uint64 // first uses of L1-stride-prefetched lines
+
+	// lastWasPrefetchHit carries the prefetched-hit flag from fetchDemand to
+	// the L2 trainer invocation in Access (BOP trains on prefetched hits).
+	lastWasPrefetchHit bool
+}
+
+// queuedPrefetch is one pending entry of the port's prefetch queue.
+type queuedPrefetch struct {
+	req  prefetch.Request
+	toL1 bool
+}
+
+// prefetchQueueCap bounds the port's pending prefetch candidates; beyond it,
+// new candidates are dropped (oldest-first service).
+const prefetchQueueCap = 128
+
+// prefetchDrainPerEvent bounds how many queued prefetches one access event
+// may issue to the memory system.
+const prefetchDrainPerEvent = 8
+
+// portContext adapts the port to prefetch.Context at its current cycle.
+type portContext struct{ p *Port }
+
+func (c portContext) BandwidthUtilization() bitpattern.Quartile {
+	return c.p.sys.utilizationAt(c.p.now)
+}
+
+// Stats returns the port's coverage accounting.
+func (p *Port) Stats() CoverageStats { return p.stats }
+
+// L1 returns the port's L1 cache (for inspection).
+func (p *Port) L1() *cache.Cache { return p.l1 }
+
+// L2 returns the port's L2 cache (for inspection).
+func (p *Port) L2() *cache.Cache { return p.l2 }
+
+// L2Prefetcher returns the attached L2 prefetcher, if any.
+func (p *Port) L2Prefetcher() prefetch.Prefetcher { return p.l2pf }
+
+// UnusedPrefetches estimates L2-prefetcher DRAM fetches never used: issued
+// minus observed first uses (floored at zero). The baseline L1 stride
+// prefetcher's traffic is accounted separately and does not pollute the
+// L2 prefetcher's Fig. 16 misprediction rate.
+func (p *Port) UnusedPrefetches() uint64 {
+	used := p.prefUseful + p.prefUsefulLLC
+	if used >= p.stats.PrefetchDRAM {
+		return 0
+	}
+	return p.stats.PrefetchDRAM - used
+}
+
+// UsefulPrefetches returns observed first demand uses of prefetched lines.
+func (p *Port) UsefulPrefetches() uint64 { return p.prefUseful + p.prefUsefulLLC }
+
+// mergeWait returns the completion time of a demand that merges with an
+// in-flight fetch: the data's arrival, but never later than a promoted
+// demand-priority fetch issued now would take (the controller raises the
+// in-flight request's priority when a demand hits it).
+func (p *Port) mergeWait(start, ready uint64) uint64 {
+	promoted := start + p.sys.cfg.LLCHitLat + p.sys.dram.NominalLatency()
+	if ready > promoted {
+		return promoted
+	}
+	return ready
+}
+
+// mshrStart models MSHR occupancy: a ring of completion times where a new
+// miss reuses the slot of the oldest outstanding one, waiting for it if
+// still busy.
+func mshrStart(ring []uint64, idx *int, now, done uint64) (start uint64) {
+	start = now
+	if ring[*idx] > now {
+		start = ring[*idx]
+	}
+	ring[*idx] = done
+	*idx = (*idx + 1) % len(ring)
+	return start
+}
+
+// Access performs one demand load or store issued at cycle now and returns
+// its completion cycle.
+func (p *Port) Access(now uint64, pc memaddr.PC, line memaddr.Line, write bool) uint64 {
+	p.now = now
+	p.stats.L1Accesses++
+	p.drainPrefetchQueue(now)
+
+	r1 := p.l1.Access(line, write)
+
+	// The L1 prefetcher trains on every L1 demand access.
+	if p.l1pf != nil {
+		p.reqBuf = p.l1pf.Train(prefetch.Access{PC: pc, Line: line, Write: write, Hit: r1.Hit}, portContext{p}, p.reqBuf[:0])
+		p.issuePrefetches(now, p.reqBuf, true)
+	}
+	if r1.Hit {
+		done := now + p.sys.cfg.L1HitLat
+		// A hit on a line whose fetch is still in flight waits for the data
+		// (the tag is installed at issue; see issuePrefetches).
+		if f, ok := p.inflight[line]; ok && f.ready > done {
+			done = p.mergeWait(now, f.ready)
+		}
+		if r1.FirstUseOfPrefetch {
+			p.prefUsefulL1++
+		}
+		return done
+	}
+
+	// L1 miss: the L2 access path. This event also trains the L2 prefetcher.
+	p.stats.L1Misses++
+	done := p.fetchDemand(now, line, write)
+
+	if p.l2pf != nil {
+		// Hit state for the trainer: was it an L2 hit, and a prefetched one?
+		r2hit := done <= now+p.sys.cfg.L2HitLat+1
+		p.reqBuf = p.l2pf.Train(prefetch.Access{
+			PC: pc, Line: line, Write: write,
+			Hit:           r2hit,
+			HitPrefetched: p.lastWasPrefetchHit,
+		}, portContext{p}, p.reqBuf[:0])
+		p.issuePrefetches(now, p.reqBuf, false)
+	}
+
+	// Fill L1 with the returning line.
+	v1 := p.l1.Fill(line, cache.FillOpts{Dirty: write})
+	if v1.Valid && v1.Dirty {
+		p.l2.Fill(v1.Line, cache.FillOpts{Dirty: true})
+	}
+	return done
+}
+
+// fetchDemand resolves an L1 miss through L2, LLC and DRAM, updating
+// coverage stats. It returns the completion cycle.
+func (p *Port) fetchDemand(now uint64, line memaddr.Line, write bool) uint64 {
+	cfg := &p.sys.cfg
+	p.lastWasPrefetchHit = false
+
+	start := mshrStart(p.l1mshr, &p.l1mshrI, now, 0) // completion patched below
+
+	r2 := p.l2.Access(line, write)
+	if r2.Hit {
+		done := start + cfg.L2HitLat
+		// If the line is still in flight (tag filled at issue), the demand
+		// waits for the data. The entry stays until it expires so further
+		// demands in the window also wait.
+		if f, ok := p.inflight[line]; ok && f.ready > done {
+			done = p.mergeWait(start, f.ready)
+		}
+		if r2.FirstUseOfPrefetch {
+			p.stats.Covered++
+			p.prefUseful++
+			p.lastWasPrefetchHit = true
+		}
+		p.patchMSHR(done)
+		return done
+	}
+
+	rL := p.sys.llc.Access(line, write)
+	if rL.Hit {
+		done := start + cfg.LLCHitLat
+		if f, ok := p.inflight[line]; ok && f.ready > done {
+			done = p.mergeWait(start, f.ready)
+		}
+		if rL.FirstUseOfPrefetch {
+			p.stats.Covered++
+			p.prefUsefulLLC++
+			p.lastWasPrefetchHit = true
+		}
+		if p.sys.pollution != nil {
+			p.sys.pollution.onDemand(line, true)
+		}
+		p.fillL2(line, cache.FillOpts{Dirty: write})
+		p.patchMSHR(done)
+		return done
+	}
+
+	// Demand goes to memory.
+	if p.sys.pollution != nil {
+		p.sys.pollution.onDemand(line, false)
+	}
+	start2 := mshrStart(p.l2mshr, &p.l2mshrI, start, 0)
+	dramDone := p.sys.dram.Access(start2+cfg.LLCHitLat, line, false)
+	p.stats.Uncovered++
+	p.stats.DemandDRAM++
+	p.fillLLC(line, cache.FillOpts{Dirty: write}, 0)
+	p.fillL2(line, cache.FillOpts{Dirty: write})
+	p.inflight[line] = flight{ready: dramDone}
+	p.pruneInflight(now)
+	p.patchL2MSHR(dramDone)
+	p.patchMSHR(dramDone)
+	return dramDone
+}
+
+// patchMSHR/patchL2MSHR record the real completion time in the slot just
+// claimed (mshrStart wrote a placeholder).
+func (p *Port) patchMSHR(done uint64) {
+	i := p.l1mshrI - 1
+	if i < 0 {
+		i = len(p.l1mshr) - 1
+	}
+	p.l1mshr[i] = done
+}
+
+func (p *Port) patchL2MSHR(done uint64) {
+	i := p.l2mshrI - 1
+	if i < 0 {
+		i = len(p.l2mshr) - 1
+	}
+	p.l2mshr[i] = done
+}
+
+// issuePrefetches enqueues a batch of prefetch candidates and drains the
+// queue as far as resources allow. toL1 marks L1 prefetcher output, which
+// additionally fills the L1.
+func (p *Port) issuePrefetches(now uint64, reqs []prefetch.Request, toL1 bool) {
+	n := len(reqs)
+	if n > p.sys.cfg.MaxPrefetchesPerTrain {
+		n = p.sys.cfg.MaxPrefetchesPerTrain
+	}
+	for _, r := range reqs[:n] {
+		if len(p.pq)-p.pqHead >= prefetchQueueCap {
+			// Full: displace the oldest entry — fresh predictions are more
+			// valuable than stale ones still waiting for resources.
+			p.pqHead++
+			p.stats.PrefetchDrop++
+		}
+		p.pq = append(p.pq, queuedPrefetch{req: r, toL1: toL1})
+	}
+	p.drainPrefetchQueue(now)
+}
+
+// drainPrefetchQueue issues pending prefetches until it runs out of
+// candidates, MSHRs, controller queue space, or its per-event budget.
+func (p *Port) drainPrefetchQueue(now uint64) {
+	cfg := &p.sys.cfg
+	issued := 0
+	issueAt := now
+	for p.pqHead < len(p.pq) && issued < prefetchDrainPerEvent {
+		q := p.pq[p.pqHead]
+		line := q.req.Line
+		if q.toL1 && p.l1.Probe(line) {
+			p.pqHead++
+			continue
+		}
+		if p.l2.Probe(line) {
+			if q.toL1 {
+				p.l1.Fill(line, cache.FillOpts{Prefetch: true})
+			}
+			p.pqHead++
+			continue
+		}
+		if f, ok := p.inflight[line]; ok && f.ready > now {
+			p.pqHead++
+			continue
+		}
+		if p.sys.llc.Probe(line) {
+			// Promote from LLC into L2: no DRAM traffic.
+			p.stats.PrefetchLLC++
+			p.fillL2(line, cache.FillOpts{Prefetch: !q.toL1, LowPriority: q.req.LowPriority})
+			if q.toL1 {
+				p.l1.Fill(line, cache.FillOpts{Prefetch: true})
+			}
+			p.pqHead++
+			issued++
+			continue
+		}
+		// A prefetch needs an L2 MSHR for its whole flight and must leave
+		// headroom for demand misses; it stays queued while none is free.
+		slot := freeMSHRReserve(p.l2mshr, now, demandMSHRReserve)
+		if slot < 0 {
+			break
+		}
+		done, ok := p.sys.dram.TryPrefetch(issueAt+cfg.LLCHitLat, line)
+		if !ok {
+			// Memory-controller prefetch queue full: wait for it to drain.
+			break
+		}
+		issueAt += prefetchIssueInterval
+		p.l2mshr[slot] = done
+		if q.toL1 {
+			p.stats.PrefetchDRAML1++
+		} else {
+			p.stats.PrefetchDRAM++
+		}
+		// L1-prefetcher fills carry the prefetch bit only in the L1, so the
+		// L2 coverage metrics track the L2 prefetcher alone.
+		p.fillLLC(line, cache.FillOpts{Prefetch: !q.toL1, LowPriority: q.req.LowPriority}, line)
+		p.fillL2(line, cache.FillOpts{Prefetch: !q.toL1, LowPriority: q.req.LowPriority})
+		if q.toL1 {
+			p.l1.Fill(line, cache.FillOpts{Prefetch: true})
+		}
+		p.inflight[line] = flight{ready: done, prefetch: true}
+		p.pqHead++
+		issued++
+	}
+	// Compact the consumed prefix so the queue does not grow unboundedly.
+	if p.pqHead > 64 {
+		p.pq = append(p.pq[:0], p.pq[p.pqHead:]...)
+		p.pqHead = 0
+	}
+}
+
+// demandMSHRReserve is how many L2 MSHRs prefetches must leave free for
+// demand misses.
+const demandMSHRReserve = 4
+
+// prefetchIssueInterval is the L2 prefetch queue's drain spacing in cycles:
+// consecutive requests of one training burst reach the memory controller
+// this far apart.
+const prefetchIssueInterval = 4
+
+// freeMSHRReserve returns the index of a free slot at cycle now, provided at
+// least reserve+1 slots are free (the reserve stays available to demands);
+// -1 otherwise.
+func freeMSHRReserve(ring []uint64, now uint64, reserve int) int {
+	free, first := 0, -1
+	for i, t := range ring {
+		if t <= now {
+			free++
+			if first < 0 {
+				first = i
+			}
+			if free > reserve {
+				return first
+			}
+		}
+	}
+	return -1
+}
+
+// fillL2 installs a line in the private L2, cascading dirty victims to the
+// LLC.
+func (p *Port) fillL2(line memaddr.Line, opts cache.FillOpts) {
+	v := p.l2.Fill(line, opts)
+	if v.Valid && v.Dirty {
+		p.fillLLC(v.Line, cache.FillOpts{Dirty: true}, 0)
+	}
+}
+
+// fillLLC installs a line in the shared LLC, writing dirty victims back to
+// memory. evicter is the prefetched line causing the fill (zero for demand
+// fills) — the pollution tracker uses it.
+func (p *Port) fillLLC(line memaddr.Line, opts cache.FillOpts, evicter memaddr.Line) {
+	v := p.sys.llc.Fill(line, opts)
+	if p.sys.pollution != nil {
+		if opts.Prefetch {
+			p.sys.pollution.onPrefetchFill(line)
+		}
+		if v.Valid && opts.Prefetch {
+			p.sys.pollution.onPrefetchEvict(v.Line, evicter)
+		}
+	}
+	if v.Valid && v.Dirty {
+		p.sys.dram.AccessPriority(p.now+p.sys.cfg.LLCHitLat, v.Line, true, false)
+		p.stats.Writebacks++
+	}
+}
+
+// pruneInflight bounds the in-flight map by discarding completed entries.
+func (p *Port) pruneInflight(now uint64) {
+	if len(p.inflight) < 4096 {
+		return
+	}
+	for l, f := range p.inflight {
+		if f.ready <= now {
+			delete(p.inflight, l)
+		}
+	}
+}

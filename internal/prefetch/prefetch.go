@@ -1,0 +1,112 @@
+// Package prefetch defines the prefetcher interface shared by every
+// prefetching algorithm in this repository and provides the two simple
+// prefetchers the paper uses as fixtures: the baseline L1 PC-stride
+// prefetcher (Fu et al., MICRO 1992 [38]) and an aggressive next-line
+// streamer (Chen & Baer [29]) used in the appendix pollution study.
+//
+// The substantial algorithms live in their own packages: internal/spp,
+// internal/bop, internal/sms, internal/ampm and internal/core (DSPatch).
+package prefetch
+
+import (
+	"dspatch/internal/bitpattern"
+	"dspatch/internal/memaddr"
+)
+
+// Access is one training event delivered to a prefetcher. L2 prefetchers in
+// the paper train on L1 misses (demand and prefetch misses alike); the L1
+// stride prefetcher trains on all L1 demand accesses.
+type Access struct {
+	PC    memaddr.PC
+	Line  memaddr.Line
+	Write bool
+	// Hit reports whether the access hit in the cache level the prefetcher
+	// is attached to. Some algorithms train only on misses or on prefetched
+	// hits.
+	Hit bool
+	// HitPrefetched reports the access was the first demand use of a
+	// prefetched line (relevant to BOP's best-offset learning).
+	HitPrefetched bool
+}
+
+// Request is one prefetch candidate emitted by a prefetcher.
+type Request struct {
+	Line memaddr.Line
+	// LowPriority asks the hierarchy to fill at LRU position (DSPatch emits
+	// this when its coverage pattern is untrusted and bandwidth is free).
+	LowPriority bool
+}
+
+// Context exposes the system signals a prefetcher may consult at training
+// time. The 2-bit DRAM bandwidth-utilization quartile is the signal DSPatch,
+// eSPP and eBOP adapt to.
+type Context interface {
+	BandwidthUtilization() bitpattern.Quartile
+}
+
+// Prefetcher is a trainable prefetch engine. Train observes one access and
+// appends any prefetch candidates to dst, returning the extended slice
+// (append-style to keep the hot path allocation-free).
+type Prefetcher interface {
+	Name() string
+	Train(a Access, ctx Context, dst []Request) []Request
+	// StorageBits returns the hardware budget of the configuration, used to
+	// regenerate the paper's storage tables.
+	StorageBits() int
+}
+
+// StaticContext is a Context with a fixed utilization value, useful in tests
+// and in unit experiments that sweep the bandwidth signal.
+type StaticContext struct{ Util bitpattern.Quartile }
+
+// BandwidthUtilization implements Context.
+func (s StaticContext) BandwidthUtilization() bitpattern.Quartile { return s.Util }
+
+// Nop is a prefetcher that never prefetches (the no-prefetch baseline).
+type Nop struct{}
+
+// Name implements Prefetcher.
+func (Nop) Name() string { return "none" }
+
+// Train implements Prefetcher.
+func (Nop) Train(_ Access, _ Context, dst []Request) []Request { return dst }
+
+// StorageBits implements Prefetcher.
+func (Nop) StorageBits() int { return 0 }
+
+// Composite chains prefetchers so each trains on the same access stream and
+// their candidates are concatenated (duplicates removed by the hierarchy's
+// in-flight filter). This is how the paper runs DSPatch as a lightweight
+// adjunct to SPP, and BOP+SPP / SMS+SPP in Fig. 14.
+type Composite struct {
+	name  string
+	parts []Prefetcher
+}
+
+// NewComposite combines parts under the given display name.
+func NewComposite(name string, parts ...Prefetcher) *Composite {
+	return &Composite{name: name, parts: parts}
+}
+
+// Name implements Prefetcher.
+func (c *Composite) Name() string { return c.name }
+
+// Train implements Prefetcher.
+func (c *Composite) Train(a Access, ctx Context, dst []Request) []Request {
+	for _, p := range c.parts {
+		dst = p.Train(a, ctx, dst)
+	}
+	return dst
+}
+
+// StorageBits implements Prefetcher.
+func (c *Composite) StorageBits() int {
+	total := 0
+	for _, p := range c.parts {
+		total += p.StorageBits()
+	}
+	return total
+}
+
+// Parts returns the chained prefetchers.
+func (c *Composite) Parts() []Prefetcher { return c.parts }

@@ -1,0 +1,170 @@
+package prefetch
+
+import (
+	"testing"
+
+	"dspatch/internal/bitpattern"
+	"dspatch/internal/memaddr"
+)
+
+func access(pc, line uint64) Access {
+	return Access{PC: memaddr.PC(pc), Line: memaddr.Line(line)}
+}
+
+func TestNop(t *testing.T) {
+	var n Nop
+	if got := n.Train(access(1, 2), nil, nil); len(got) != 0 {
+		t.Errorf("Nop emitted %v", got)
+	}
+	if n.StorageBits() != 0 || n.Name() != "none" {
+		t.Error("Nop identity wrong")
+	}
+}
+
+func TestStaticContext(t *testing.T) {
+	c := StaticContext{Util: bitpattern.Q3}
+	if c.BandwidthUtilization() != bitpattern.Q3 {
+		t.Error("StaticContext did not return configured quartile")
+	}
+}
+
+func TestStrideLearnsConstantStride(t *testing.T) {
+	s := NewStride(DefaultStrideConfig())
+	var got []Request
+	// Stride of +2 lines from one PC; needs a few accesses to gain confidence.
+	for i := 0; i < 8; i++ {
+		got = s.Train(access(0x400, uint64(i*2)), nil, nil)
+	}
+	if len(got) == 0 {
+		t.Fatal("no prefetches after confident stride")
+	}
+	want := memaddr.Line(7*2 + 2)
+	if got[0].Line != want {
+		t.Errorf("first prefetch = %d, want %d", got[0].Line, want)
+	}
+}
+
+func TestStrideNegative(t *testing.T) {
+	s := NewStride(DefaultStrideConfig())
+	var got []Request
+	for i := 20; i >= 10; i-- {
+		got = s.Train(access(0x400, uint64(i)), nil, nil)
+	}
+	if len(got) == 0 {
+		t.Fatal("no prefetches for negative stride")
+	}
+	if got[0].Line != 9 {
+		t.Errorf("prefetch = %d, want 9", got[0].Line)
+	}
+}
+
+func TestStrideDoesNotCrossPage(t *testing.T) {
+	s := NewStride(DefaultStrideConfig())
+	var got []Request
+	// Approach the end of page 0 with stride +1.
+	for i := 55; i < 64; i++ {
+		got = s.Train(access(0x400, uint64(i)), nil, nil)
+	}
+	for _, r := range got {
+		if r.Line.Page() != 0 {
+			t.Errorf("prefetch %d crossed the page", r.Line)
+		}
+	}
+}
+
+func TestStrideDistinguishesPCs(t *testing.T) {
+	s := NewStride(DefaultStrideConfig())
+	// Interleave two PCs with different strides; both should learn.
+	var a, b []Request
+	for i := 0; i < 10; i++ {
+		a = s.Train(access(0x100, uint64(i)), nil, nil)
+		b = s.Train(access(0x200, uint64(1000+i*3)), nil, nil)
+	}
+	if len(a) == 0 || len(b) == 0 {
+		t.Fatalf("both PCs should prefetch: %d, %d", len(a), len(b))
+	}
+	if a[0].Line != 10 {
+		t.Errorf("PC1 prefetch = %d, want 10", a[0].Line)
+	}
+	if b[0].Line != 1000+9*3+3 {
+		t.Errorf("PC2 prefetch = %d, want %d", b[0].Line, 1000+9*3+3)
+	}
+}
+
+func TestStrideZeroDeltaIgnored(t *testing.T) {
+	s := NewStride(DefaultStrideConfig())
+	for i := 0; i < 6; i++ {
+		s.Train(access(0x1, 10), nil, nil) // repeated same line
+	}
+	got := s.Train(access(0x1, 10), nil, nil)
+	if len(got) != 0 {
+		t.Errorf("repeated same-line accesses should not prefetch, got %v", got)
+	}
+}
+
+func TestStreamFollowsDirection(t *testing.T) {
+	s := NewStream(DefaultStreamConfig())
+	var got []Request
+	for i := 0; i < 4; i++ {
+		got = s.Train(Access{Line: memaddr.Line(i), Hit: false}, nil, nil)
+	}
+	if len(got) != 4 {
+		t.Fatalf("degree-4 streamer emitted %d", len(got))
+	}
+	for i, r := range got {
+		if want := memaddr.Line(3 + 1 + i); r.Line != want {
+			t.Errorf("prefetch[%d] = %d, want %d", i, r.Line, want)
+		}
+	}
+}
+
+func TestStreamIgnoresHits(t *testing.T) {
+	s := NewStream(DefaultStreamConfig())
+	s.Train(Access{Line: 0}, nil, nil)
+	got := s.Train(Access{Line: 1, Hit: true}, nil, nil)
+	if len(got) != 0 {
+		t.Error("streamer should only train on misses")
+	}
+}
+
+func TestStreamClipsAtPageEnd(t *testing.T) {
+	s := NewStream(DefaultStreamConfig())
+	s.Train(Access{Line: 61}, nil, nil)
+	got := s.Train(Access{Line: 62}, nil, nil)
+	for _, r := range got {
+		if r.Line.Page() != 0 {
+			t.Errorf("prefetch %d escaped the page", r.Line)
+		}
+	}
+	if len(got) != 1 { // only line 63 fits
+		t.Errorf("got %d prefetches, want 1", len(got))
+	}
+}
+
+func TestCompositeConcatenatesAndSums(t *testing.T) {
+	s1 := NewStream(StreamConfig{Streams: 4, Degree: 1})
+	s2 := NewStream(StreamConfig{Streams: 4, Degree: 2})
+	c := NewComposite("both", s1, s2)
+	c.Train(Access{Line: 0}, nil, nil)
+	got := c.Train(Access{Line: 1}, nil, nil)
+	if len(got) != 3 { // 1 from s1, 2 from s2
+		t.Errorf("composite emitted %d, want 3", len(got))
+	}
+	if c.StorageBits() != s1.StorageBits()+s2.StorageBits() {
+		t.Error("composite storage should sum parts")
+	}
+	if c.Name() != "both" || len(c.Parts()) != 2 {
+		t.Error("composite identity wrong")
+	}
+}
+
+func TestStrideStorage(t *testing.T) {
+	s := NewStride(DefaultStrideConfig())
+	if s.StorageBits() <= 0 {
+		t.Error("storage must be positive")
+	}
+	// 64 entries at ~61 bits each ≈ 0.5KB: sanity range.
+	if kb := float64(s.StorageBits()) / 8192; kb > 1 {
+		t.Errorf("stride storage %.2fKB implausibly large", kb)
+	}
+}

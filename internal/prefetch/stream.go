@@ -1,0 +1,90 @@
+package prefetch
+
+import "dspatch/internal/memaddr"
+
+// StreamConfig parameterizes the next-line streamer.
+type StreamConfig struct {
+	Streams int // tracked streams (pages)
+	Degree  int // lines prefetched per miss
+}
+
+// DefaultStreamConfig is the aggressive-but-inaccurate configuration the
+// paper's appendix uses for the cache-pollution study.
+func DefaultStreamConfig() StreamConfig { return StreamConfig{Streams: 16, Degree: 4} }
+
+type streamEntry struct {
+	page     memaddr.Page
+	lastOff  int
+	dir      int // +1, -1, or 0 (unknown)
+	valid    bool
+	lastUsed uint64
+}
+
+// Stream is a simple per-page streaming prefetcher (Chen & Baer style [29]):
+// it detects the access direction within a page and prefetches Degree
+// consecutive lines ahead on every miss. It is deliberately aggressive and
+// fairly inaccurate — the fixture for the pollution taxonomy of Fig. 20.
+type Stream struct {
+	cfg   StreamConfig
+	table []streamEntry
+	clock uint64
+}
+
+// NewStream builds a streamer.
+func NewStream(cfg StreamConfig) *Stream {
+	return &Stream{cfg: cfg, table: make([]streamEntry, cfg.Streams)}
+}
+
+// Name implements Prefetcher.
+func (s *Stream) Name() string { return "streamer" }
+
+// Train implements Prefetcher.
+func (s *Stream) Train(a Access, _ Context, dst []Request) []Request {
+	if a.Hit {
+		return dst
+	}
+	s.clock++
+	page := a.Line.Page()
+	off := a.Line.PageOffset()
+
+	var e *streamEntry
+	var victim *streamEntry
+	oldest := ^uint64(0)
+	for i := range s.table {
+		t := &s.table[i]
+		if t.valid && t.page == page {
+			e = t
+			break
+		}
+		if t.lastUsed < oldest {
+			oldest, victim = t.lastUsed, t
+		}
+	}
+	if e == nil {
+		*victim = streamEntry{page: page, lastOff: off, valid: true, lastUsed: s.clock}
+		return dst
+	}
+	e.lastUsed = s.clock
+	switch {
+	case off > e.lastOff:
+		e.dir = 1
+	case off < e.lastOff:
+		e.dir = -1
+	}
+	e.lastOff = off
+	if e.dir == 0 {
+		return dst
+	}
+	for i := 1; i <= s.cfg.Degree; i++ {
+		t := off + e.dir*i
+		if t < 0 || t >= memaddr.LinesPage {
+			break
+		}
+		dst = append(dst, Request{Line: page.Line(t)})
+	}
+	return dst
+}
+
+// StorageBits implements Prefetcher: page tag(36) + offset(6) + dir(2) per
+// stream.
+func (s *Stream) StorageBits() int { return s.cfg.Streams * (36 + 6 + 2) }

@@ -1,0 +1,99 @@
+package prefetch
+
+import "dspatch/internal/memaddr"
+
+// StrideConfig parameterizes the PC-based stride prefetcher.
+type StrideConfig struct {
+	Entries   int // tracked PCs (64 in the paper's baseline)
+	Degree    int // prefetches per trigger
+	Distance  int // how many strides ahead the first prefetch lands
+	ConfBits  uint
+	ConfThres int // confidence needed before prefetching
+}
+
+// DefaultStrideConfig matches the paper's baseline L1 prefetcher: a PC-based
+// stride prefetcher tracking 64 PCs.
+func DefaultStrideConfig() StrideConfig {
+	return StrideConfig{Entries: 64, Degree: 2, Distance: 1, ConfBits: 2, ConfThres: 2}
+}
+
+type strideEntry struct {
+	tag      uint64
+	lastLine memaddr.Line
+	stride   int64
+	conf     int
+	valid    bool
+}
+
+// Stride is the PC-based stride prefetcher [38] the baseline runs at the L1
+// cache. It learns a constant cache-line stride per PC and prefetches
+// Degree lines ahead once confidence is established. Prefetches never cross
+// a 4KB page boundary.
+type Stride struct {
+	cfg   StrideConfig
+	table []strideEntry
+}
+
+// NewStride builds a stride prefetcher.
+func NewStride(cfg StrideConfig) *Stride {
+	if cfg.Entries <= 0 || cfg.Entries&(cfg.Entries-1) != 0 {
+		panic("prefetch: stride entries must be a power of two")
+	}
+	return &Stride{cfg: cfg, table: make([]strideEntry, cfg.Entries)}
+}
+
+// Name implements Prefetcher.
+func (s *Stride) Name() string { return "l1stride" }
+
+// Train implements Prefetcher.
+func (s *Stride) Train(a Access, _ Context, dst []Request) []Request {
+	idx := memaddr.FoldXOR(uint64(a.PC), uint(log2(s.cfg.Entries)))
+	e := &s.table[idx]
+	if !e.valid || e.tag != uint64(a.PC) {
+		*e = strideEntry{tag: uint64(a.PC), lastLine: a.Line, valid: true}
+		return dst
+	}
+	delta := int64(a.Line) - int64(e.lastLine)
+	if delta == 0 {
+		return dst
+	}
+	if delta == e.stride {
+		if e.conf < (1<<s.cfg.ConfBits)-1 {
+			e.conf++
+		}
+	} else {
+		if e.conf > 0 {
+			e.conf--
+		} else {
+			e.stride = delta
+		}
+	}
+	e.lastLine = a.Line
+	if e.conf < s.cfg.ConfThres || e.stride == 0 {
+		return dst
+	}
+	page := a.Line.Page()
+	for i := 0; i < s.cfg.Degree; i++ {
+		target := memaddr.Line(int64(a.Line) + e.stride*int64(s.cfg.Distance+i))
+		if target.Page() != page {
+			break // stay within the physical page
+		}
+		dst = append(dst, Request{Line: target})
+	}
+	return dst
+}
+
+// StorageBits implements Prefetcher. Each entry: tag(16) + last line(36) +
+// stride(7) + confidence.
+func (s *Stride) StorageBits() int {
+	return s.cfg.Entries * (16 + 36 + 7 + int(s.cfg.ConfBits))
+}
+
+func log2(v int) int {
+	n := 0
+	for v > 1 {
+		v >>= 1
+		n++
+	}
+	return n
+}

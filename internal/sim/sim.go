@@ -1,0 +1,199 @@
+// Package sim drives end-to-end simulations: it wires workload generators
+// (internal/trace) through the core model (internal/cpu) into the memory
+// system (internal/memsys) and collects the metrics the paper reports —
+// IPC-based performance deltas, prefetch coverage and misprediction rates,
+// bandwidth utilization, and the appendix pollution taxonomy.
+package sim
+
+import (
+	"dspatch/internal/cpu"
+	"dspatch/internal/dram"
+	"dspatch/internal/memaddr"
+	"dspatch/internal/memsys"
+	"dspatch/internal/prefetch"
+	"dspatch/internal/trace"
+)
+
+// Options configures one simulation run.
+type Options struct {
+	DRAM     dram.Config
+	LLCBytes int
+	Refs     int   // memory references simulated per core
+	Seed     int64 // workload generator seed
+	L2       PF    // L2 prefetcher selection (PFNone for baseline)
+	// NoL1Stride removes the baseline L1 stride prefetcher (used only by
+	// diagnostic experiments; the paper's baseline always has it).
+	NoL1Stride bool
+	// SMSPHTEntries overrides the SMS pattern table size (Fig. 5 sweep).
+	SMSPHTEntries int
+	// TrackPollution enables the Fig. 20 victim taxonomy.
+	TrackPollution bool
+}
+
+// DefaultST returns the paper's single-thread configuration: one core, 2MB
+// LLC, one DDR4-2133 channel.
+func DefaultST() Options {
+	return Options{DRAM: dram.DDR4(1, 2133), LLCBytes: 2 << 20, Refs: 200_000, Seed: 1}
+}
+
+// DefaultMP returns the paper's multi-programmed configuration: four cores,
+// shared 8MB LLC, two DDR4-2133 channels.
+func DefaultMP() Options {
+	return Options{DRAM: dram.DDR4(2, 2133), LLCBytes: 8 << 20, Refs: 150_000, Seed: 1}
+}
+
+// Result is the outcome of one run.
+type Result struct {
+	IPC    []float64 // per core
+	Cycles uint64    // longest core
+
+	Coverage    float64 // covered / (covered + uncovered), all cores
+	MispredRate float64 // unused prefetches / same denominator
+	Accuracy    float64 // useful / issued
+
+	AvgBandwidthGBps float64
+	PeakBandwidth    float64
+
+	// Pollution fractions (NoReuse, PrefetchedBeforeUse, BadPollution);
+	// zero unless TrackPollution was set.
+	Pollution [3]float64
+
+	Ports []*memsys.Port // live ports for deeper inspection
+}
+
+// memAdapter binds a port and the current reference so the cpu callback does
+// not allocate per access.
+type memAdapter struct {
+	port  *memsys.Port
+	pc    memaddr.PC
+	line  memaddr.Line
+	write bool
+}
+
+func (m *memAdapter) access(issue uint64) uint64 {
+	return m.port.Access(issue, m.pc, m.line, m.write)
+}
+
+// Run simulates one workload per core (1 workload = single-thread, 4 =
+// multi-programmed). Each core receives a disjoint physical address space.
+func Run(ws []trace.Workload, opt Options) Result {
+	n := len(ws)
+	if n == 0 {
+		panic("sim: no workloads")
+	}
+	d := dram.New(opt.DRAM)
+	cfg := memsys.DefaultConfig(opt.LLCBytes)
+
+	var l1f func() prefetch.Prefetcher
+	if !opt.NoL1Stride {
+		l1f = func() prefetch.Prefetcher { return prefetch.NewStride(prefetch.DefaultStrideConfig()) }
+	}
+	l2f := factory(opt)
+	sys := memsys.NewSystem(cfg, d, n, l1f, l2f)
+
+	var instrCount uint64
+	var tracker *memsys.PollutionTracker
+	if opt.TrackPollution {
+		tracker = sys.EnablePollutionTracking(func() uint64 { return instrCount })
+	}
+
+	type lane struct {
+		core *cpu.Core
+		gen  trace.Generator
+		ad   *memAdapter
+		mem  cpu.LoadFunc
+		left int
+		base memaddr.Line
+	}
+	lanes := make([]*lane, n)
+	for i := 0; i < n; i++ {
+		ad := &memAdapter{port: sys.Port(i)}
+		lanes[i] = &lane{
+			core: cpu.New(cpu.DefaultConfig()),
+			gen:  ws[i].Build(opt.Seed + int64(i)*104729),
+			ad:   ad,
+			mem:  ad.access,
+			left: opt.Refs,
+			base: memaddr.Line(uint64(i) << 36), // disjoint address spaces
+		}
+	}
+
+	// Interleave cores by advancing whichever is earliest in simulated time,
+	// so they contend for the shared LLC and DRAM realistically.
+	var ref trace.Ref
+	for {
+		var l *lane
+		for _, cand := range lanes {
+			if cand.left == 0 {
+				continue
+			}
+			if l == nil || cand.core.Cycle() < l.core.Cycle() {
+				l = cand
+			}
+		}
+		if l == nil {
+			break
+		}
+		l.gen.Next(&ref)
+		l.core.Ops(ref.Gap)
+		l.ad.pc = ref.PC
+		l.ad.line = ref.Line + l.base
+		l.ad.write = ref.Write
+		switch {
+		case ref.Write:
+			l.core.Store(l.mem)
+		case ref.Dep:
+			l.core.LoadAfter(l.mem)
+		default:
+			l.core.Load(l.mem)
+		}
+		instrCount += uint64(ref.Gap) + 1
+		l.left--
+	}
+
+	res := Result{PeakBandwidth: opt.DRAM.PeakBandwidthGBps()}
+	var covered, uncovered, useful, unused uint64
+	for _, l := range lanes {
+		ipc := l.core.IPC()
+		res.IPC = append(res.IPC, ipc)
+		if c := l.core.Drain(); c > res.Cycles {
+			res.Cycles = c
+		}
+		p := l.ad.port
+		st := p.Stats()
+		covered += st.Covered
+		uncovered += st.Uncovered
+		useful += p.UsefulPrefetches()
+		unused += p.UnusedPrefetches()
+		res.Ports = append(res.Ports, p)
+	}
+	if den := covered + uncovered; den > 0 {
+		res.Coverage = float64(covered) / float64(den)
+		res.MispredRate = float64(unused) / float64(den)
+	}
+	if issued := useful + unused; issued > 0 {
+		res.Accuracy = float64(useful) / float64(issued)
+	}
+	res.AvgBandwidthGBps = d.AvgBandwidthGBps(res.Cycles)
+	if tracker != nil {
+		tracker.Finish()
+		res.Pollution[0], res.Pollution[1], res.Pollution[2] = tracker.Fractions()
+	}
+	return res
+}
+
+// RunSingle simulates one workload on the single-thread configuration.
+func RunSingle(w trace.Workload, opt Options) Result {
+	return Run([]trace.Workload{w}, opt)
+}
+
+// Speedup returns with.IPC[i]/base.IPC[i] ratios.
+func Speedup(base, with Result) []float64 {
+	out := make([]float64, len(base.IPC))
+	for i := range out {
+		if base.IPC[i] > 0 {
+			out[i] = with.IPC[i] / base.IPC[i]
+		}
+	}
+	return out
+}

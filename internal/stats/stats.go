@@ -1,0 +1,59 @@
+// Package stats provides the small statistical helpers the experiment
+// harness needs: geometric means (the paper's summary metric), arithmetic
+// means and histogram formatting.
+package stats
+
+import "math"
+
+// Geomean returns the geometric mean of xs. Non-positive entries are
+// clamped to a tiny epsilon so a single degenerate run cannot zero the
+// aggregate. An empty slice returns 0.
+func Geomean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		if x <= 0 {
+			x = 1e-9
+		}
+		sum += math.Log(x)
+	}
+	return math.Exp(sum / float64(len(xs)))
+}
+
+// Mean returns the arithmetic mean of xs (0 for empty input).
+func Mean(xs []float64) float64 {
+	if len(xs) == 0 {
+		return 0
+	}
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	return sum / float64(len(xs))
+}
+
+// SpeedupPct converts a speedup ratio into the paper's "performance delta
+// over baseline" percentage: 1.06 → 6.0.
+func SpeedupPct(ratio float64) float64 { return (ratio - 1) * 100 }
+
+// GeomeanSpeedupPct aggregates per-workload speedup ratios into a
+// performance-delta percentage, the way the paper's GEOMEAN bars do.
+func GeomeanSpeedupPct(ratios []float64) float64 { return SpeedupPct(Geomean(ratios)) }
+
+// Normalize scales xs so they sum to 1 (no-op on a zero vector).
+func Normalize(xs []float64) []float64 {
+	sum := 0.0
+	for _, x := range xs {
+		sum += x
+	}
+	out := make([]float64, len(xs))
+	if sum == 0 {
+		return out
+	}
+	for i, x := range xs {
+		out[i] = x / sum
+	}
+	return out
+}

@@ -1,0 +1,252 @@
+package trace
+
+import (
+	"testing"
+
+	"dspatch/internal/memaddr"
+)
+
+func drain(g Generator, n int) []Ref {
+	out := make([]Ref, n)
+	for i := range out {
+		g.Next(&out[i])
+	}
+	return out
+}
+
+func TestStreamSequential(t *testing.T) {
+	g := NewStream(StreamConfig{Streams: 1, StrideLns: 1, PagePool: 100, MeanGap: 5}, 1)
+	refs := drain(g, 100)
+	for i := 1; i < len(refs); i++ {
+		if refs[i].Line != refs[i-1].Line+1 {
+			t.Fatalf("single stream not sequential at %d: %d -> %d", i, refs[i-1].Line, refs[i].Line)
+		}
+	}
+}
+
+func TestStreamDeterministic(t *testing.T) {
+	a := drain(NewStream(StreamConfig{Streams: 4, StrideLns: 1, PagePool: 50, MeanGap: 8}, 42), 500)
+	b := drain(NewStream(StreamConfig{Streams: 4, StrideLns: 1, PagePool: 50, MeanGap: 8}, 42), 500)
+	for i := range a {
+		if a[i] != b[i] {
+			t.Fatalf("same seed diverged at ref %d", i)
+		}
+	}
+	c := drain(NewStream(StreamConfig{Streams: 4, StrideLns: 1, PagePool: 50, MeanGap: 8}, 43), 500)
+	same := true
+	for i := range a {
+		if a[i] != c[i] {
+			same = false
+			break
+		}
+	}
+	if same {
+		t.Error("different seeds produced identical traces")
+	}
+}
+
+func TestGapsAroundMean(t *testing.T) {
+	g := NewStream(StreamConfig{Streams: 2, StrideLns: 1, PagePool: 50, MeanGap: 10}, 7)
+	refs := drain(g, 5000)
+	sum := 0
+	for _, r := range refs {
+		if r.Gap < 5 || r.Gap > 15 {
+			t.Fatalf("gap %d outside [mean/2, 3mean/2]", r.Gap)
+		}
+		sum += r.Gap
+	}
+	mean := float64(sum) / float64(len(refs))
+	if mean < 8 || mean < 5 || mean > 12 {
+		t.Errorf("mean gap = %.1f, want ≈10", mean)
+	}
+}
+
+func TestDeltaSeriesPattern(t *testing.T) {
+	g := NewDeltaSeries(DeltaSeriesConfig{Deltas: []int{1, 2}, PagePool: 10, MeanGap: 5}, 3)
+	refs := drain(g, 200)
+	// Within a page run, consecutive deltas must alternate 1,2.
+	okRuns := 0
+	for i := 2; i < len(refs); i++ {
+		if refs[i].Line.Page() == refs[i-1].Line.Page() && refs[i-1].Line.Page() == refs[i-2].Line.Page() {
+			d1 := int(refs[i-1].Line) - int(refs[i-2].Line)
+			d2 := int(refs[i].Line) - int(refs[i-1].Line)
+			if (d1 == 1 && d2 == 2) || (d1 == 2 && d2 == 1) {
+				okRuns++
+			}
+		}
+	}
+	if okRuns < 50 {
+		t.Errorf("delta series not repeating: %d consistent windows", okRuns)
+	}
+}
+
+func TestSpatialFootprintRecurs(t *testing.T) {
+	g := NewSpatial(SpatialConfig{Patterns: 4, Density: 6, Reorder: 4, JitterPct: 0,
+		PagePool: 50, MeanGap: 5}, 11)
+	refs := drain(g, 6000)
+	// Group refs by page generation: same trigger PC should imply the same
+	// footprint (set of relative offsets from trigger).
+	visits := map[memaddr.PC]map[string]int{}
+	cur := map[int]bool{}
+	var curPC memaddr.PC
+	var curPage memaddr.Line = 1 << 60
+	flush := func() {
+		if len(cur) == 0 {
+			return
+		}
+		key := ""
+		for o := 0; o < 64; o++ {
+			if cur[o] {
+				key += "1"
+			} else {
+				key += "0"
+			}
+		}
+		if visits[curPC] == nil {
+			visits[curPC] = map[string]int{}
+		}
+		visits[curPC][key]++
+		cur = map[int]bool{}
+	}
+	for _, r := range refs {
+		pg := memaddr.Line(r.Line.Page())
+		if pg != curPage {
+			flush()
+			curPage = pg
+			curPC = r.PC
+		}
+		cur[r.Line.PageOffset()] = true
+	}
+	flush()
+	// With zero jitter, each trigger PC's dominant footprint should account
+	// for the large majority of its visits. (Back-to-back visits landing on
+	// the same page merge into one observation, so a few unions appear.)
+	for pc, foots := range visits {
+		best, total := 0, 0
+		for _, n := range foots {
+			total += n
+			if n > best {
+				best = n
+			}
+		}
+		if total >= 10 && float64(best) < 0.7*float64(total) {
+			t.Errorf("PC %#x: dominant footprint covers %d of %d visits", pc, best, total)
+		}
+	}
+	if len(visits) == 0 {
+		t.Fatal("no visits recorded")
+	}
+}
+
+func TestSpatialReordersWithinVisit(t *testing.T) {
+	inOrder := drain(NewSpatial(SpatialConfig{Patterns: 1, Density: 8, Reorder: 0,
+		PagePool: 10, MeanGap: 5}, 5), 64)
+	shuffled := drain(NewSpatial(SpatialConfig{Patterns: 1, Density: 8, Reorder: 6,
+		PagePool: 10, MeanGap: 5}, 5), 64)
+	diff := false
+	for i := range inOrder {
+		if inOrder[i].Line != shuffled[i].Line {
+			diff = true
+			break
+		}
+	}
+	if !diff {
+		t.Error("reorder window had no effect")
+	}
+}
+
+func TestChaseSparsePages(t *testing.T) {
+	g := NewChase(ChaseConfig{FootprintPages: 1000, PerPage: 2, MeanGap: 8}, 9)
+	refs := drain(g, 4000)
+	perPage := map[memaddr.Page]int{}
+	for _, r := range refs {
+		perPage[r.Line.Page()]++
+	}
+	// Sparse: average accesses per visited page must stay small.
+	if avg := float64(len(refs)) / float64(len(perPage)); avg > 8 {
+		t.Errorf("chase produced dense pages: %.1f accesses/page", avg)
+	}
+}
+
+func TestMixWeights(t *testing.T) {
+	a := NewStream(StreamConfig{Streams: 1, StrideLns: 1, PagePool: 10, MeanGap: 5}, 1)
+	b := NewChase(ChaseConfig{FootprintPages: 100000, PerPage: 1, MeanGap: 5}, 2)
+	m := NewMix(3, []Generator{a, b}, []int{9, 1})
+	refs := drain(m, 5000)
+	low := 0
+	for _, r := range refs {
+		if r.Line < 10*memaddr.LinesPage+5000 {
+			low++
+		}
+	}
+	// ~90% should come from the small-footprint stream.
+	if frac := float64(low) / float64(len(refs)); frac < 0.8 || frac > 0.99 {
+		t.Errorf("mix weight fraction = %.2f, want ≈0.9", frac)
+	}
+}
+
+func TestMixPanicsOnMismatch(t *testing.T) {
+	defer func() {
+		if recover() == nil {
+			t.Error("expected panic")
+		}
+	}()
+	NewMix(1, []Generator{}, []int{})
+}
+
+func TestRosterShape(t *testing.T) {
+	if len(Workloads) != 75 {
+		t.Errorf("roster has %d workloads, want 75", len(Workloads))
+	}
+	if got := len(MemIntensive()); got != 42 {
+		t.Errorf("memory-intensive set has %d workloads, want 42", got)
+	}
+	counts := map[Category]int{}
+	names := map[string]bool{}
+	for _, w := range Workloads {
+		counts[w.Category]++
+		if names[w.Name] {
+			t.Errorf("duplicate workload name %q", w.Name)
+		}
+		names[w.Name] = true
+		if w.Build == nil {
+			t.Errorf("workload %q has no builder", w.Name)
+		}
+	}
+	for _, c := range Categories {
+		if counts[c] == 0 {
+			t.Errorf("category %s empty", c)
+		}
+	}
+}
+
+func TestEveryWorkloadGenerates(t *testing.T) {
+	for _, w := range Workloads {
+		g := w.Build(1)
+		var r Ref
+		pages := map[memaddr.Page]bool{}
+		for i := 0; i < 2000; i++ {
+			g.Next(&r)
+			if r.Gap < 0 {
+				t.Fatalf("%s: negative gap", w.Name)
+			}
+			pages[r.Line.Page()] = true
+		}
+		if len(pages) < 2 {
+			t.Errorf("%s touches only %d pages", w.Name, len(pages))
+		}
+	}
+}
+
+func TestByNameAndCategory(t *testing.T) {
+	w, ok := ByName("mcf")
+	if !ok || w.Category != ISPEC06 {
+		t.Errorf("ByName(mcf) = %+v, %v", w, ok)
+	}
+	if _, ok := ByName("nope"); ok {
+		t.Error("ByName should miss unknown names")
+	}
+	if got := len(ByCategory(HPC)); got != 10 {
+		t.Errorf("HPC has %d workloads, want 10", got)
+	}
+}
