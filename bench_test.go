@@ -2,7 +2,8 @@
 // the paper's evaluation (run `go test -bench=. -benchmem`); each benchmark
 // prints the rows the paper reports, at the Quick scale so the suite stays
 // laptop-sized. Use `cmd/dspatchsim -experiment <id> -full` for the complete
-// 75-workload roster. EXPERIMENTS.md records paper-versus-measured values.
+// 75-workload roster. The README's experiment index maps ids to paper
+// artifacts.
 package dspatch
 
 import (
@@ -175,7 +176,28 @@ func BenchmarkHeadline(b *testing.B) {
 	}
 }
 
-// ---- Ablation benches for the design choices DESIGN.md §6 calls out. ----
+// ---- Experiment-engine benches: serial vs parallel Fig. 4 at Quick scale.
+// The memo is reset each iteration so both measure cold-cache work; the
+// parallel variant should win roughly linearly with core count. ----
+
+func BenchmarkFig4QuickSerial(b *testing.B) {
+	s := QuickScale().WithParallel(1)
+	for i := 0; i < b.N; i++ {
+		experiments.ResetMemo()
+		Fig4(s)
+	}
+}
+
+func BenchmarkFig4QuickParallel(b *testing.B) {
+	s := QuickScale() // Parallel 0 = GOMAXPROCS workers
+	for i := 0; i < b.N; i++ {
+		experiments.ResetMemo()
+		Fig4(s)
+	}
+}
+
+// ---- Ablation benches for the design choices the README's experiment
+// index calls out. ----
 
 // ablationDelta measures one DSPatch variant's geomean delta over baseline
 // on the memory-intensive sample.

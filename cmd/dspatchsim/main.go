@@ -4,13 +4,14 @@
 //
 //	dspatchsim -experiment fig12           # quick scale (default)
 //	dspatchsim -experiment fig15 -full     # full 75-workload roster
-//	dspatchsim -experiment all
+//	dspatchsim -experiment all -parallel 8 # pin the simulation worker count
 //	dspatchsim -list
 package main
 
 import (
 	"flag"
 	"fmt"
+	"io"
 	"os"
 	"strings"
 
@@ -24,20 +25,34 @@ var experimentOrder = []string{
 }
 
 func main() {
-	exp := flag.String("experiment", "", "experiment id (see -list) or 'all'")
-	full := flag.Bool("full", false, "run the full 75-workload roster (slow)")
-	refs := flag.Int("refs", 0, "override memory references per run")
-	list := flag.Bool("list", false, "list experiment ids")
-	flag.Parse()
+	os.Exit(appMain(os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// appMain is main with its dependencies injected, so tests can drive the CLI
+// end to end.
+func appMain(args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dspatchsim", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	exp := fs.String("experiment", "", "experiment id (see -list) or 'all'")
+	full := fs.Bool("full", false, "run the full 75-workload roster (slow)")
+	refs := fs.Int("refs", 0, "override memory references per run")
+	parallel := fs.Int("parallel", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
+	list := fs.Bool("list", false, "list experiment ids")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
 
 	if *list {
-		fmt.Println(strings.Join(experimentOrder, "\n"))
-		return
+		fmt.Fprintln(stdout, strings.Join(experimentOrder, "\n"))
+		return 0
 	}
 	if *exp == "" {
-		fmt.Fprintln(os.Stderr, "usage: dspatchsim -experiment <id|all> [-full] [-refs N]")
-		fmt.Fprintln(os.Stderr, "ids:", strings.Join(experimentOrder, " "))
-		os.Exit(2)
+		fmt.Fprintln(stderr, "usage: dspatchsim -experiment <id|all> [-full] [-refs N] [-parallel N]")
+		fmt.Fprintln(stderr, "ids:", strings.Join(experimentOrder, " "))
+		return 2
 	}
 
 	scale := experiments.Quick()
@@ -47,18 +62,23 @@ func main() {
 	if *refs > 0 {
 		scale.Refs = *refs
 	}
+	scale = scale.WithParallel(*parallel)
 
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experimentOrder
 	}
 	for _, id := range ids {
-		run(id, scale)
+		if !run(stdout, id, scale) {
+			fmt.Fprintf(stderr, "unknown experiment %q\n", id)
+			return 2
+		}
 	}
+	return 0
 }
 
-func run(id string, s experiments.Scale) {
-	w := os.Stdout
+// run renders one experiment to w, reporting whether id was recognized.
+func run(w io.Writer, id string, s experiments.Scale) bool {
 	switch id {
 	case "table1":
 		experiments.FormatStorage(w, "Table 1: DSPatch storage", experiments.Table1())
@@ -95,7 +115,7 @@ func run(id string, s experiments.Scale) {
 	case "headline":
 		experiments.FormatHeadline(w, experiments.Headline(s))
 	default:
-		fmt.Fprintf(os.Stderr, "unknown experiment %q\n", id)
-		os.Exit(2)
+		return false
 	}
+	return true
 }

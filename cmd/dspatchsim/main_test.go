@@ -1,0 +1,81 @@
+package main
+
+import (
+	"bytes"
+	"strings"
+	"testing"
+)
+
+func TestListPrintsEveryExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := appMain([]string{"-list"}, &out, &errb); code != 0 {
+		t.Fatalf("-list exit code = %d, stderr: %s", code, errb.String())
+	}
+	got := strings.Fields(out.String())
+	if len(got) != len(experimentOrder) {
+		t.Fatalf("-list printed %d ids, want %d:\n%s", len(got), len(experimentOrder), out.String())
+	}
+	for i, id := range experimentOrder {
+		if got[i] != id {
+			t.Errorf("-list line %d = %q, want %q", i, got[i], id)
+		}
+	}
+}
+
+func TestNoArgsIsUsageError(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := appMain(nil, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "usage:") {
+		t.Errorf("stderr missing usage: %s", errb.String())
+	}
+}
+
+func TestUnknownExperiment(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := appMain([]string{"-experiment", "fig99"}, &out, &errb); code != 2 {
+		t.Fatalf("exit code = %d, want 2", code)
+	}
+	if !strings.Contains(errb.String(), "fig99") {
+		t.Errorf("stderr should name the unknown id: %s", errb.String())
+	}
+}
+
+func TestExperimentRunAtTinyRefs(t *testing.T) {
+	var out, errb bytes.Buffer
+	code := appMain([]string{"-experiment", "fig4", "-refs", "2000", "-parallel", "4"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	for _, want := range []string{"Fig 4", "GEOMEAN", "bop", "sms", "spp"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("output missing %q:\n%s", want, out.String())
+		}
+	}
+}
+
+func TestParallelMatchesSerialOutput(t *testing.T) {
+	var serial, parallel, errb bytes.Buffer
+	args := []string{"-experiment", "fig4", "-refs", "2000"}
+	if code := appMain(append(args, "-parallel", "1"), &serial, &errb); code != 0 {
+		t.Fatalf("serial run failed: %s", errb.String())
+	}
+	if code := appMain(append(args, "-parallel", "4"), &parallel, &errb); code != 0 {
+		t.Fatalf("parallel run failed: %s", errb.String())
+	}
+	if serial.String() != parallel.String() {
+		t.Errorf("-parallel 4 output differs from serial:\n--- serial ---\n%s--- parallel ---\n%s",
+			serial.String(), parallel.String())
+	}
+}
+
+func TestTablesNeedNoSimulation(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := appMain([]string{"-experiment", "table1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "Total") {
+		t.Errorf("table1 output missing Total row:\n%s", out.String())
+	}
+}

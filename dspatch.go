@@ -14,8 +14,8 @@
 //	res := dspatch.Simulate(dspatch.WorkloadByName("mcf"), dspatch.SingleThread())
 //	fig := dspatch.Fig12(dspatch.QuickScale())               // paper experiments
 //
-// The implementation lives in internal packages; see DESIGN.md for the
-// system inventory and EXPERIMENTS.md for paper-versus-measured results.
+// The implementation lives in internal packages; see README.md for the
+// module layout and experiment index.
 package dspatch
 
 import (

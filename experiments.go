@@ -3,8 +3,14 @@ package dspatch
 import "dspatch/internal/experiments"
 
 // Experiment re-exports: one call per table/figure of the paper's
-// evaluation. See EXPERIMENTS.md for the paper-versus-measured record and
-// cmd/dspatchsim for a CLI over the same functions.
+// evaluation. See the README's experiment index for the paper-versus-
+// measured record and cmd/dspatchsim for a CLI over the same functions.
+//
+// Every Fig*/Table* call schedules its simulations on a shared concurrent
+// engine: jobs fan out across Scale.Parallel worker goroutines (0 =
+// GOMAXPROCS; use Scale.WithParallel to pin a width) and PFNone baselines
+// are memoized process-wide, so results are bit-identical at any worker
+// count and repeated figures never re-simulate a shared baseline.
 type (
 	// Scale bounds experiment cost (QuickScale vs FullScale).
 	Scale = experiments.Scale

@@ -1,0 +1,3 @@
+module dspatch
+
+go 1.21

@@ -142,6 +142,12 @@ type DSPatch struct {
 	stats Stats
 
 	patW int // stored pattern width: 32 compressed, 64 uncompressed
+
+	// offsetScratch avoids per-prediction allocations. It lives on the
+	// instance, not in a package var: instances stay single-owner (each
+	// simulated core owns one) but distinct instances run on concurrent
+	// experiment-engine workers.
+	offsetScratch [memaddr.LinesPage]int
 }
 
 // New builds a DSPatch instance.
@@ -369,7 +375,7 @@ func (d *DSPatch) predict(page memaddr.Page, tr trigger, seg int, ctx prefetch.C
 		// Translate anchored half-relative offsets back to page offsets:
 		// anchored index i in half h is page line (trigger + h*32 + i) mod 64.
 		base := tr.off + h*halfW*expandFactor(d.cfg.Compress)
-		for _, i := range pat.Offsets(offsetScratch[:0]) {
+		for _, i := range pat.Offsets(d.offsetScratch[:0]) {
 			pageOff := (base + i) % memaddr.LinesPage
 			if pageOff == tr.off {
 				continue // the trigger line is the demand itself
@@ -379,11 +385,6 @@ func (d *DSPatch) predict(page memaddr.Page, tr trigger, seg int, ctx prefetch.C
 	}
 	return dst
 }
-
-// offsetScratch avoids per-prediction allocations; DSPatch instances are not
-// safe for concurrent use (each simulated core owns one), matching the
-// single-owner design of the rest of the simulator.
-var offsetScratch [memaddr.LinesPage]int
 
 func expandFactor(compress bool) int {
 	if compress {

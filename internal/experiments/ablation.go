@@ -7,18 +7,24 @@ import (
 
 // AblationDelta measures one prefetcher configuration's geomean performance
 // delta over the baseline on the memory-intensive sample — the harness for
-// the DESIGN.md §6 design-choice ablations (compression on/off, dual vs
-// single trigger, SPT sizing).
+// the design-choice ablations (compression on/off, dual vs single trigger,
+// SPT sizing; see the README's experiment index). Baselines are memoized,
+// so sweeping many variants re-simulates only the variant runs.
 func AblationDelta(kind sim.PF, s Scale) float64 {
-	var ratios []float64
-	for _, w := range s.memIntensive() {
+	ws := s.memIntensive()
+	var jobs []Job
+	for _, w := range ws {
 		opt := s.stOptions()
 		base := opt
 		base.L2 = sim.PFNone
-		b := sim.RunSingle(w, base)
+		jobs = append(jobs, SingleJob(w, base))
 		opt.L2 = kind
-		r := sim.RunSingle(w, opt)
-		ratios = append(ratios, sim.Speedup(b, r)[0])
+		jobs = append(jobs, SingleJob(w, opt))
+	}
+	results := s.runAll(jobs)
+	var ratios []float64
+	for k := 0; k < len(results); k += 2 {
+		ratios = append(ratios, sim.Speedup(results[k], results[k+1])[0])
 	}
 	return stats.GeomeanSpeedupPct(ratios)
 }

@@ -1,8 +1,14 @@
 // Package experiments regenerates every table and figure of the DSPatch
-// paper's evaluation (see DESIGN.md §5 for the experiment index). Each
-// Fig*/Table* function runs the needed simulations at the requested Scale
-// and returns typed rows; Format* helpers render them as text tables that
-// mirror the paper's layout.
+// paper's evaluation (see the "Experiment index" section of the repository
+// README.md). Each Fig*/Table* function runs the needed simulations at the
+// requested Scale and returns typed rows; Format* helpers render them as
+// text tables that mirror the paper's layout.
+//
+// Simulations are scheduled on a shared concurrent engine (runner.go): jobs
+// fan out across Scale.Parallel worker goroutines with deterministic result
+// ordering, and every PFNone baseline is memoized per
+// (workloads, DRAM, LLC, Refs, Seed) so figures that share a machine
+// configuration simulate each baseline exactly once per process.
 package experiments
 
 import (
@@ -21,6 +27,7 @@ type Scale struct {
 	PerCategory int // workloads sampled per category (0 = all)
 	MPMixes     int // multi-programmed mixes (Fig. 17/18)
 	Seed        int64
+	Parallel    int // simulation worker goroutines (0 = GOMAXPROCS)
 }
 
 // Quick is the default bench scale.
@@ -28,6 +35,13 @@ func Quick() Scale { return Scale{Refs: 40_000, PerCategory: 2, MPMixes: 4, Seed
 
 // Full is the paper-scale configuration.
 func Full() Scale { return Scale{Refs: 200_000, PerCategory: 0, MPMixes: 42, Seed: 1} }
+
+// WithParallel returns a copy of s running n simulation workers (n <= 0
+// restores the GOMAXPROCS default). Results are bit-identical at any n.
+func (s Scale) WithParallel(n int) Scale {
+	s.Parallel = n
+	return s
+}
 
 // workloads returns the evaluation roster at this scale, category-balanced.
 func (s Scale) workloads() []trace.Workload {
@@ -91,18 +105,6 @@ func (s Scale) stOptions() sim.Options {
 	return o
 }
 
-// runDelta simulates workload w under the baseline and with pf, returning
-// the performance delta percentage.
-func runDelta(w trace.Workload, opt sim.Options, pf sim.PF) float64 {
-	base := opt
-	base.L2 = sim.PFNone
-	b := sim.RunSingle(w, base)
-	with := opt
-	with.L2 = pf
-	r := sim.RunSingle(w, with)
-	return stats.SpeedupPct(sim.Speedup(b, r)[0])
-}
-
 // CategoryResult holds per-category performance deltas for a prefetcher set
 // (the layout of Figs. 4, 12, 14, 17).
 type CategoryResult struct {
@@ -112,26 +114,41 @@ type CategoryResult struct {
 	Delta [][]float64
 	// Geomean[pf] aggregates across every workload run.
 	Geomean []float64
+	// Dropped counts degenerate runs (zero/non-finite speedup ratios)
+	// excluded from the aggregates.
+	Dropped int
 }
 
-// categorySweep runs each workload once per prefetcher (plus one baseline)
-// and aggregates per category.
-func categorySweep(ws []trace.Workload, opt sim.Options, pfs []sim.PF) CategoryResult {
+// categorySweep runs each workload once per prefetcher (plus one shared
+// baseline) and aggregates per category. All simulations fan out across the
+// engine at s.Parallel width.
+func categorySweep(ws []trace.Workload, s Scale, opt sim.Options, pfs []sim.PF) CategoryResult {
+	jobs := make([]Job, 0, len(ws)*(len(pfs)+1))
+	for _, w := range ws {
+		base := opt
+		base.L2 = sim.PFNone
+		jobs = append(jobs, SingleJob(w, base))
+		for _, pf := range pfs {
+			with := opt
+			with.L2 = pf
+			jobs = append(jobs, SingleJob(w, with))
+		}
+	}
+	results := s.runAll(jobs)
+
 	res := CategoryResult{Prefetchers: pfs, Categories: trace.Categories}
 	perCat := make([]map[trace.Category][]float64, len(pfs))
 	all := make([][]float64, len(pfs))
 	for i := range pfs {
 		perCat[i] = map[trace.Category][]float64{}
 	}
+	k := 0
 	for _, w := range ws {
-		base := opt
-		base.L2 = sim.PFNone
-		b := sim.RunSingle(w, base)
-		for i, pf := range pfs {
-			with := opt
-			with.L2 = pf
-			r := sim.RunSingle(w, with)
-			ratio := sim.Speedup(b, r)[0]
+		b := results[k]
+		k++
+		for i := range pfs {
+			ratio := sim.Speedup(b, results[k])[0]
+			k++
 			perCat[i][w.Category] = append(perCat[i][w.Category], ratio)
 			all[i] = append(all[i], ratio)
 		}
@@ -142,7 +159,9 @@ func categorySweep(ws []trace.Workload, opt sim.Options, pfs []sim.PF) CategoryR
 			row = append(row, deltaOrNaN(perCat[i][cat]))
 		}
 		res.Delta = append(res.Delta, row)
-		res.Geomean = append(res.Geomean, stats.GeomeanSpeedupPct(all[i]))
+		kept, dropped := stats.FiniteRatios(all[i])
+		res.Dropped += dropped
+		res.Geomean = append(res.Geomean, stats.GeomeanSpeedupPct(kept))
 	}
 	return res
 }
@@ -182,29 +201,48 @@ type ScalingResult struct {
 	Prefetchers []sim.PF
 	// Delta[pf][point] is the geomean performance delta (%).
 	Delta [][]float64
+	// Dropped counts degenerate runs excluded from the aggregates.
+	Dropped int
 }
 
-// bandwidthSweep runs the workload set across all six bandwidth points.
+// bandwidthSweep runs the workload set across all six bandwidth points; the
+// whole point × workload × prefetcher grid is one parallel batch.
 func bandwidthSweep(ws []trace.Workload, s Scale, pfs []sim.PF) ScalingResult {
 	res := ScalingResult{Points: bwPoints(), Prefetchers: pfs}
 	res.Delta = make([][]float64, len(pfs))
+
+	jobs := make([]Job, 0, len(res.Points)*len(ws)*(len(pfs)+1))
 	for _, pt := range res.Points {
 		opt := s.stOptions()
 		opt.DRAM = pt.Cfg
-		ratios := make([][]float64, len(pfs))
 		for _, w := range ws {
 			base := opt
 			base.L2 = sim.PFNone
-			b := sim.RunSingle(w, base)
-			for i, pf := range pfs {
+			jobs = append(jobs, SingleJob(w, base))
+			for _, pf := range pfs {
 				with := opt
 				with.L2 = pf
-				r := sim.RunSingle(w, with)
-				ratios[i] = append(ratios[i], sim.Speedup(b, r)[0])
+				jobs = append(jobs, SingleJob(w, with))
+			}
+		}
+	}
+	results := s.runAll(jobs)
+
+	k := 0
+	for range res.Points {
+		ratios := make([][]float64, len(pfs))
+		for range ws {
+			b := results[k]
+			k++
+			for i := range pfs {
+				ratios[i] = append(ratios[i], sim.Speedup(b, results[k])[0])
+				k++
 			}
 		}
 		for i := range pfs {
-			res.Delta[i] = append(res.Delta[i], stats.GeomeanSpeedupPct(ratios[i]))
+			kept, dropped := stats.FiniteRatios(ratios[i])
+			res.Dropped += dropped
+			res.Delta[i] = append(res.Delta[i], stats.GeomeanSpeedupPct(kept))
 		}
 	}
 	return res

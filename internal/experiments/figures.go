@@ -20,7 +20,7 @@ func Fig1(s Scale) ScalingResult {
 // Fig4 regenerates paper Fig. 4: per-category performance of BOP, SMS and
 // SPP on a single channel of DDR4-2133.
 func Fig4(s Scale) CategoryResult {
-	return categorySweep(s.workloads(), s.stOptions(), []sim.PF{sim.PFBOP, sim.PFSMS, sim.PFSPP})
+	return categorySweep(s.workloads(), s, s.stOptions(), []sim.PF{sim.PFBOP, sim.PFSMS, sim.PFSPP})
 }
 
 // Fig5Row is one point of the SMS storage sweep.
@@ -31,22 +31,34 @@ type Fig5Row struct {
 }
 
 // Fig5 regenerates paper Fig. 5: SMS performance as its pattern history
-// table shrinks from 16K entries (88KB) to 256 (3.5KB).
+// table shrinks from 16K entries (88KB) to 256 (3.5KB). The baseline does
+// not depend on the PHT size, so the memo runs it once per workload across
+// the whole sweep.
 func Fig5(s Scale) []Fig5Row {
-	var out []Fig5Row
 	ws := s.workloads()
-	for _, entries := range []int{16 << 10, 4 << 10, 1 << 10, 256} {
+	sweep := []int{16 << 10, 4 << 10, 1 << 10, 256}
+	var jobs []Job
+	for _, entries := range sweep {
 		opt := s.stOptions()
 		opt.SMSPHTEntries = entries
-		var ratios []float64
 		for _, w := range ws {
 			base := opt
 			base.L2 = sim.PFNone
-			b := sim.RunSingle(w, base)
+			jobs = append(jobs, SingleJob(w, base))
 			with := opt
 			with.L2 = sim.PFSMS
-			r := sim.RunSingle(w, with)
-			ratios = append(ratios, sim.Speedup(b, r)[0])
+			jobs = append(jobs, SingleJob(w, with))
+		}
+	}
+	results := s.runAll(jobs)
+
+	var out []Fig5Row
+	k := 0
+	for _, entries := range sweep {
+		var ratios []float64
+		for range ws {
+			ratios = append(ratios, sim.Speedup(results[k], results[k+1])[0])
+			k += 2
 		}
 		kb := float64(sms.New(sms.DefaultConfig().WithPHTEntries(entries)).StorageBits()) / 8192
 		out = append(out, Fig5Row{PHTEntries: entries, StorageKB: kb,
@@ -117,11 +129,15 @@ func Fig11a(s Scale) Fig11aResult {
 // misprediction rates induced by 128B-granularity compression. Buckets:
 // exactly 0%, (0,12.5%], (12.5,25%], (25,37.5%], (37.5,50%), exactly 50%.
 func Fig11b(s Scale) [6]float64 {
-	var hist [6]uint64
-	for _, w := range s.workloads() {
+	ws := s.workloads()
+	jobs := make([]Job, len(ws))
+	for i, w := range ws {
 		opt := s.stOptions()
 		opt.L2 = sim.PFDSPatch
-		r := sim.RunSingle(w, opt)
+		jobs[i] = SingleJob(w, opt)
+	}
+	var hist [6]uint64
+	for _, r := range s.runAll(jobs) {
 		d := sim.FindDSPatch(r.Ports[0].L2Prefetcher())
 		for i, v := range d.Stats().CompressionHist {
 			hist[i] += v
@@ -144,7 +160,7 @@ func Fig11b(s Scale) [6]float64 {
 // Fig12 regenerates paper Fig. 12: single-thread per-category performance of
 // BOP, SMS, SPP, DSPatch and DSPatch+SPP.
 func Fig12(s Scale) CategoryResult {
-	return categorySweep(s.workloads(), s.stOptions(),
+	return categorySweep(s.workloads(), s, s.stOptions(),
 		[]sim.PF{sim.PFBOP, sim.PFSMS, sim.PFSPP, sim.PFDSPatch, sim.PFDSPatchSPP})
 }
 
@@ -160,15 +176,37 @@ type Fig13Row struct {
 // Fig13 regenerates paper Fig. 13: per-workload deltas of SMS, SPP and
 // DSPatch+SPP over the 42 memory-intensive workloads, sorted by DSPatch+SPP.
 func Fig13(s Scale) []Fig13Row {
-	var out []Fig13Row
-	for _, w := range s.memIntensive() {
+	ws := s.memIntensive()
+	pfs := []sim.PF{sim.PFSMS, sim.PFSPP, sim.PFDSPatchSPP}
+	var jobs []Job
+	for _, w := range ws {
 		opt := s.stOptions()
+		base := opt
+		base.L2 = sim.PFNone
+		jobs = append(jobs, SingleJob(w, base))
+		for _, pf := range pfs {
+			with := opt
+			with.L2 = pf
+			jobs = append(jobs, SingleJob(w, with))
+		}
+	}
+	results := s.runAll(jobs)
+
+	var out []Fig13Row
+	k := 0
+	for _, w := range ws {
+		b := results[k]
+		deltas := make([]float64, len(pfs))
+		for i := range pfs {
+			deltas[i] = stats.SpeedupPct(sim.Speedup(b, results[k+1+i])[0])
+		}
+		k += 1 + len(pfs)
 		out = append(out, Fig13Row{
 			Workload: w.Name,
 			Category: w.Category,
-			SMS:      runDelta(w, opt, sim.PFSMS),
-			SPP:      runDelta(w, opt, sim.PFSPP),
-			DSPatchS: runDelta(w, opt, sim.PFDSPatchSPP),
+			SMS:      deltas[0],
+			SPP:      deltas[1],
+			DSPatchS: deltas[2],
 		})
 	}
 	sort.Slice(out, func(i, j int) bool { return out[i].DSPatchS < out[j].DSPatchS })
@@ -178,7 +216,7 @@ func Fig13(s Scale) []Fig13Row {
 // Fig14 regenerates paper Fig. 14: adjunct prefetchers to SPP — BOP+SPP,
 // iso-storage SMS+SPP and DSPatch+SPP against standalone SPP.
 func Fig14(s Scale) CategoryResult {
-	return categorySweep(s.workloads(), s.stOptions(),
+	return categorySweep(s.workloads(), s, s.stOptions(),
 		[]sim.PF{sim.PFSPP, sim.PFBOPSPP, sim.PFSMS256SPP, sim.PFDSPatchSPP})
 }
 
@@ -203,23 +241,38 @@ type Fig16Row struct {
 // rows (category "AVG").
 func Fig16(s Scale) []Fig16Row {
 	pfs := []sim.PF{sim.PFBOP, sim.PFSMS, sim.PFSPP, sim.PFDSPatchSPP}
-	var out []Fig16Row
-	type agg struct{ cov, mis, n float64 }
-	total := map[sim.PF]*agg{}
-	for _, pf := range pfs {
-		total[pf] = &agg{}
-	}
+	ws := s.workloads()
+	var jobs []Job
 	for _, cat := range trace.Categories {
-		ws := s.workloads()
 		for _, pf := range pfs {
-			var covs, miss []float64
 			for _, w := range ws {
 				if w.Category != cat {
 					continue
 				}
 				opt := s.stOptions()
 				opt.L2 = pf
-				r := sim.RunSingle(w, opt)
+				jobs = append(jobs, SingleJob(w, opt))
+			}
+		}
+	}
+	results := s.runAll(jobs)
+
+	var out []Fig16Row
+	type agg struct{ cov, mis, n float64 }
+	total := map[sim.PF]*agg{}
+	for _, pf := range pfs {
+		total[pf] = &agg{}
+	}
+	k := 0
+	for _, cat := range trace.Categories {
+		for _, pf := range pfs {
+			var covs, miss []float64
+			for _, w := range ws {
+				if w.Category != cat {
+					continue
+				}
+				r := results[k]
+				k++
 				covs = append(covs, r.Coverage)
 				miss = append(miss, r.MispredRate)
 			}
@@ -254,6 +307,7 @@ func Fig17(s Scale) CategoryResult {
 	// The memory-intensive sample is already category-balanced; run one
 	// homogeneous 4-copy mix per member.
 	mixes := s.memIntensive()
+	var jobs []Job
 	for _, w := range mixes {
 		four := []trace.Workload{w, w, w, w}
 		opt := sim.DefaultMP()
@@ -261,12 +315,22 @@ func Fig17(s Scale) CategoryResult {
 		opt.Seed = s.Seed
 		base := opt
 		base.L2 = sim.PFNone
-		b := sim.Run(four, base)
-		for i, pf := range pfs {
+		jobs = append(jobs, Job{Workloads: four, Opt: base})
+		for _, pf := range pfs {
 			with := opt
 			with.L2 = pf
-			r := sim.Run(four, with)
-			ratio := stats.Geomean(sim.Speedup(b, r))
+			jobs = append(jobs, Job{Workloads: four, Opt: with})
+		}
+	}
+	results := s.runAll(jobs)
+
+	k := 0
+	for _, w := range mixes {
+		b := results[k]
+		k++
+		for i := range pfs {
+			ratio := stats.Geomean(sim.Speedup(b, results[k]))
+			k++
 			perCat[i][w.Category] = append(perCat[i][w.Category], ratio)
 			all[i] = append(all[i], ratio)
 		}
@@ -277,7 +341,9 @@ func Fig17(s Scale) CategoryResult {
 			row = append(row, deltaOrNaN(perCat[i][cat]))
 		}
 		res.Delta = append(res.Delta, row)
-		res.Geomean = append(res.Geomean, stats.GeomeanSpeedupPct(all[i]))
+		kept, dropped := stats.FiniteRatios(all[i])
+		res.Dropped += dropped
+		res.Geomean = append(res.Geomean, stats.GeomeanSpeedupPct(kept))
 	}
 	return res
 }
@@ -319,8 +385,7 @@ func Fig18(s Scale) []Fig18Row {
 			name  string
 			mixes [][]trace.Workload
 		}{{"Homogeneous", homo}, {"Heterogeneous", hetero}} {
-			row := Fig18Row{Mix: kind.name, MTps: mt, Delta: map[sim.PF]float64{}}
-			ratios := map[sim.PF][]float64{}
+			var jobs []Job
 			for _, mix := range kind.mixes {
 				opt := sim.DefaultMP()
 				opt.DRAM = dram.DDR4(2, mt)
@@ -328,12 +393,24 @@ func Fig18(s Scale) []Fig18Row {
 				opt.Seed = s.Seed
 				base := opt
 				base.L2 = sim.PFNone
-				b := sim.Run(mix, base)
+				jobs = append(jobs, Job{Workloads: mix, Opt: base})
 				for _, pf := range pfs {
 					with := opt
 					with.L2 = pf
-					r := sim.Run(mix, with)
-					ratios[pf] = append(ratios[pf], stats.Geomean(sim.Speedup(b, r)))
+					jobs = append(jobs, Job{Workloads: mix, Opt: with})
+				}
+			}
+			results := s.runAll(jobs)
+
+			row := Fig18Row{Mix: kind.name, MTps: mt, Delta: map[sim.PF]float64{}}
+			ratios := map[sim.PF][]float64{}
+			k := 0
+			for range kind.mixes {
+				b := results[k]
+				k++
+				for _, pf := range pfs {
+					ratios[pf] = append(ratios[pf], stats.Geomean(sim.Speedup(b, results[k])))
+					k++
 				}
 			}
 			for _, pf := range pfs {
@@ -357,29 +434,40 @@ type Fig19Result struct {
 // machine where the selection logic matters.
 func Fig19(s Scale) Fig19Result {
 	ws := s.memIntensive()
-	run := func(pf sim.PF) float64 {
-		var ratios []float64
-		for _, w := range ws {
-			// Four copies on the MP machine: bandwidth contention is what
-			// differentiates the variants.
-			four := []trace.Workload{w, w, w, w}
-			opt := sim.DefaultMP()
-			opt.Refs = s.Refs / 2
-			opt.Seed = s.Seed
-			base := opt
-			base.L2 = sim.PFNone
-			b := sim.Run(four, base)
+	pfs := []sim.PF{sim.PFDSPatch, sim.PFDSPatchAlwaysCov, sim.PFDSPatchModCov}
+	var jobs []Job
+	for _, w := range ws {
+		// Four copies on the MP machine: bandwidth contention is what
+		// differentiates the variants.
+		four := []trace.Workload{w, w, w, w}
+		opt := sim.DefaultMP()
+		opt.Refs = s.Refs / 2
+		opt.Seed = s.Seed
+		base := opt
+		base.L2 = sim.PFNone
+		jobs = append(jobs, Job{Workloads: four, Opt: base})
+		for _, pf := range pfs {
 			with := opt
 			with.L2 = pf
-			r := sim.Run(four, with)
-			ratios = append(ratios, stats.Geomean(sim.Speedup(b, r)))
+			jobs = append(jobs, Job{Workloads: four, Opt: with})
 		}
-		return stats.GeomeanSpeedupPct(ratios)
+	}
+	results := s.runAll(jobs)
+
+	ratios := make([][]float64, len(pfs))
+	k := 0
+	for range ws {
+		b := results[k]
+		k++
+		for i := range pfs {
+			ratios[i] = append(ratios[i], stats.Geomean(sim.Speedup(b, results[k])))
+			k++
+		}
 	}
 	return Fig19Result{
-		DSPatch:    run(sim.PFDSPatch),
-		AlwaysCovP: run(sim.PFDSPatchAlwaysCov),
-		ModCovP:    run(sim.PFDSPatchModCov),
+		DSPatch:    stats.GeomeanSpeedupPct(ratios[0]),
+		AlwaysCovP: stats.GeomeanSpeedupPct(ratios[1]),
+		ModCovP:    stats.GeomeanSpeedupPct(ratios[2]),
 	}
 }
 
@@ -395,16 +483,27 @@ type Fig20Row struct {
 // streamer's inaccurate prefetches, classified as NoReuse /
 // PrefetchedBeforeUse / BadPollution at 2, 4 and 8MB LLCs.
 func Fig20(s Scale) []Fig20Row {
-	var out []Fig20Row
 	ws := s.workloads()
-	for _, mb := range []int{8, 4, 2} {
-		var n, p, b []float64
+	sizes := []int{8, 4, 2}
+	var jobs []Job
+	for _, mb := range sizes {
 		for _, w := range ws {
 			opt := s.stOptions()
 			opt.LLCBytes = mb << 20
 			opt.L2 = sim.PFStreamer
 			opt.TrackPollution = true
-			r := sim.RunSingle(w, opt)
+			jobs = append(jobs, SingleJob(w, opt))
+		}
+	}
+	results := s.runAll(jobs)
+
+	var out []Fig20Row
+	k := 0
+	for _, mb := range sizes {
+		var n, p, b []float64
+		for range ws {
+			r := results[k]
+			k++
 			if r.Pollution[0]+r.Pollution[1]+r.Pollution[2] == 0 {
 				continue // no prefetch-caused LLC victims in this workload
 			}
@@ -429,6 +528,7 @@ type HeadlineResult struct {
 	DSPatchVsSPPPct         float64 // paper: ≈1%
 	CoverageGainPct         float64 // paper: ≈15% coverage over SPP
 	MispredGainPct          float64 // paper: ≈6.5% more mispredictions
+	Dropped                 int     // workloads excluded for degenerate ratios
 }
 
 // Headline regenerates the abstract's numbers.
@@ -436,24 +536,39 @@ func Headline(s Scale) HeadlineResult {
 	var res HeadlineResult
 	var allSPP, allBoth, hotSPP, hotBoth, allDSP []float64
 	var covSPP, covBoth, misSPP, misBoth []float64
-	for _, w := range s.workloads() {
+	ws := s.workloads()
+	var jobs []Job
+	for _, w := range ws {
 		opt := s.stOptions()
 		base := opt
 		base.L2 = sim.PFNone
-		b := sim.RunSingle(w, base)
+		jobs = append(jobs, SingleJob(w, base))
+		for _, pf := range []sim.PF{sim.PFSPP, sim.PFDSPatchSPP, sim.PFDSPatch} {
+			with := opt
+			with.L2 = pf
+			jobs = append(jobs, SingleJob(w, with))
+		}
+	}
+	results := s.runAll(jobs)
 
-		opt.L2 = sim.PFSPP
-		rs := sim.RunSingle(w, opt)
-		opt.L2 = sim.PFDSPatchSPP
-		rb := sim.RunSingle(w, opt)
-		opt.L2 = sim.PFDSPatch
-		rd := sim.RunSingle(w, opt)
+	k := 0
+	for _, w := range ws {
+		b, rs, rb, rd := results[k], results[k+1], results[k+2], results[k+3]
+		k += 4
 
 		sppRatio := sim.Speedup(b, rs)[0]
 		bothRatio := sim.Speedup(b, rb)[0]
+		dspRatio := sim.Speedup(b, rd)[0]
+		// The headline numbers are ratios of geomeans, so the numerator and
+		// denominator sets must stay paired: a workload with any degenerate
+		// ratio is dropped from all of them, not clamped.
+		if kept, _ := stats.FiniteRatios([]float64{sppRatio, bothRatio, dspRatio}); len(kept) < 3 {
+			res.Dropped++
+			continue
+		}
 		allSPP = append(allSPP, sppRatio)
 		allBoth = append(allBoth, bothRatio)
-		allDSP = append(allDSP, sim.Speedup(b, rd)[0])
+		allDSP = append(allDSP, dspRatio)
 		if w.MemIntensive {
 			hotSPP = append(hotSPP, sppRatio)
 			hotBoth = append(hotBoth, bothRatio)

@@ -21,16 +21,24 @@ func FormatCategory(w io.Writer, title string, r CategoryResult) {
 	for i, pf := range r.Prefetchers {
 		fmt.Fprintf(tw, "%s", pf)
 		for _, d := range r.Delta[i] {
-			if math.IsNaN(d) {
-				fmt.Fprint(tw, "\tn/a")
-			} else {
-				fmt.Fprintf(tw, "\t%+.1f%%", d)
-			}
+			fmt.Fprintf(tw, "\t%s", pct(d))
 		}
-		fmt.Fprintf(tw, "\t%+.1f%%\n", r.Geomean[i])
+		fmt.Fprintf(tw, "\t%s\n", pct(r.Geomean[i]))
 	}
 	tw.Flush()
+	if r.Dropped > 0 {
+		fmt.Fprintf(w, "(%d degenerate runs dropped from aggregates)\n", r.Dropped)
+	}
 	fmt.Fprintln(w)
+}
+
+// pct renders a performance-delta percentage, with NaN (no valid runs at
+// this scale) shown as n/a.
+func pct(d float64) string {
+	if math.IsNaN(d) {
+		return "n/a"
+	}
+	return fmt.Sprintf("%+.1f%%", d)
 }
 
 // FormatScaling renders a ScalingResult (rows = prefetchers, columns = DRAM
@@ -46,11 +54,14 @@ func FormatScaling(w io.Writer, title string, r ScalingResult) {
 	for i, pf := range r.Prefetchers {
 		fmt.Fprintf(tw, "%s", pf)
 		for _, d := range r.Delta[i] {
-			fmt.Fprintf(tw, "\t%+.1f%%", d)
+			fmt.Fprintf(tw, "\t%s", pct(d))
 		}
 		fmt.Fprintln(tw)
 	}
 	tw.Flush()
+	if r.Dropped > 0 {
+		fmt.Fprintf(w, "(%d degenerate runs dropped from aggregates)\n", r.Dropped)
+	}
 	fmt.Fprintln(w)
 }
 
@@ -156,4 +167,7 @@ func FormatHeadline(w io.Writer, h HeadlineResult) {
 	fmt.Fprintf(w, "  standalone DSPatch vs SPP:       %+.1f%% (≈+1%%)\n", h.DSPatchVsSPPPct)
 	fmt.Fprintf(w, "  coverage gain over SPP:          %+.1f%% (≈+15%%)\n", h.CoverageGainPct)
 	fmt.Fprintf(w, "  misprediction increase over SPP: %+.1f%% (≈+6.5%%)\n", h.MispredGainPct)
+	if h.Dropped > 0 {
+		fmt.Fprintf(w, "  (%d workloads dropped for degenerate ratios)\n", h.Dropped)
+	}
 }

@@ -1,0 +1,169 @@
+package experiments
+
+import (
+	"runtime"
+	"strings"
+	"sync"
+	"sync/atomic"
+
+	"dspatch/internal/dram"
+	"dspatch/internal/sim"
+	"dspatch/internal/trace"
+)
+
+// Job is one simulation the engine schedules: a workload mix (one entry =
+// single-thread, four = the paper's multi-programmed machine) run under Opt.
+type Job struct {
+	Workloads []trace.Workload
+	Opt       sim.Options
+}
+
+// SingleJob is shorthand for a one-core job.
+func SingleJob(w trace.Workload, opt sim.Options) Job {
+	return Job{Workloads: []trace.Workload{w}, Opt: opt}
+}
+
+// baselineKey identifies a memoizable PFNone run. It carries everything that
+// affects a baseline simulation's outcome and nothing that doesn't:
+// SMSPHTEntries only parameterizes the SMS prefetcher, so Fig. 5's four-point
+// sweep shares a single baseline per workload.
+type baselineKey struct {
+	names      string
+	dram       dram.Config
+	llcBytes   int
+	refs       int
+	seed       int64
+	noL1Stride bool
+}
+
+// memoizable reports whether j is a shareable baseline run and, if so, its
+// cache key. Pollution-tracking runs are excluded: their results carry
+// tracker state that is not a function of the key alone.
+func memoizable(j Job) (baselineKey, bool) {
+	if (j.Opt.L2 != sim.PFNone && j.Opt.L2 != "") || j.Opt.TrackPollution {
+		return baselineKey{}, false
+	}
+	names := make([]string, len(j.Workloads))
+	for i, w := range j.Workloads {
+		names[i] = w.Name
+	}
+	return baselineKey{
+		names:      strings.Join(names, "\x00"),
+		dram:       j.Opt.DRAM,
+		llcBytes:   j.Opt.LLCBytes,
+		refs:       j.Opt.Refs,
+		seed:       j.Opt.Seed,
+		noL1Stride: j.Opt.NoL1Stride,
+	}, true
+}
+
+// memoEntry computes its result once under its own guard, so two distinct
+// baselines never serialize on each other and a duplicate submitted
+// concurrently waits for the first instead of re-simulating.
+type memoEntry struct {
+	once sync.Once
+	res  sim.Result
+}
+
+// Runner fans simulation jobs across a goroutine pool and memoizes baseline
+// (PFNone) runs, so each distinct baseline configuration simulates exactly
+// once per process no matter how many figures request it.
+type Runner struct {
+	workers int
+
+	mu   sync.Mutex
+	memo map[baselineKey]*memoEntry
+}
+
+// NewRunner returns a Runner whose default pool width is workers
+// (<= 0 means runtime.GOMAXPROCS(0)).
+func NewRunner(workers int) *Runner {
+	if workers <= 0 {
+		workers = runtime.GOMAXPROCS(0)
+	}
+	return &Runner{workers: workers, memo: map[baselineKey]*memoEntry{}}
+}
+
+// engine is the process-wide runner every Fig*/Table* function shares, so a
+// baseline simulated for one figure is reused by the next.
+var engine = NewRunner(0)
+
+// ResetMemo drops every memoized baseline from the shared engine. Benchmarks
+// use it to measure cold-cache behaviour; normal callers never need it.
+func ResetMemo() {
+	engine.mu.Lock()
+	engine.memo = map[baselineKey]*memoEntry{}
+	engine.mu.Unlock()
+}
+
+// MemoLen reports how many baselines the shared engine currently caches.
+func MemoLen() int {
+	engine.mu.Lock()
+	defer engine.mu.Unlock()
+	return len(engine.memo)
+}
+
+// run executes one job, consulting the baseline memo first. Memoized results
+// drop their Ports: live memory-system state is bulky and baselines only ever
+// feed sim.Speedup, which reads IPC.
+func (r *Runner) run(j Job) sim.Result {
+	key, ok := memoizable(j)
+	if !ok {
+		return sim.Run(j.Workloads, j.Opt)
+	}
+	r.mu.Lock()
+	e := r.memo[key]
+	if e == nil {
+		e = &memoEntry{}
+		r.memo[key] = e
+	}
+	r.mu.Unlock()
+	e.once.Do(func() {
+		res := sim.Run(j.Workloads, j.Opt)
+		res.Ports = nil
+		e.res = res
+	})
+	return e.res
+}
+
+// RunAll executes jobs across a pool of the given width (<= 0 means the
+// Runner's default) and returns results in submission order: results[i] is
+// jobs[i]'s outcome regardless of scheduling, so parallel and serial runs
+// aggregate bit-identically.
+func (r *Runner) RunAll(jobs []Job, workers int) []sim.Result {
+	if workers <= 0 {
+		workers = r.workers
+	}
+	if workers > len(jobs) {
+		workers = len(jobs)
+	}
+	results := make([]sim.Result, len(jobs))
+	if workers <= 1 {
+		for i, j := range jobs {
+			results[i] = r.run(j)
+		}
+		return results
+	}
+	var next atomic.Int64
+	var wg sync.WaitGroup
+	for w := 0; w < workers; w++ {
+		wg.Add(1)
+		go func() {
+			defer wg.Done()
+			for {
+				i := int(next.Add(1)) - 1
+				if i >= len(jobs) {
+					return
+				}
+				results[i] = r.run(jobs[i])
+			}
+		}()
+	}
+	wg.Wait()
+	return results
+}
+
+// runAll schedules jobs on the shared engine at this scale's parallelism.
+func (s Scale) runAll(jobs []Job) []sim.Result {
+	return engine.RunAll(jobs, s.Parallel)
+}

@@ -1,0 +1,172 @@
+package experiments
+
+import (
+	"math"
+	"testing"
+
+	"dspatch/internal/sim"
+	"dspatch/internal/trace"
+)
+
+// eqFloat is bit-level equality with NaN == NaN (empty categories render as
+// NaN at tiny scales).
+func eqFloat(a, b float64) bool {
+	return a == b || (math.IsNaN(a) && math.IsNaN(b))
+}
+
+func eqFloats(a, b []float64) bool {
+	if len(a) != len(b) {
+		return false
+	}
+	for i := range a {
+		if !eqFloat(a[i], b[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func eqCategoryResult(a, b CategoryResult) bool {
+	if len(a.Delta) != len(b.Delta) || !eqFloats(a.Geomean, b.Geomean) || a.Dropped != b.Dropped {
+		return false
+	}
+	for i := range a.Delta {
+		if !eqFloats(a.Delta[i], b.Delta[i]) {
+			return false
+		}
+	}
+	return true
+}
+
+func TestRunAllPreservesJobOrder(t *testing.T) {
+	ws := trace.Workloads[:6]
+	jobs := make([]Job, len(ws))
+	for i, w := range ws {
+		opt := sim.DefaultST()
+		opt.Refs = 2_000
+		jobs[i] = SingleJob(w, opt)
+	}
+	r := NewRunner(0)
+	serial := r.RunAll(jobs, 1)
+	parallel := NewRunner(0).RunAll(jobs, 8)
+	for i := range jobs {
+		if !eqFloats(serial[i].IPC, parallel[i].IPC) {
+			t.Errorf("job %d (%s): parallel IPC %v != serial %v",
+				i, ws[i].Name, parallel[i].IPC, serial[i].IPC)
+		}
+	}
+}
+
+func TestBaselineMemoization(t *testing.T) {
+	w := trace.Workloads[0]
+	opt := sim.DefaultST()
+	opt.Refs = 2_000
+
+	r := NewRunner(1)
+	first := r.run(SingleJob(w, opt))
+	if len(r.memo) != 1 {
+		t.Fatalf("baseline run should populate the memo, len = %d", len(r.memo))
+	}
+	second := r.run(SingleJob(w, opt))
+	if !eqFloats(first.IPC, second.IPC) {
+		t.Errorf("memoized result differs: %v vs %v", first.IPC, second.IPC)
+	}
+
+	// A prefetcher run must not be memoized.
+	withPF := opt
+	withPF.L2 = sim.PFSPP
+	r.run(SingleJob(w, withPF))
+	if len(r.memo) != 1 {
+		t.Errorf("PF run leaked into the memo, len = %d", len(r.memo))
+	}
+
+	// A pollution-tracking baseline must not be memoized either.
+	tracked := opt
+	tracked.TrackPollution = true
+	r.run(SingleJob(w, tracked))
+	if len(r.memo) != 1 {
+		t.Errorf("pollution-tracking run leaked into the memo, len = %d", len(r.memo))
+	}
+}
+
+func TestMemoKeyIgnoresSMSPHTEntries(t *testing.T) {
+	w := trace.Workloads[0]
+	opt := sim.DefaultST()
+	opt.Refs = 2_000
+
+	a, okA := memoizable(SingleJob(w, opt))
+	swept := opt
+	swept.SMSPHTEntries = 256
+	b, okB := memoizable(SingleJob(w, swept))
+	if !okA || !okB {
+		t.Fatal("baseline jobs should be memoizable")
+	}
+	if a != b {
+		t.Error("Fig. 5's PHT sweep should share one baseline per workload")
+	}
+
+	diff := opt
+	diff.Refs = 4_000
+	c, _ := memoizable(SingleJob(w, diff))
+	if a == c {
+		t.Error("different Refs must produce a different baseline key")
+	}
+}
+
+func TestMemoKeySeparatesMixes(t *testing.T) {
+	opt := sim.DefaultMP()
+	opt.Refs = 2_000
+	w0, w1 := trace.Workloads[0], trace.Workloads[1]
+	a, _ := memoizable(Job{Workloads: []trace.Workload{w0, w1}, Opt: opt})
+	b, _ := memoizable(Job{Workloads: []trace.Workload{w1, w0}, Opt: opt})
+	c, _ := memoizable(Job{Workloads: []trace.Workload{w0, w1}, Opt: opt})
+	if a == b {
+		t.Error("mix order is core assignment; reordering must change the key")
+	}
+	if a != c {
+		t.Error("identical mixes must share a key")
+	}
+}
+
+// TestParallelSerialEquivalence is the tentpole's acceptance test: with a
+// fixed Seed, any worker count produces bit-identical figure rows.
+func TestParallelSerialEquivalence(t *testing.T) {
+	s := tiny()
+
+	serial := Fig4(s.WithParallel(1))
+	parallel := Fig4(s.WithParallel(4))
+	if !eqCategoryResult(serial, parallel) {
+		t.Errorf("Fig4 parallel != serial:\nserial   %+v\nparallel %+v", serial, parallel)
+	}
+
+	mpSerial := Fig17(s.WithParallel(1))
+	mpParallel := Fig17(s.WithParallel(4))
+	if !eqCategoryResult(mpSerial, mpParallel) {
+		t.Errorf("Fig17 parallel != serial:\nserial   %+v\nparallel %+v", mpSerial, mpParallel)
+	}
+
+	f5Serial := Fig5(s.WithParallel(1))
+	f5Parallel := Fig5(s.WithParallel(4))
+	for i := range f5Serial {
+		if !eqFloat(f5Serial[i].DeltaPct, f5Parallel[i].DeltaPct) {
+			t.Errorf("Fig5 row %d: parallel %+v != serial %+v", i, f5Parallel[i], f5Serial[i])
+		}
+	}
+}
+
+// TestMemoSharedAcrossFigures checks the process-wide engine reuses
+// baselines between figures that share a machine configuration.
+func TestMemoSharedAcrossFigures(t *testing.T) {
+	ResetMemo()
+	s := tiny()
+	Fig4(s)
+	after4 := MemoLen()
+	if after4 == 0 {
+		t.Fatal("Fig4 should memoize its baselines")
+	}
+	// Fig12 uses the same workloads and machine: no new baselines.
+	Fig12(s)
+	if got := MemoLen(); got != after4 {
+		t.Errorf("Fig12 grew the memo from %d to %d; expected full reuse", after4, got)
+	}
+}

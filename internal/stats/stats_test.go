@@ -77,6 +77,34 @@ func TestSpeedupPct(t *testing.T) {
 	}
 }
 
+func TestFiniteRatios(t *testing.T) {
+	kept, dropped := FiniteRatios([]float64{1.1, 0, math.NaN(), math.Inf(1), -2, 0.9})
+	if dropped != 4 {
+		t.Errorf("dropped = %d, want 4", dropped)
+	}
+	if len(kept) != 2 || kept[0] != 1.1 || kept[1] != 0.9 {
+		t.Errorf("kept = %v, want [1.1 0.9]", kept)
+	}
+	if kept, dropped := FiniteRatios(nil); len(kept) != 0 || dropped != 0 {
+		t.Errorf("FiniteRatios(nil) = %v, %d", kept, dropped)
+	}
+}
+
+func TestGeomeanSpeedupPctSkipsDegenerate(t *testing.T) {
+	// A single zero ratio (baseline IPC 0) used to be clamped to 1e-9 and
+	// drag the aggregate toward -100%; it must now be skipped.
+	got := GeomeanSpeedupPct([]float64{1.1, 1.1, 0})
+	if math.Abs(got-10) > 1e-6 {
+		t.Errorf("GeomeanSpeedupPct with degenerate entry = %v, want 10", got)
+	}
+	if !math.IsNaN(GeomeanSpeedupPct([]float64{0, math.NaN()})) {
+		t.Error("all-degenerate input should aggregate to NaN")
+	}
+	if !math.IsNaN(GeomeanSpeedupPct(nil)) {
+		t.Error("empty input should aggregate to NaN")
+	}
+}
+
 func TestNormalize(t *testing.T) {
 	out := Normalize([]float64{1, 3})
 	if out[0] != 0.25 || out[1] != 0.75 {
