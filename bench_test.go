@@ -169,8 +169,22 @@ func BenchmarkFig20Pollution(b *testing.B) {
 	}
 }
 
+// BenchmarkHeadline measures the paper's summary experiment as a library
+// caller sees it: the process-wide run memo stays warm, so repeated calls
+// after the first cost only aggregation.
 func BenchmarkHeadline(b *testing.B) {
 	for i := 0; i < b.N; i++ {
+		h := Headline(benchScale())
+		oncePerBench("headline", func() { experiments.FormatHeadline(os.Stdout, h) })
+	}
+}
+
+// BenchmarkHeadlineCold is the end-to-end simulation-throughput benchmark:
+// the memo is dropped each iteration so every simulation actually runs. This
+// is the number the BENCH_*.json perf trajectory tracks.
+func BenchmarkHeadlineCold(b *testing.B) {
+	for i := 0; i < b.N; i++ {
+		experiments.ResetMemo()
 		h := Headline(benchScale())
 		oncePerBench("headline", func() { experiments.FormatHeadline(os.Stdout, h) })
 	}

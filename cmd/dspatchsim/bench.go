@@ -1,0 +1,159 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"runtime"
+	"time"
+
+	"dspatch/internal/sim"
+	"dspatch/internal/trace"
+)
+
+// benchSchema versions the BENCH_*.json layout; bump it when fields change
+// so trajectory tooling can tell files apart.
+const benchSchema = "dspatch-bench/1"
+
+// benchRepeats is how many times each configuration runs; the fastest wall
+// time wins, which is the standard way to shave scheduler noise off
+// throughput measurements.
+const benchRepeats = 3
+
+// BenchConfig is one measured simulation configuration.
+type BenchConfig struct {
+	Name       string `json:"name"`
+	Workloads  string `json:"workloads"` // comma-separated mix, one per core
+	Prefetcher string `json:"prefetcher"`
+	Cores      int    `json:"cores"`
+	Refs       int    `json:"refs_per_core"`
+
+	WallNs       int64   `json:"wall_ns"`        // fastest of benchRepeats
+	RefsPerSec   float64 `json:"refs_per_sec"`   // total refs / wall
+	NsPerRef     float64 `json:"ns_per_ref"`     // wall / total refs
+	AllocsPerRef float64 `json:"allocs_per_ref"` // heap objects / total refs
+	BytesPerRef  float64 `json:"bytes_per_ref"`  // heap bytes / total refs
+}
+
+// BenchFile is the machine-readable perf trajectory point `-bench` emits.
+// Compare two of them with `benchstat` after converting (see README) or
+// simply diff the refs_per_sec columns.
+type BenchFile struct {
+	Schema     string        `json:"schema"`
+	Date       string        `json:"date"` // RFC 3339, UTC
+	GoVersion  string        `json:"go_version"`
+	GOOS       string        `json:"goos"`
+	GOARCH     string        `json:"goarch"`
+	GOMAXPROCS int           `json:"gomaxprocs"`
+	Repeats    int           `json:"repeats"`
+	Configs    []BenchConfig `json:"configs"`
+}
+
+// benchPlan returns the fixed roster of measured configurations: the
+// workloads span friendly (linpack), signature-heavy (tpcc) and hostile
+// (mcf) behaviour; the prefetcher set covers the baseline, the paper's main
+// contenders and the 4-core machine.
+func benchPlan() []struct {
+	name string
+	ws   []string
+	pf   sim.PF
+	mp   bool
+} {
+	return []struct {
+		name string
+		ws   []string
+		pf   sim.PF
+		mp   bool
+	}{
+		{"baseline-tpcc", []string{"tpcc"}, sim.PFNone, false},
+		{"dspatch-tpcc", []string{"tpcc"}, sim.PFDSPatch, false},
+		{"spp-tpcc", []string{"tpcc"}, sim.PFSPP, false},
+		{"dspatch+spp-tpcc", []string{"tpcc"}, sim.PFDSPatchSPP, false},
+		{"dspatch+spp-linpack", []string{"linpack"}, sim.PFDSPatchSPP, false},
+		{"dspatch+spp-mcf", []string{"mcf"}, sim.PFDSPatchSPP, false},
+		{"mp4-dspatch+spp", []string{"tpcc", "linpack", "mcf", "specjbb"}, sim.PFDSPatchSPP, true},
+	}
+}
+
+// runBench measures the plan and writes the trajectory point to path (or
+// BENCH_<date>.json when empty). It returns the path written.
+func runBench(refs int, path string, stdout io.Writer) (string, error) {
+	if refs <= 0 {
+		refs = 20_000
+	}
+	now := time.Now().UTC()
+	file := BenchFile{
+		Schema:     benchSchema,
+		Date:       now.Format(time.RFC3339),
+		GoVersion:  runtime.Version(),
+		GOOS:       runtime.GOOS,
+		GOARCH:     runtime.GOARCH,
+		GOMAXPROCS: runtime.GOMAXPROCS(0),
+		Repeats:    benchRepeats,
+	}
+
+	for _, c := range benchPlan() {
+		ws := make([]trace.Workload, len(c.ws))
+		names := ""
+		for i, n := range c.ws {
+			w, ok := trace.ByName(n)
+			if !ok {
+				return "", fmt.Errorf("bench: unknown workload %q", n)
+			}
+			ws[i] = w
+			if i > 0 {
+				names += ","
+			}
+			names += n
+		}
+		opt := sim.DefaultST()
+		if c.mp {
+			opt = sim.DefaultMP()
+		}
+		opt.Refs = refs
+		opt.L2 = c.pf
+
+		total := float64(refs * len(ws))
+		best := BenchConfig{
+			Name:       c.name,
+			Workloads:  names,
+			Prefetcher: string(c.pf),
+			Cores:      len(ws),
+			Refs:       refs,
+			WallNs:     1<<63 - 1,
+		}
+		for rep := 0; rep < benchRepeats; rep++ {
+			var m0, m1 runtime.MemStats
+			runtime.ReadMemStats(&m0)
+			start := time.Now()
+			sim.Run(ws, opt)
+			wall := time.Since(start)
+			runtime.ReadMemStats(&m1)
+			if ns := wall.Nanoseconds(); ns < best.WallNs {
+				best.WallNs = ns
+				best.RefsPerSec = total / wall.Seconds()
+				best.NsPerRef = float64(ns) / total
+				best.AllocsPerRef = float64(m1.Mallocs-m0.Mallocs) / total
+				best.BytesPerRef = float64(m1.TotalAlloc-m0.TotalAlloc) / total
+			}
+		}
+		file.Configs = append(file.Configs, best)
+		fmt.Fprintf(stdout, "%-22s %8d refs x%d  %10.0f refs/s  %7.1f ns/ref  %6.2f allocs/ref\n",
+			c.name, refs, len(ws), best.RefsPerSec, best.NsPerRef, best.AllocsPerRef)
+	}
+
+	if path == "" {
+		path = "BENCH_" + now.Format("2006-01-02") + ".json"
+	}
+	data, err := json.MarshalIndent(file, "", "  ")
+	if err != nil {
+		return "", err
+	}
+	data = append(data, '\n')
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		return "", err
+	}
+	fmt.Fprintf(stdout, "wrote %s\n", path)
+	return path, nil
+}

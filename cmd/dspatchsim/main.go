@@ -5,6 +5,8 @@
 //	dspatchsim -experiment fig12           # quick scale (default)
 //	dspatchsim -experiment fig15 -full     # full 75-workload roster
 //	dspatchsim -experiment all -parallel 8 # pin the simulation worker count
+//	dspatchsim -bench                      # emit a BENCH_<date>.json perf point
+//	dspatchsim -experiment all -cpuprofile cpu.prof
 //	dspatchsim -list
 package main
 
@@ -13,6 +15,8 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"runtime"
+	"runtime/pprof"
 	"strings"
 
 	"dspatch/internal/experiments"
@@ -38,6 +42,10 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 	refs := fs.Int("refs", 0, "override memory references per run")
 	parallel := fs.Int("parallel", 0, "simulation worker goroutines (0 = GOMAXPROCS)")
 	list := fs.Bool("list", false, "list experiment ids")
+	bench := fs.Bool("bench", false, "measure simulator throughput and write a BENCH_<date>.json trajectory point")
+	benchOut := fs.String("bench-out", "", "path for the -bench JSON (default BENCH_<date>.json)")
+	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
+	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -49,10 +57,49 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, strings.Join(experimentOrder, "\n"))
 		return 0
 	}
-	if *exp == "" {
+	if *exp == "" && !*bench {
 		fmt.Fprintln(stderr, "usage: dspatchsim -experiment <id|all> [-full] [-refs N] [-parallel N]")
+		fmt.Fprintln(stderr, "       dspatchsim -bench [-refs N] [-bench-out FILE]")
 		fmt.Fprintln(stderr, "ids:", strings.Join(experimentOrder, " "))
 		return 2
+	}
+
+	if *cpuprofile != "" {
+		f, err := os.Create(*cpuprofile)
+		if err != nil {
+			fmt.Fprintln(stderr, "cpuprofile:", err)
+			return 1
+		}
+		defer f.Close()
+		if err := pprof.StartCPUProfile(f); err != nil {
+			fmt.Fprintln(stderr, "cpuprofile:", err)
+			return 1
+		}
+		defer pprof.StopCPUProfile()
+	}
+	if *memprofile != "" {
+		defer func() {
+			f, err := os.Create(*memprofile)
+			if err != nil {
+				fmt.Fprintln(stderr, "memprofile:", err)
+				return
+			}
+			defer f.Close()
+			runtime.GC() // settle the heap so the profile reflects live data
+			if err := pprof.WriteHeapProfile(f); err != nil {
+				fmt.Fprintln(stderr, "memprofile:", err)
+			}
+		}()
+	}
+
+	if *bench {
+		if _, err := runBench(*refs, *benchOut, stdout); err != nil {
+			fmt.Fprintln(stderr, "bench:", err)
+			return 1
+		}
+		if *exp == "" {
+			return 0
+		}
 	}
 
 	scale := experiments.Quick()

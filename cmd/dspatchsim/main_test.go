@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+	"encoding/json"
+	"os"
+	"path/filepath"
 	"strings"
 	"testing"
 )
@@ -77,5 +80,59 @@ func TestTablesNeedNoSimulation(t *testing.T) {
 	}
 	if !strings.Contains(out.String(), "Total") {
 		t.Errorf("table1 output missing Total row:\n%s", out.String())
+	}
+}
+
+func TestBenchWritesValidTrajectory(t *testing.T) {
+	out := filepath.Join(t.TempDir(), "BENCH_test.json")
+	var stdout, errb bytes.Buffer
+	if code := appMain([]string{"-bench", "-refs", "1500", "-bench-out", out}, &stdout, &errb); code != 0 {
+		t.Fatalf("-bench exit code = %d, stderr: %s", code, errb.String())
+	}
+	data, err := os.ReadFile(out)
+	if err != nil {
+		t.Fatalf("bench file not written: %v", err)
+	}
+	var f BenchFile
+	if err := json.Unmarshal(data, &f); err != nil {
+		t.Fatalf("bench file is not valid JSON: %v", err)
+	}
+	if f.Schema != benchSchema {
+		t.Errorf("schema = %q, want %q", f.Schema, benchSchema)
+	}
+	if len(f.Configs) != len(benchPlan()) {
+		t.Errorf("configs = %d, want %d", len(f.Configs), len(benchPlan()))
+	}
+	for _, c := range f.Configs {
+		if c.RefsPerSec <= 0 || c.NsPerRef <= 0 || c.WallNs <= 0 {
+			t.Errorf("%s: non-positive throughput fields: %+v", c.Name, c)
+		}
+		if c.AllocsPerRef < 0 {
+			t.Errorf("%s: negative allocs/ref", c.Name)
+		}
+	}
+	if !strings.Contains(stdout.String(), "refs/s") {
+		t.Errorf("-bench should print a human summary, got:\n%s", stdout.String())
+	}
+}
+
+func TestProfileFlagsWriteFiles(t *testing.T) {
+	dir := t.TempDir()
+	cpu := filepath.Join(dir, "cpu.prof")
+	mem := filepath.Join(dir, "mem.prof")
+	var out, errb bytes.Buffer
+	code := appMain([]string{"-experiment", "fig4", "-refs", "1000",
+		"-cpuprofile", cpu, "-memprofile", mem}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("exit code = %d, stderr: %s", code, errb.String())
+	}
+	for _, p := range []string{cpu, mem} {
+		st, err := os.Stat(p)
+		if err != nil {
+			t.Fatalf("profile %s not written: %v", p, err)
+		}
+		if st.Size() == 0 {
+			t.Errorf("profile %s is empty", p)
+		}
 	}
 }

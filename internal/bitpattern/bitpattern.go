@@ -11,7 +11,10 @@
 // quartiles (Fig. 8).
 package bitpattern
 
-import "math/bits"
+import (
+	"math/bits"
+	"strings"
+)
 
 // Pattern is a spatial bit-pattern over a region of Width() places.
 // The zero value is an empty pattern of width 0; construct with New.
@@ -144,35 +147,42 @@ func (p Pattern) rotate(k int) Pattern {
 
 // Compress halves the granularity: output bit i is set if input bit 2i or
 // 2i+1 is set. With 64B lines this is the paper's 128B-granularity
-// compression (§3.8). Width must be even.
+// compression (§3.8). Width must be even. DSPatch compresses a pattern on
+// every PB eviction, so this runs branchless: OR odd bits onto even bits,
+// then gather the even bits with the shift/mask fold that emulates PEXT with
+// the 0x5555… mask.
 func (p Pattern) Compress() Pattern {
 	if p.width%2 != 0 {
 		panic("bitpattern: compress needs even width")
 	}
 	out := New(int(p.width) / 2)
-	// odd-even merge: OR each even bit with its odd neighbour, then gather.
-	merged := p.bits | p.bits>>1
-	for i := 0; i < out.Width(); i++ {
-		if merged&(1<<uint(2*i)) != 0 {
-			out.bits |= 1 << uint(i)
-		}
-	}
+	x := (p.bits | p.bits>>1) & 0x5555555555555555
+	x = (x | x>>1) & 0x3333333333333333
+	x = (x | x>>2) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x>>4) & 0x00FF00FF00FF00FF
+	x = (x | x>>8) & 0x0000FFFF0000FFFF
+	x = (x | x>>16) & 0x00000000FFFFFFFF
+	out.bits = x & out.mask()
 	return out
 }
 
 // Expand doubles the granularity: input bit i sets output bits 2i and 2i+1.
 // It is the prediction-side inverse of Compress — a set 128B bit yields
-// prefetch candidates for both 64B lines it covers.
+// prefetch candidates for both 64B lines it covers. Branchless: spread the
+// bits to even positions (the PDEP-style inverse of Compress's gather), then
+// OR the spread onto itself shifted left to light each odd twin.
 func (p Pattern) Expand() Pattern {
 	if p.width > 32 {
 		panic("bitpattern: expand would exceed 64 bits")
 	}
 	out := New(int(p.width) * 2)
-	for i := 0; i < int(p.width); i++ {
-		if p.bits&(1<<uint(i)) != 0 {
-			out.bits |= 3 << uint(2*i)
-		}
-	}
+	x := p.bits & 0x00000000FFFFFFFF
+	x = (x | x<<16) & 0x0000FFFF0000FFFF
+	x = (x | x<<8) & 0x00FF00FF00FF00FF
+	x = (x | x<<4) & 0x0F0F0F0F0F0F0F0F
+	x = (x | x<<2) & 0x3333333333333333
+	x = (x | x<<1) & 0x5555555555555555
+	out.bits = (x | x<<1) & out.mask()
 	return out
 }
 
@@ -214,18 +224,55 @@ func (p Pattern) Offsets(dst []int) []int {
 	return dst
 }
 
-// String renders the pattern LSB-first in 4-bit groups, e.g. "0100 1100".
-func (p Pattern) String() string {
-	buf := make([]byte, 0, int(p.width)+int(p.width)/4)
-	for i := 0; i < int(p.width); i++ {
-		if i > 0 && i%4 == 0 {
-			buf = append(buf, ' ')
+// AppendString appends the pattern's rendering (LSB-first in 4-bit groups,
+// e.g. "0100 1100") to dst and returns the extended slice. It is the
+// allocation-free fast path behind String; formatters that render many
+// patterns reuse one buffer across calls.
+func (p Pattern) AppendString(dst []byte) []byte {
+	w := int(p.width)
+	b := p.bits
+	for i := 0; i < w; i += 4 {
+		if i > 0 {
+			dst = append(dst, ' ')
 		}
-		if p.Get(i) {
-			buf = append(buf, '1')
-		} else {
-			buf = append(buf, '0')
+		n := w - i
+		if n > 4 {
+			n = 4
+		}
+		for j := 0; j < n; j++ {
+			dst = append(dst, '0'+byte(b&1))
+			b >>= 1
 		}
 	}
-	return string(buf)
+	return dst
+}
+
+// StringLen returns the exact length of the String rendering: one byte per
+// place plus a space before every 4-bit group after the first.
+func (p Pattern) StringLen() int {
+	w := int(p.width)
+	if w == 0 {
+		return 0
+	}
+	return w + (w-1)/4
+}
+
+// String renders the pattern LSB-first in 4-bit groups, e.g. "0100 1100".
+// The buffer is pre-sized exactly, so the call allocates once.
+func (p Pattern) String() string {
+	w := int(p.width)
+	if w == 0 {
+		return ""
+	}
+	var sb strings.Builder
+	sb.Grow(p.StringLen())
+	b := p.bits
+	for i := 0; i < w; i++ {
+		if i > 0 && i&3 == 0 {
+			sb.WriteByte(' ')
+		}
+		sb.WriteByte('0' + byte(b&1))
+		b >>= 1
+	}
+	return sb.String()
 }

@@ -237,3 +237,86 @@ func TestAnchorComposition(t *testing.T) {
 		t.Error(err)
 	}
 }
+
+// naiveCompress is the pre-optimization loop implementation of Compress,
+// kept as the oracle for the branchless shift/mask fold.
+func naiveCompress(p Pattern) Pattern {
+	out := New(p.Width() / 2)
+	merged := p.Bits() | p.Bits()>>1
+	for i := 0; i < out.Width(); i++ {
+		if merged&(1<<uint(2*i)) != 0 {
+			out = out.Set(i)
+		}
+	}
+	return out
+}
+
+// naiveExpand is the pre-optimization loop implementation of Expand.
+func naiveExpand(p Pattern) Pattern {
+	out := New(p.Width() * 2)
+	for i := 0; i < p.Width(); i++ {
+		if p.Bits()&(1<<uint(i)) != 0 {
+			out = out.Set(2 * i).Set(2*i + 1)
+		}
+	}
+	return out
+}
+
+func TestCompressMatchesNaive(t *testing.T) {
+	for _, w := range []int{2, 4, 8, 16, 32, 64} {
+		f := func(raw uint64) bool {
+			p := FromBits(raw, w)
+			return p.Compress().Equal(naiveCompress(p))
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("width %d: %v", w, err)
+		}
+	}
+}
+
+func TestExpandMatchesNaive(t *testing.T) {
+	for _, w := range []int{1, 4, 8, 16, 32} {
+		f := func(raw uint64) bool {
+			p := FromBits(raw, w)
+			return p.Expand().Equal(naiveExpand(p))
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("width %d: %v", w, err)
+		}
+	}
+}
+
+func TestAppendStringMatchesString(t *testing.T) {
+	buf := make([]byte, 0, 80)
+	for _, w := range []int{1, 3, 4, 5, 8, 15, 16, 31, 32, 63, 64} {
+		f := func(raw uint64) bool {
+			p := FromBits(raw, w)
+			buf = p.AppendString(buf[:0])
+			return string(buf) == p.String() && len(buf) == p.StringLen()
+		}
+		if err := quick.Check(f, nil); err != nil {
+			t.Errorf("width %d: %v", w, err)
+		}
+	}
+}
+
+func TestAppendStringDoesNotAllocate(t *testing.T) {
+	p := FromBits(0xdeadbeefcafe1234, 64)
+	buf := make([]byte, 0, p.StringLen())
+	allocs := testing.AllocsPerRun(100, func() {
+		buf = p.AppendString(buf[:0])
+	})
+	if allocs != 0 {
+		t.Errorf("AppendString allocates %.0f times per call, want 0", allocs)
+	}
+}
+
+func TestStringAllocatesOnce(t *testing.T) {
+	p := FromBits(0xdeadbeefcafe1234, 64)
+	allocs := testing.AllocsPerRun(100, func() {
+		_ = p.String()
+	})
+	if allocs > 1 {
+		t.Errorf("String allocates %.0f times per call, want 1", allocs)
+	}
+}

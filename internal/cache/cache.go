@@ -6,9 +6,36 @@
 //
 // Timing (latencies, MSHRs) is composed on top by package memsys; this
 // package is purely the state of which lines are resident.
+//
+// The tag store is the hottest data structure of the whole simulator — every
+// access, probe and fill scans a set, and prefetch-heavy runs scan around
+// ten sets per simulated reference. The layout is therefore built for the
+// scan, not for the entry. Each set is one contiguous block of uint64 words:
+//
+//	word 0                      packed state: one valid/dirty/prefetch/used
+//	                            nibble per way
+//	words 1 .. 1+ptagWords      packed partial tags, one byte per way
+//	words tagOff .. +Ways       full tags
+//	words lruOff .. +Ways       LRU stamps (0 = low-priority fill)
+//
+// Membership tests SWAR-scan the partial-tag words (a whole 8-way set in one
+// comparison) and only verify full tags on candidate bytes; victim selection
+// derives its invalid and dead-block candidate sets from the packed state
+// word with three bit operations. Keeping a set's words adjacent means the
+// typical probe touches one host cache line and a fill two or three, instead
+// of gathering from four distant arrays.
+//
+// Replacement decisions are bit-for-bit those of the straightforward
+// scan-the-ways implementation: first invalid way, else (when DeadBlockAware)
+// the LRU prefetched-but-unused way, else plain LRU, ties always to the
+// lowest way index.
 package cache
 
-import "dspatch/internal/memaddr"
+import (
+	"math/bits"
+
+	"dspatch/internal/memaddr"
+)
 
 // Config sizes one cache level.
 type Config struct {
@@ -19,20 +46,26 @@ type Config struct {
 	// lines that were never demanded are evicted first, approximating the
 	// dead-block predictor the paper's baseline LLC uses.
 	DeadBlockAware bool
+	// Reference selects the pre-optimization scan-the-ways tag store (see
+	// reference.go), kept so differential tests can prove the packed layout
+	// bit-identical. Simulations never set it.
+	Reference bool
 }
 
 // Sets returns the number of sets implied by the configuration.
 func (c Config) Sets() int { return c.SizeBytes / memaddr.LineBytes / c.Ways }
 
-// way is one cache line's tag state.
-type way struct {
-	tag      uint64
-	lru      uint64 // last-touch stamp; 0 on low-priority fill
-	valid    bool
-	dirty    bool
-	prefetch bool // filled by a prefetch and not yet demanded
-	used     bool // demanded at least once since fill
-}
+// Per-way state bits, one nibble per way in the packed state word.
+const (
+	fValid uint64 = 1 << iota
+	fDirty
+	fPrefetch // filled by a prefetch and not yet demanded
+	fUsed     // demanded at least once since fill
+
+	nibbleLSBs = 0x1111111111111111 // bit 0 of every nibble
+	byteLSBs   = 0x0101010101010101
+	byteMSBs   = 0x8080808080808080
+)
 
 // Stats counts the events needed for the paper's coverage/accuracy and
 // pollution analyses.
@@ -48,25 +81,56 @@ type Stats struct {
 }
 
 // Cache is one level's tag store. The zero value is unusable; construct with
-// New.
+// New. Ways is limited to 16 so one packed word covers a set.
 type Cache struct {
-	cfg     Config
-	sets    []way // len = Sets()*Ways, set i occupies [i*Ways, (i+1)*Ways)
-	setMask uint64
-	stamp   uint64
-	stats   Stats
+	cfg       Config
+	data      []uint64 // per-set blocks, setStride words each
+	setMask   uint64
+	tagShift  uint // log2(set count), precomputed: tag() runs per access
+	ways      int
+	setStride int
+	tagOff    int
+	lruOff    int
+	validFull uint64 // fValid in every in-use nibble
+	stamp     uint64
+	stats     Stats
+
+	refWays []refWay // non-nil only in Config.Reference mode
 }
 
-// New builds a cache from cfg. Set count must be a power of two.
+// New builds a cache from cfg. Set count must be a power of two and Ways at
+// most 16 (the hierarchy uses 8 and 16).
 func New(cfg Config) *Cache {
 	sets := cfg.Sets()
 	if sets <= 0 || sets&(sets-1) != 0 {
 		panic("cache: set count must be a positive power of two")
 	}
+	if cfg.Ways < 1 || cfg.Ways > 16 {
+		panic("cache: ways must be in [1,16]")
+	}
+	ptagWords := (cfg.Ways + 7) / 8
+	tagOff := 1 + ptagWords
+	lruOff := tagOff + cfg.Ways
+	stride := (lruOff + cfg.Ways + 7) &^ 7 // whole 64B lines per block
+	if cfg.Reference {
+		return &Cache{
+			cfg:      cfg,
+			refWays:  make([]refWay, sets*cfg.Ways),
+			setMask:  uint64(sets - 1),
+			tagShift: uint(popShift(uint64(sets - 1))),
+			ways:     cfg.Ways,
+		}
+	}
 	return &Cache{
-		cfg:     cfg,
-		sets:    make([]way, sets*cfg.Ways),
-		setMask: uint64(sets - 1),
+		cfg:       cfg,
+		data:      make([]uint64, sets*stride),
+		setMask:   uint64(sets - 1),
+		tagShift:  uint(popShift(uint64(sets - 1))),
+		ways:      cfg.Ways,
+		setStride: stride,
+		tagOff:    tagOff,
+		lruOff:    lruOff,
+		validFull: nibbleLSBs * fValid >> uint(64-4*cfg.Ways),
 	}
 }
 
@@ -76,12 +140,13 @@ func (c *Cache) Config() Config { return c.cfg }
 // Stats returns a copy of the accumulated counters.
 func (c *Cache) Stats() Stats { return c.stats }
 
-func (c *Cache) set(l memaddr.Line) []way {
-	i := uint64(l) & c.setMask
-	return c.sets[i*uint64(c.cfg.Ways) : (i+1)*uint64(c.cfg.Ways)]
+// set returns the block of words holding the set for line l.
+func (c *Cache) set(l memaddr.Line) []uint64 {
+	i := int(uint64(l)&c.setMask) * c.setStride
+	return c.data[i : i+c.setStride]
 }
 
-func (c *Cache) tag(l memaddr.Line) uint64 { return uint64(l) >> uint(popShift(c.setMask)) }
+func (c *Cache) tag(l memaddr.Line) uint64 { return uint64(l) >> c.tagShift }
 
 func popShift(mask uint64) int {
 	n := 0
@@ -90,6 +155,31 @@ func popShift(mask uint64) int {
 		n++
 	}
 	return n
+}
+
+// findWay returns the way index of the given tag if resident, -1 otherwise:
+// a SWAR scan of the packed partial tags yields candidate ways, verified
+// against the full tag and the valid bit. False SWAR positives only cost an
+// extra verification.
+func (c *Cache) findWay(set []uint64, tag uint64) int {
+	part := byteLSBs * (tag & 0xFF)
+	fl := set[0]
+	for w, pi := 0, 1; w < c.ways; w, pi = w+8, pi+1 {
+		x := set[pi] ^ part
+		// Zero-byte finder: MSB of each byte that equals the partial tag.
+		m := (x - byteLSBs) &^ x & byteMSBs
+		for m != 0 {
+			way := w + bits.TrailingZeros64(m)>>3
+			m &= m - 1
+			if way >= c.ways {
+				break
+			}
+			if set[c.tagOff+way] == tag && fl>>(uint(way)*4)&fValid != 0 {
+				return way
+			}
+		}
+	}
+	return -1
 }
 
 // Result describes the outcome of a demand access.
@@ -104,42 +194,40 @@ type Result struct {
 // Access performs a demand load or store: it updates LRU and the per-line
 // use bits and returns whether the line was resident.
 func (c *Cache) Access(l memaddr.Line, write bool) Result {
+	if c.refWays != nil {
+		return c.refAccess(l, write)
+	}
 	c.stats.DemandAccesses++
 	set := c.set(l)
-	tag := c.tag(l)
 	c.stamp++
-	for i := range set {
-		w := &set[i]
-		if w.valid && w.tag == tag {
-			c.stats.DemandHits++
-			r := Result{Hit: true}
-			if w.prefetch && !w.used {
-				r.FirstUseOfPrefetch = true
-				c.stats.PrefetchHits++
-			}
-			w.prefetch = false
-			w.used = true
-			w.lru = c.stamp
-			if write {
-				w.dirty = true
-			}
-			return r
-		}
+	way := c.findWay(set, c.tag(l))
+	if way < 0 {
+		c.stats.DemandMisses++
+		return Result{}
 	}
-	c.stats.DemandMisses++
-	return Result{}
+	c.stats.DemandHits++
+	r := Result{Hit: true}
+	shift := uint(way) * 4
+	nib := set[0] >> shift
+	if nib&(fPrefetch|fUsed) == fPrefetch {
+		r.FirstUseOfPrefetch = true
+		c.stats.PrefetchHits++
+	}
+	nib = nib&^fPrefetch | fUsed
+	if write {
+		nib |= fDirty
+	}
+	set[0] = set[0]&^(0xF<<shift) | (nib&0xF)<<shift
+	set[c.lruOff+way] = c.stamp
+	return r
 }
 
 // Probe reports whether l is resident without perturbing any state.
 func (c *Cache) Probe(l memaddr.Line) bool {
-	set := c.set(l)
-	tag := c.tag(l)
-	for i := range set {
-		if set[i].valid && set[i].tag == tag {
-			return true
-		}
+	if c.refWays != nil {
+		return c.refProbe(l)
 	}
-	return false
+	return c.findWay(c.set(l), c.tag(l)) >= 0
 }
 
 // FillOpts qualifies a fill.
@@ -149,6 +237,11 @@ type FillOpts struct {
 	// unless promoted by a demand hit (DSPatch's pollution mitigation).
 	LowPriority bool
 	Dirty       bool
+	// Absent asserts the caller has just established (via Access or Probe,
+	// with no intervening fill of this cache) that the line is not resident,
+	// letting Fill skip its duplicate scan. Purely an optimization: the
+	// caller owns the proof.
+	Absent bool
 }
 
 // Victim describes the line displaced by a Fill.
@@ -163,86 +256,138 @@ type Victim struct {
 // victim results. Otherwise the victim (if any way was valid) is returned so
 // callers can write back dirty data and run pollution accounting.
 func (c *Cache) Fill(l memaddr.Line, opts FillOpts) Victim {
+	if c.refWays != nil {
+		return c.refFill(l, opts)
+	}
 	set := c.set(l)
 	tag := c.tag(l)
-	for i := range set {
-		w := &set[i]
-		if w.valid && w.tag == tag {
+	if !opts.Absent {
+		if way := c.findWay(set, tag); way >= 0 {
 			// Duplicate fill (e.g. a prefetch landing after the demand
 			// already missed and filled). Keep the strongest state.
-			w.dirty = w.dirty || opts.Dirty
+			if opts.Dirty {
+				set[0] |= fDirty << (uint(way) * 4)
+			}
 			return Victim{}
 		}
 	}
 	if opts.Prefetch {
 		c.stats.PrefetchFills++
 	}
-	vi := c.pickVictim(set)
-	w := &set[vi]
+
+	x := set[0]
+	var vi int
+	switch valid := x & nibbleLSBs; {
+	case valid != c.validFull:
+		// First invalid way, exactly as an ascending scan would find it.
+		vi = bits.TrailingZeros64(c.validFull&^valid) / 4
+	default:
+		dead := uint64(0)
+		if c.cfg.DeadBlockAware {
+			// Nibbles with valid+prefetch set and used clear.
+			dead = x & (x >> 2) &^ (x >> 3) & nibbleLSBs
+		}
+		if dead != 0 {
+			vi = c.argminLRU(set, dead)
+		} else {
+			vi = c.argminAll(set)
+		}
+	}
+
 	var victim Victim
-	if w.valid {
-		victim = Victim{Valid: true, Line: c.lineOf(l, w.tag), WasPrefetched: w.prefetch && !w.used, Dirty: w.dirty}
+	shift := uint(vi) * 4
+	if nib := x >> shift; nib&fValid != 0 {
+		victim = Victim{
+			Valid:         true,
+			Line:          c.lineOf(l, set[c.tagOff+vi]),
+			WasPrefetched: nib&(fPrefetch|fUsed) == fPrefetch,
+			Dirty:         nib&fDirty != 0,
+		}
 		c.stats.Evictions++
-		if w.dirty {
+		if nib&fDirty != 0 {
 			c.stats.DirtyEvictions++
 		}
-		if w.prefetch && !w.used {
+		if nib&(fPrefetch|fUsed) == fPrefetch {
 			c.stats.PrefetchUnused++
 		}
 	}
 	c.stamp++
-	*w = way{tag: tag, valid: true, dirty: opts.Dirty, prefetch: opts.Prefetch, lru: c.stamp}
+	set[c.tagOff+vi] = tag
+	nib := fValid
+	if opts.Dirty {
+		nib |= fDirty
+	}
+	if opts.Prefetch {
+		nib |= fPrefetch
+	}
+	set[0] = x&^(0xF<<shift) | nib<<shift
+	pi := 1 + vi>>3
+	pshift := uint(vi&7) * 8
+	set[pi] = set[pi]&^(0xFF<<pshift) | (tag&0xFF)<<pshift
 	if opts.LowPriority {
-		w.lru = 0
+		set[c.lruOff+vi] = 0
+	} else {
+		set[c.lruOff+vi] = c.stamp
 	}
 	return victim
 }
 
-// Invalidate removes l if resident, returning whether it was dirty.
-func (c *Cache) Invalidate(l memaddr.Line) (present, dirty bool) {
-	set := c.set(l)
-	tag := c.tag(l)
-	for i := range set {
-		w := &set[i]
-		if w.valid && w.tag == tag {
-			present, dirty = true, w.dirty
-			w.valid = false
-			return
-		}
+// argminAll returns the way with the smallest LRU stamp, ties to the lowest
+// way. It is argminLRU over every way, as a plain bounds-check-free loop:
+// this is the victim scan of every fill into a full set without dead-block
+// candidates, the hottest replacement path.
+func (c *Cache) argminAll(set []uint64) int {
+	lru := set[c.lruOff : c.lruOff+c.ways]
+	best, bestStamp := 0, lru[0]
+	if bestStamp == 0 {
+		return 0
 	}
-	return
-}
-
-// pickVictim chooses the way to replace: invalid first; then, when
-// DeadBlockAware, the LRU prefetched-but-unused line; otherwise plain LRU.
-func (c *Cache) pickVictim(set []way) int {
-	best, bestStamp := -1, ^uint64(0)
-	for i := range set {
-		if !set[i].valid {
-			return i
-		}
-	}
-	if c.cfg.DeadBlockAware {
-		for i := range set {
-			if set[i].prefetch && !set[i].used && set[i].lru < bestStamp {
-				best, bestStamp = i, set[i].lru
+	for i := 1; i < len(lru); i++ {
+		if s := lru[i]; s < bestStamp {
+			if s == 0 {
+				// A zero stamp (low-priority fill) is the global minimum,
+				// and a forward scan's first zero is the tie-winner.
+				return i
 			}
-		}
-		if best >= 0 {
-			return best
-		}
-	}
-	for i := range set {
-		if set[i].lru < bestStamp {
-			best, bestStamp = i, set[i].lru
+			best, bestStamp = i, s
 		}
 	}
 	return best
+}
+
+// argminLRU returns the way with the smallest LRU stamp among the ways whose
+// nibble-LSB is set in mask, ties to the lowest way — identical to a forward
+// scan with a strict less-than.
+func (c *Cache) argminLRU(set []uint64, mask uint64) int {
+	best, bestStamp := 0, ^uint64(0)
+	for m := mask; m != 0; m &= m - 1 {
+		way := bits.TrailingZeros64(m) / 4
+		if s := set[c.lruOff+way]; s < bestStamp {
+			best, bestStamp = way, s
+		}
+	}
+	return best
+}
+
+// Invalidate removes l if resident, returning whether it was dirty.
+func (c *Cache) Invalidate(l memaddr.Line) (present, dirty bool) {
+	if c.refWays != nil {
+		return c.refInvalidate(l)
+	}
+	set := c.set(l)
+	way := c.findWay(set, c.tag(l))
+	if way < 0 {
+		return false, false
+	}
+	shift := uint(way) * 4
+	dirty = set[0]>>shift&fDirty != 0
+	set[0] &^= fValid << shift
+	return true, dirty
 }
 
 // lineOf reconstructs a victim's line address from its tag and the set the
 // fill targeted.
 func (c *Cache) lineOf(fillLine memaddr.Line, tag uint64) memaddr.Line {
 	setIdx := uint64(fillLine) & c.setMask
-	return memaddr.Line(tag<<uint(popShift(c.setMask)) | setIdx)
+	return memaddr.Line(tag<<c.tagShift | setIdx)
 }

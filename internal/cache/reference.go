@@ -1,0 +1,137 @@
+package cache
+
+import "dspatch/internal/memaddr"
+
+// This file preserves the pre-optimization tag store — the straightforward
+// scan-the-ways implementation the packed SWAR layout replaced — behind
+// Config.Reference. It exists so the differential equivalence tests in
+// internal/sim can prove the optimized store bit-identical on every counter
+// and replacement decision; simulations never enable it.
+
+// refWay is one cache line's tag state in the reference layout.
+type refWay struct {
+	tag      uint64
+	lru      uint64 // last-touch stamp; 0 on low-priority fill
+	valid    bool
+	dirty    bool
+	prefetch bool // filled by a prefetch and not yet demanded
+	used     bool // demanded at least once since fill
+}
+
+func (c *Cache) refSet(l memaddr.Line) []refWay {
+	i := uint64(l) & c.setMask
+	return c.refWays[i*uint64(c.ways) : (i+1)*uint64(c.ways)]
+}
+
+func (c *Cache) refAccess(l memaddr.Line, write bool) Result {
+	c.stats.DemandAccesses++
+	set := c.refSet(l)
+	tag := c.tag(l)
+	c.stamp++
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			c.stats.DemandHits++
+			r := Result{Hit: true}
+			if w.prefetch && !w.used {
+				r.FirstUseOfPrefetch = true
+				c.stats.PrefetchHits++
+			}
+			w.prefetch = false
+			w.used = true
+			w.lru = c.stamp
+			if write {
+				w.dirty = true
+			}
+			return r
+		}
+	}
+	c.stats.DemandMisses++
+	return Result{}
+}
+
+func (c *Cache) refProbe(l memaddr.Line) bool {
+	set := c.refSet(l)
+	tag := c.tag(l)
+	for i := range set {
+		if set[i].valid && set[i].tag == tag {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *Cache) refFill(l memaddr.Line, opts FillOpts) Victim {
+	set := c.refSet(l)
+	tag := c.tag(l)
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			w.dirty = w.dirty || opts.Dirty
+			return Victim{}
+		}
+	}
+	if opts.Prefetch {
+		c.stats.PrefetchFills++
+	}
+	vi := c.refPickVictim(set)
+	w := &set[vi]
+	var victim Victim
+	if w.valid {
+		victim = Victim{Valid: true, Line: c.lineOf(l, w.tag), WasPrefetched: w.prefetch && !w.used, Dirty: w.dirty}
+		c.stats.Evictions++
+		if w.dirty {
+			c.stats.DirtyEvictions++
+		}
+		if w.prefetch && !w.used {
+			c.stats.PrefetchUnused++
+		}
+	}
+	c.stamp++
+	*w = refWay{tag: tag, valid: true, dirty: opts.Dirty, prefetch: opts.Prefetch, lru: c.stamp}
+	if opts.LowPriority {
+		w.lru = 0
+	}
+	return victim
+}
+
+// refPickVictim chooses the way to replace: first invalid; then, when
+// DeadBlockAware, the LRU prefetched-but-unused line; otherwise plain LRU.
+func (c *Cache) refPickVictim(set []refWay) int {
+	best, bestStamp := -1, ^uint64(0)
+	for i := range set {
+		if !set[i].valid {
+			return i
+		}
+	}
+	if c.cfg.DeadBlockAware {
+		for i := range set {
+			if set[i].prefetch && !set[i].used && set[i].lru < bestStamp {
+				best, bestStamp = i, set[i].lru
+			}
+		}
+		if best >= 0 {
+			return best
+		}
+	}
+	for i := range set {
+		if set[i].lru < bestStamp {
+			best, bestStamp = i, set[i].lru
+		}
+	}
+	return best
+}
+
+func (c *Cache) refInvalidate(l memaddr.Line) (present, dirty bool) {
+	set := c.refSet(l)
+	tag := c.tag(l)
+	for i := range set {
+		w := &set[i]
+		if w.valid && w.tag == tag {
+			present, dirty = true, w.dirty
+			w.valid = false
+			return
+		}
+	}
+	return
+}

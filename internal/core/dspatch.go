@@ -141,7 +141,13 @@ type DSPatch struct {
 	clock uint64
 	stats Stats
 
-	patW int // stored pattern width: 32 compressed, 64 uncompressed
+	// pbPages mirrors pb[i].page for valid entries (an impossible sentinel
+	// otherwise), so the per-train PB lookup scans a dense word array
+	// instead of dragging whole pbEntry structs through the cache.
+	pbPages []memaddr.Page
+
+	patW    int  // stored pattern width: 32 compressed, 64 uncompressed
+	sptBits uint // log2(SPTEntries), precomputed for the per-trigger hash
 
 	// offsetScratch avoids per-prediction allocations. It lives on the
 	// instance, not in a package var: instances stay single-owner (each
@@ -160,16 +166,25 @@ func New(cfg Config) *DSPatch {
 		w /= 2
 	}
 	d := &DSPatch{
-		cfg:  cfg,
-		pb:   make([]pbEntry, cfg.PBEntries),
-		spt:  make([]sptEntry, cfg.SPTEntries),
-		patW: w,
+		cfg:     cfg,
+		pb:      make([]pbEntry, cfg.PBEntries),
+		spt:     make([]sptEntry, cfg.SPTEntries),
+		pbPages: make([]memaddr.Page, cfg.PBEntries),
+		patW:    w,
+		sptBits: uint(log2(cfg.SPTEntries)),
+	}
+	for i := range d.pbPages {
+		d.pbPages[i] = pbNoPage
 	}
 	for i := range d.spt {
 		d.initEntry(&d.spt[i])
 	}
 	return d
 }
+
+// pbNoPage marks an invalid PB slot in the dense page array; physical page
+// numbers never reach it.
+const pbNoPage = ^memaddr.Page(0)
 
 func (d *DSPatch) initEntry(e *sptEntry) {
 	e.covP = bitpattern.New(d.patW)
@@ -194,8 +209,7 @@ func (d *DSPatch) Stats() Stats { return d.stats }
 
 // sptIndex is the folded-XOR hash of the PC into the tagless SPT (§3.4).
 func (d *DSPatch) sptIndex(pc memaddr.PC) uint64 {
-	bits := uint(log2(d.cfg.SPTEntries))
-	return memaddr.FoldXOR(uint64(pc), bits)
+	return memaddr.FoldXOR(uint64(pc), d.sptBits)
 }
 
 // Train implements prefetch.Prefetcher: observe one L1 miss, update the PB,
@@ -228,8 +242,8 @@ func (d *DSPatch) Train(a prefetch.Access, ctx prefetch.Context, dst []prefetch.
 }
 
 func (d *DSPatch) lookupPB(page memaddr.Page) *pbEntry {
-	for i := range d.pb {
-		if d.pb[i].valid && d.pb[i].page == page {
+	for i, pg := range d.pbPages {
+		if pg == page {
 			return &d.pb[i]
 		}
 	}
@@ -253,6 +267,7 @@ func (d *DSPatch) allocPB(page memaddr.Page, ctx prefetch.Context) *pbEntry {
 		d.learn(&d.pb[victim], ctx)
 	}
 	d.pb[victim] = pbEntry{page: page, pattern: bitpattern.New(memaddr.LinesPage), valid: true}
+	d.pbPages[victim] = page
 	return &d.pb[victim]
 }
 
@@ -469,6 +484,7 @@ func (d *DSPatch) Flush(ctx prefetch.Context) {
 		if d.pb[i].valid {
 			d.learn(&d.pb[i], ctx)
 			d.pb[i].valid = false
+			d.pbPages[i] = pbNoPage
 		}
 	}
 }

@@ -90,7 +90,10 @@ func (c *Core) retireOne() uint64 {
 		c.retireCycle = when
 		c.retiredSlot = 1
 	}
-	c.head = (c.head + 1) % c.cfg.ROB
+	c.head++
+	if c.head == c.cfg.ROB {
+		c.head = 0
+	}
 	c.count--
 	if done > c.finish {
 		c.finish = done
@@ -119,7 +122,10 @@ func (c *Core) dispatchSlot() uint64 {
 }
 
 func (c *Core) push(done uint64) {
-	tail := (c.head + c.count) % c.cfg.ROB
+	tail := c.head + c.count
+	if tail >= c.cfg.ROB {
+		tail -= c.cfg.ROB
+	}
 	c.complete[tail] = done
 	c.count++
 	c.instructions++
@@ -131,11 +137,35 @@ func (c *Core) Op() {
 	c.push(slot + 1)
 }
 
-// Ops dispatches n non-memory instructions.
+// Ops dispatches n non-memory instructions. It is Op unrolled in place:
+// instruction gaps run it for every simulated reference, so the dispatch
+// slot and ROB push are inlined rather than paying two calls per
+// instruction. The state transitions are identical to n calls of Op.
 func (c *Core) Ops(n int) {
+	rob := c.cfg.ROB
 	for i := 0; i < n; i++ {
-		c.Op()
+		if c.count == rob {
+			// ROB full: dispatch waits for the head to retire.
+			freeAt := c.retireOne()
+			if freeAt > c.dispatchCycle {
+				c.dispatchCycle = freeAt
+				c.dispatched = 0
+			}
+		}
+		slot := c.dispatchCycle
+		c.dispatched++
+		if c.dispatched >= c.cfg.Width {
+			c.dispatchCycle++
+			c.dispatched = 0
+		}
+		tail := c.head + c.count
+		if tail >= rob {
+			tail -= rob
+		}
+		c.complete[tail] = slot + 1
+		c.count++
 	}
+	c.instructions += uint64(n)
 }
 
 // Load dispatches an independent load (its address is ready at dispatch).
@@ -158,7 +188,10 @@ func (c *Core) load(mem LoadFunc, dependent bool) {
 	}
 	if c.loadCnt == c.cfg.LoadBuffer {
 		oldest := c.loadDone[c.loadHead]
-		c.loadHead = (c.loadHead + 1) % c.cfg.LoadBuffer
+		c.loadHead++
+		if c.loadHead == c.cfg.LoadBuffer {
+			c.loadHead = 0
+		}
 		c.loadCnt--
 		if oldest > issue {
 			issue = oldest
@@ -168,7 +201,10 @@ func (c *Core) load(mem LoadFunc, dependent bool) {
 	if done < slot+1 {
 		done = slot + 1
 	}
-	tail := (c.loadHead + c.loadCnt) % c.cfg.LoadBuffer
+	tail := c.loadHead + c.loadCnt
+	if tail >= c.cfg.LoadBuffer {
+		tail -= c.cfg.LoadBuffer
+	}
 	c.loadDone[tail] = done
 	c.loadCnt++
 	c.lastLoad = done

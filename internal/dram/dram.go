@@ -130,7 +130,19 @@ type DRAM struct {
 
 	linesPerRow uint64
 	chanMask    uint64
+	chanShift   uint
 	bankCount   uint64
+
+	// rowShift/bankMask/bankShift fold the per-access bank mapping's
+	// divisions into shifts and masks; valid because lines-per-row and the
+	// bank count are powers of two for every DDR4 geometry (asserted in New).
+	rowShift  uint
+	bankMask  uint64
+	bankShift uint
+
+	// Timing constants in core cycles, precomputed once: the Config methods
+	// convert nanoseconds with float math, far too slow for a per-access path.
+	tCL, tRCD, tRP, tRAS, tRC, burst, nominal uint64
 }
 
 // New builds a DRAM instance from cfg.
@@ -143,8 +155,22 @@ func New(cfg Config) *DRAM {
 		chans:       make([]channel, cfg.Channels),
 		linesPerRow: uint64(cfg.RowBufferBytes / memaddr.LineBytes),
 		chanMask:    uint64(cfg.Channels - 1),
+		chanShift:   uint(trailingBits(uint64(cfg.Channels))),
 		bankCount:   uint64(cfg.RanksPerChan * cfg.BanksPerRank),
+		tCL:         cfg.TCL(),
+		tRCD:        cfg.TRCD(),
+		tRP:         cfg.TRP(),
+		tRAS:        cfg.TRAS(),
+		tRC:         cfg.TRC(),
+		burst:       cfg.BurstCycles(),
 	}
+	d.nominal = d.tRCD + d.tCL + d.burst
+	if d.linesPerRow&(d.linesPerRow-1) != 0 || d.bankCount&(d.bankCount-1) != 0 {
+		panic("dram: lines per row and bank count must be powers of two")
+	}
+	d.rowShift = trailingBits(d.linesPerRow)
+	d.bankMask = d.bankCount - 1
+	d.bankShift = trailingBits(d.bankCount)
 	for i := range d.chans {
 		d.chans[i].banks = make([]bank, d.bankCount)
 		for b := range d.chans[i].banks {
@@ -173,9 +199,9 @@ func (d *DRAM) AccessPriority(now uint64, line memaddr.Line, write, demand bool)
 	// use all channels; banks interleave at row granularity within a channel.
 	l := uint64(line)
 	chIdx := l & d.chanMask
-	rowGlobal := (l >> uint(trailingBits(d.chanMask+1))) / d.linesPerRow
-	bIdx := rowGlobal % d.bankCount
-	row := int64(rowGlobal / d.bankCount)
+	rowGlobal := l >> d.chanShift >> d.rowShift
+	bIdx := rowGlobal & d.bankMask
+	row := int64(rowGlobal >> d.bankShift)
 
 	ch := &d.chans[chIdx]
 	bk := &ch.banks[bIdx]
@@ -187,22 +213,22 @@ func (d *DRAM) AccessPriority(now uint64, line memaddr.Line, write, demand bool)
 		d.stats.RowHits++
 	case bk.openRow == -1:
 		actTime := max64(max64(now, bk.nextActivate), bk.nextCAS)
-		casTime = actTime + d.cfg.TRCD()
-		bk.nextActivate = actTime + d.cfg.TRC()
+		casTime = actTime + d.tRCD
+		bk.nextActivate = actTime + d.tRC
 		bk.lastActivate = actTime
 		d.stats.RowMisses++
 	default:
-		preTime := max64(max64(now, bk.nextCAS), bk.lastActivate+d.cfg.TRAS())
-		actTime := max64(preTime+d.cfg.TRP(), bk.nextActivate)
-		casTime = actTime + d.cfg.TRCD()
-		bk.nextActivate = actTime + d.cfg.TRC()
+		preTime := max64(max64(now, bk.nextCAS), bk.lastActivate+d.tRAS)
+		actTime := max64(preTime+d.tRP, bk.nextActivate)
+		casTime = actTime + d.tRCD
+		bk.nextActivate = actTime + d.tRC
 		bk.lastActivate = actTime
 		d.stats.RowMisses++
 	}
 	bk.openRow = row
 
-	dataReady := casTime + d.cfg.TCL()
-	burst := d.cfg.BurstCycles()
+	dataReady := casTime + d.tCL
+	burst := d.burst
 	var busStart uint64
 	if demand {
 		busStart = max64(dataReady, ch.busDemandFree)
@@ -216,7 +242,7 @@ func (d *DRAM) AccessPriority(now uint64, line memaddr.Line, write, demand bool)
 	}
 	// If the bus delayed the transfer, the controller would have delayed the
 	// CAS too; keep the bank's CAS pipeline aligned with the bus.
-	bk.nextCAS = busStart - d.cfg.TCL() + burst
+	bk.nextCAS = busStart - d.tCL + burst
 	done = busStart + burst
 
 	d.stats.TotalCAS++
@@ -249,9 +275,7 @@ func (d *DRAM) Stats() Stats { return d.stats }
 // transfer). The memory system uses it to bound the wait of a demand that
 // merges with an in-flight low-priority prefetch: the controller promotes
 // such a prefetch to demand priority.
-func (d *DRAM) NominalLatency() uint64 {
-	return d.cfg.TRCD() + d.cfg.TCL() + d.cfg.BurstCycles()
-}
+func (d *DRAM) NominalLatency() uint64 { return d.nominal }
 
 // PrefetchQueueDepth is the per-channel backlog bound for speculative
 // transfers, in data-bus bursts. A prefetch that would queue deeper than
@@ -266,7 +290,7 @@ const PrefetchQueueDepth = 64
 // request is rejected and consumes nothing.
 func (d *DRAM) TryPrefetch(now uint64, line memaddr.Line) (done uint64, ok bool) {
 	ch := &d.chans[uint64(line)&d.chanMask]
-	limit := now + d.NominalLatency() + PrefetchQueueDepth*d.cfg.BurstCycles()
+	limit := now + d.nominal + PrefetchQueueDepth*d.burst
 	if ch.busAllFree > limit {
 		return 0, false
 	}
@@ -298,8 +322,8 @@ func min64(a, b uint64) uint64 {
 	return b
 }
 
-func trailingBits(v uint64) int {
-	n := 0
+func trailingBits(v uint64) uint {
+	var n uint
 	for v > 1 {
 		v >>= 1
 		n++

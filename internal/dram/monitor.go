@@ -70,9 +70,12 @@ func (m *Monitor) Fraction(now uint64) float64 {
 // QuartileHistogram returns how many tRC samples fell into each quartile.
 func (m *Monitor) QuartileHistogram() [4]uint64 { return m.quartileHist }
 
-// advance replays window halvings and tRC samplings up to cycle now.
+// advance replays window halvings and tRC samplings up to cycle now. Once
+// the counter has decayed to zero, every remaining halving is a no-op and
+// every remaining sample reads Q0, so the replay completes in closed form —
+// a long DRAM-idle stretch costs O(1) instead of one iteration per tRC.
 func (m *Monitor) advance(now uint64) {
-	for m.nextHalve <= now {
+	for m.counter != 0 && m.nextHalve <= now {
 		// Sample the signal at every tRC boundary inside the elapsed window.
 		for m.lastSample+m.sampleLen <= m.nextHalve {
 			m.lastSample += m.sampleLen
@@ -81,9 +84,29 @@ func (m *Monitor) advance(now uint64) {
 		m.counter >>= 1
 		m.nextHalve += m.windowLen
 	}
+	if m.counter == 0 {
+		m.advanceIdle(now)
+		return
+	}
 	for m.lastSample+m.sampleLen <= now {
 		m.lastSample += m.sampleLen
 		m.sample()
+	}
+}
+
+// advanceIdle replays the remaining boundaries up to now while the counter is
+// zero: halvings keep it zero and every sample lands in Q0.
+func (m *Monitor) advanceIdle(now uint64) {
+	if m.lastSample+m.sampleLen <= now {
+		n := (now - m.lastSample) / m.sampleLen
+		m.lastSample += n * m.sampleLen
+		m.samples += n
+		m.quartileHist[bitpattern.Q0] += n
+		m.signal = bitpattern.Q0
+	}
+	if m.nextHalve <= now {
+		k := (now-m.nextHalve)/m.windowLen + 1
+		m.nextHalve += k * m.windowLen
 	}
 }
 

@@ -135,6 +135,7 @@ func Fig11b(s Scale) [6]float64 {
 		opt := s.stOptions()
 		opt.L2 = sim.PFDSPatch
 		jobs[i] = SingleJob(w, opt)
+		jobs[i].NeedPorts = true // reads DSPatch counters off the live ports
 	}
 	var hist [6]uint64
 	for _, r := range s.runAll(jobs) {

@@ -16,6 +16,11 @@ import (
 type Job struct {
 	Workloads []trace.Workload
 	Opt       sim.Options
+	// NeedPorts marks a job whose caller inspects the live memory-system
+	// ports of the result (e.g. Fig. 11b digs DSPatch's internal counters
+	// out of them). Such jobs bypass the memo, which stores results with
+	// their bulky port state stripped.
+	NeedPorts bool
 }
 
 // SingleJob is shorthand for a one-core job.
@@ -23,37 +28,53 @@ func SingleJob(w trace.Workload, opt sim.Options) Job {
 	return Job{Workloads: []trace.Workload{w}, Opt: opt}
 }
 
-// baselineKey identifies a memoizable PFNone run. It carries everything that
-// affects a baseline simulation's outcome and nothing that doesn't:
-// SMSPHTEntries only parameterizes the SMS prefetcher, so Fig. 5's four-point
-// sweep shares a single baseline per workload.
-type baselineKey struct {
+// runKey identifies a memoizable run: every option that affects a
+// simulation's outcome and nothing that doesn't. Simulations are
+// deterministic functions of this key, so figures that share runs — Figs. 4
+// and 6 share every BOP/SMS/SPP point, Figs. 12/14 and the headline share
+// the SPP and DSPatch+SPP runs, and every figure shares baselines — simulate
+// each distinct configuration exactly once per process.
+type runKey struct {
 	names      string
 	dram       dram.Config
 	llcBytes   int
 	refs       int
 	seed       int64
+	l2         sim.PF
 	noL1Stride bool
+	// smsPHT is kept only for the one prefetcher it parameterizes, so
+	// Fig. 5's four-point sweep still shares a single baseline per workload.
+	smsPHT int
 }
 
-// memoizable reports whether j is a shareable baseline run and, if so, its
-// cache key. Pollution-tracking runs are excluded: their results carry
-// tracker state that is not a function of the key alone.
-func memoizable(j Job) (baselineKey, bool) {
-	if (j.Opt.L2 != sim.PFNone && j.Opt.L2 != "") || j.Opt.TrackPollution {
-		return baselineKey{}, false
+// memoizable reports whether j is a shareable run and, if so, its cache key.
+// Pollution-tracking and port-inspecting runs are excluded: their results
+// carry state that is not preserved by the memo.
+func memoizable(j Job) (runKey, bool) {
+	if j.Opt.TrackPollution || j.NeedPorts {
+		return runKey{}, false
 	}
 	names := make([]string, len(j.Workloads))
 	for i, w := range j.Workloads {
 		names[i] = w.Name
 	}
-	return baselineKey{
+	l2 := j.Opt.L2
+	if l2 == "" {
+		l2 = sim.PFNone
+	}
+	smsPHT := 0
+	if l2 == sim.PFSMS {
+		smsPHT = j.Opt.SMSPHTEntries
+	}
+	return runKey{
 		names:      strings.Join(names, "\x00"),
 		dram:       j.Opt.DRAM,
 		llcBytes:   j.Opt.LLCBytes,
 		refs:       j.Opt.Refs,
 		seed:       j.Opt.Seed,
+		l2:         l2,
 		noL1Stride: j.Opt.NoL1Stride,
+		smsPHT:     smsPHT,
 	}, true
 }
 
@@ -65,14 +86,15 @@ type memoEntry struct {
 	res  sim.Result
 }
 
-// Runner fans simulation jobs across a goroutine pool and memoizes baseline
-// (PFNone) runs, so each distinct baseline configuration simulates exactly
-// once per process no matter how many figures request it.
+// Runner fans simulation jobs across a goroutine pool and memoizes every
+// port-independent run, so each distinct (workload mix, options)
+// configuration simulates exactly once per process no matter how many
+// figures request it.
 type Runner struct {
 	workers int
 
 	mu   sync.Mutex
-	memo map[baselineKey]*memoEntry
+	memo map[runKey]*memoEntry
 }
 
 // NewRunner returns a Runner whose default pool width is workers
@@ -81,31 +103,31 @@ func NewRunner(workers int) *Runner {
 	if workers <= 0 {
 		workers = runtime.GOMAXPROCS(0)
 	}
-	return &Runner{workers: workers, memo: map[baselineKey]*memoEntry{}}
+	return &Runner{workers: workers, memo: map[runKey]*memoEntry{}}
 }
 
 // engine is the process-wide runner every Fig*/Table* function shares, so a
 // baseline simulated for one figure is reused by the next.
 var engine = NewRunner(0)
 
-// ResetMemo drops every memoized baseline from the shared engine. Benchmarks
-// use it to measure cold-cache behaviour; normal callers never need it.
+// ResetMemo drops every memoized run from the shared engine. Benchmarks use
+// it to measure cold-cache behaviour; normal callers never need it.
 func ResetMemo() {
 	engine.mu.Lock()
-	engine.memo = map[baselineKey]*memoEntry{}
+	engine.memo = map[runKey]*memoEntry{}
 	engine.mu.Unlock()
 }
 
-// MemoLen reports how many baselines the shared engine currently caches.
+// MemoLen reports how many runs the shared engine currently caches.
 func MemoLen() int {
 	engine.mu.Lock()
 	defer engine.mu.Unlock()
 	return len(engine.memo)
 }
 
-// run executes one job, consulting the baseline memo first. Memoized results
-// drop their Ports: live memory-system state is bulky and baselines only ever
-// feed sim.Speedup, which reads IPC.
+// run executes one job, consulting the memo first. Memoized results drop
+// their Ports: live memory-system state is bulky, and jobs that need it set
+// NeedPorts to bypass the memo entirely.
 func (r *Runner) run(j Job) sim.Result {
 	key, ok := memoizable(j)
 	if !ok {

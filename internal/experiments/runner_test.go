@@ -57,7 +57,7 @@ func TestRunAllPreservesJobOrder(t *testing.T) {
 	}
 }
 
-func TestBaselineMemoization(t *testing.T) {
+func TestRunMemoization(t *testing.T) {
 	w := trace.Workloads[0]
 	opt := sim.DefaultST()
 	opt.Refs = 2_000
@@ -72,20 +72,39 @@ func TestBaselineMemoization(t *testing.T) {
 		t.Errorf("memoized result differs: %v vs %v", first.IPC, second.IPC)
 	}
 
-	// A prefetcher run must not be memoized.
+	// A prefetcher run is memoized too (figures share identical runs), under
+	// its own key.
 	withPF := opt
 	withPF.L2 = sim.PFSPP
-	r.run(SingleJob(w, withPF))
-	if len(r.memo) != 1 {
-		t.Errorf("PF run leaked into the memo, len = %d", len(r.memo))
+	pf1 := r.run(SingleJob(w, withPF))
+	if len(r.memo) != 2 {
+		t.Fatalf("PF run should get its own memo entry, len = %d", len(r.memo))
+	}
+	pf2 := r.run(SingleJob(w, withPF))
+	if !eqFloats(pf1.IPC, pf2.IPC) {
+		t.Errorf("memoized PF result differs: %v vs %v", pf1.IPC, pf2.IPC)
+	}
+	if eqFloats(first.IPC, pf1.IPC) {
+		t.Error("baseline and PF runs should not share a key")
 	}
 
-	// A pollution-tracking baseline must not be memoized either.
+	// A pollution-tracking run must not be memoized.
 	tracked := opt
 	tracked.TrackPollution = true
 	r.run(SingleJob(w, tracked))
-	if len(r.memo) != 1 {
+	if len(r.memo) != 2 {
 		t.Errorf("pollution-tracking run leaked into the memo, len = %d", len(r.memo))
+	}
+
+	// A port-inspecting run must bypass the memo and keep its ports.
+	needs := SingleJob(w, withPF)
+	needs.NeedPorts = true
+	res := r.run(needs)
+	if len(r.memo) != 2 {
+		t.Errorf("NeedPorts run leaked into the memo, len = %d", len(r.memo))
+	}
+	if len(res.Ports) == 0 {
+		t.Error("NeedPorts run lost its ports")
 	}
 }
 
@@ -154,19 +173,33 @@ func TestParallelSerialEquivalence(t *testing.T) {
 	}
 }
 
-// TestMemoSharedAcrossFigures checks the process-wide engine reuses
-// baselines between figures that share a machine configuration.
+// TestMemoSharedAcrossFigures checks the process-wide engine reuses runs
+// between figures that share a machine configuration.
 func TestMemoSharedAcrossFigures(t *testing.T) {
 	ResetMemo()
 	s := tiny()
 	Fig4(s)
 	after4 := MemoLen()
 	if after4 == 0 {
-		t.Fatal("Fig4 should memoize its baselines")
+		t.Fatal("Fig4 should memoize its runs")
 	}
-	// Fig12 uses the same workloads and machine: no new baselines.
-	Fig12(s)
+	// Rerunning the same figure simulates nothing new.
+	Fig4(s)
 	if got := MemoLen(); got != after4 {
-		t.Errorf("Fig12 grew the memo from %d to %d; expected full reuse", after4, got)
+		t.Errorf("rerunning Fig4 grew the memo from %d to %d", after4, got)
+	}
+	// Fig12 shares Fig4's baselines and BOP/SMS/SPP runs; only its DSPatch
+	// and DSPatch+SPP points are new.
+	Fig12(s)
+	after12 := MemoLen()
+	if after12 <= after4 {
+		t.Errorf("Fig12 should add its DSPatch runs to the memo (%d -> %d)", after4, after12)
+	}
+	if added := after12 - after4; added >= after4 {
+		t.Errorf("Fig12 added %d entries to %d; expected reuse of the shared runs", added, after4)
+	}
+	Fig12(s)
+	if got := MemoLen(); got != after12 {
+		t.Errorf("rerunning Fig12 grew the memo from %d to %d", after12, got)
 	}
 }

@@ -32,6 +32,13 @@ type Config struct {
 	// MaxPrefetchesPerTrain caps how many candidates one training event may
 	// issue (queue backpressure).
 	MaxPrefetchesPerTrain int
+
+	// Reference selects the pre-optimization bookkeeping: a map-based
+	// in-flight tracker with periodic pruning and linear MSHR free-slot
+	// scans. It exists so the differential equivalence tests can prove the
+	// open-addressed in-flight table and the O(1) MSHR ring bit-identical to
+	// the structures they replaced; simulations never set it.
+	Reference bool
 }
 
 // DefaultConfig returns the paper's Table 2 hierarchy for the given core
@@ -111,12 +118,24 @@ type System struct {
 	llc   *cache.Cache
 	ports []*Port
 
+	// gen counts mutations of shared state (LLC residency, DRAM bus/bank
+	// timing) so a port can tell whether anything a blocked prefetch drain
+	// depends on might have changed. See drainPrefetchQueue.
+	gen uint64
+
 	pollution *PollutionTracker // nil unless enabled
 }
 
 // NewSystem builds a machine with the given number of cores. Prefetcher
 // factories may be nil for no prefetching at that level.
 func NewSystem(cfg Config, d *dram.DRAM, cores int, l1pf, l2pf func() prefetch.Prefetcher) *System {
+	if cfg.Reference {
+		// Reference mode covers the whole memory system: the cache tag
+		// stores flip to their pre-optimization scan-the-ways layout too.
+		cfg.L1.Reference = true
+		cfg.L2.Reference = true
+		cfg.LLC.Reference = true
+	}
 	s := &System{cfg: cfg, dram: d, llc: cache.New(cfg.LLC)}
 	for i := 0; i < cores; i++ {
 		p := &Port{
@@ -124,10 +143,25 @@ func NewSystem(cfg Config, d *dram.DRAM, cores int, l1pf, l2pf func() prefetch.P
 			l1:  cache.New(cfg.L1),
 			l2:  cache.New(cfg.L2),
 
-			inflight: make(map[memaddr.Line]flight),
-			l1mshr:   make([]uint64, cfg.L1MSHRs),
-			l2mshr:   make([]uint64, cfg.L2MSHRs),
+			l1mshr: newMSHRRing(cfg.L1MSHRs),
+			l2mshr: newMSHRRing(cfg.L2MSHRs),
+
+			// Steady-state buffers sized up front so the hot path never
+			// grows them: the queue is bounded by its cap plus one drain
+			// burst before compaction kicks in.
+			reqBuf: make([]prefetch.Request, 0, 64),
+			pq:     make([]queuedPrefetch, 0, 2*prefetchQueueCap),
+
+			ref: cfg.Reference,
 		}
+		if cfg.Reference {
+			p.refInflight = make(map[memaddr.Line]flight)
+		} else {
+			p.inflight.init()
+		}
+		// The prefetch.Context the trainers see is boxed once here: building
+		// the interface value per Train call made the L1-hit path allocate.
+		p.ctx = portContext{p}
 		if l1pf != nil {
 			p.l1pf = l1pf()
 		}
@@ -169,12 +203,16 @@ type Port struct {
 
 	l1pf prefetch.Prefetcher
 	l2pf prefetch.Prefetcher
+	ctx  prefetch.Context // boxed once; handed to every Train call
 
-	inflight map[memaddr.Line]flight
-	l1mshr   []uint64 // completion times, round-robin = "oldest frees first"
-	l1mshrI  int
-	l2mshr   []uint64
-	l2mshrI  int
+	inflight inflightTable
+	l1mshr   mshrRing // round-robin demand claim = "oldest frees first"
+	l2mshr   mshrRing
+
+	// Reference-mode state (Config.Reference): the pre-optimization
+	// structures, kept so tests can assert the optimized ones bit-identical.
+	ref         bool
+	refInflight map[memaddr.Line]flight
 
 	reqBuf []prefetch.Request
 	// pq is the core's prefetch queue: candidates wait here and drain a few
@@ -184,6 +222,17 @@ type Port struct {
 	pq     []queuedPrefetch
 	pqHead int
 	now    uint64 // cycle of the in-progress access, for the BW context
+
+	// gen counts mutations of this port's state a blocked drain depends on
+	// (L1/L2 residency, L2 MSHR times, in-flight records). Together with
+	// sys.gen and the blocked cycle it lets drainPrefetchQueue skip
+	// re-evaluating a head entry that provably still cannot issue.
+	gen              uint64
+	drainBlocked     bool
+	drainBlockedNow  uint64
+	drainBlockedHead int // pqHead at block time: displacement invalidates the skip
+	drainGenPort     uint64
+	drainGenSys      uint64
 
 	stats         CoverageStats
 	prefUseful    uint64
@@ -225,6 +274,9 @@ func (p *Port) L1() *cache.Cache { return p.l1 }
 // L2 returns the port's L2 cache (for inspection).
 func (p *Port) L2() *cache.Cache { return p.l2 }
 
+// SharedLLC returns the system's shared last-level cache (for inspection).
+func (p *Port) SharedLLC() *cache.Cache { return p.sys.llc }
+
 // L2Prefetcher returns the attached L2 prefetcher, if any.
 func (p *Port) L2Prefetcher() prefetch.Prefetcher { return p.l2pf }
 
@@ -255,17 +307,36 @@ func (p *Port) mergeWait(start, ready uint64) uint64 {
 	return ready
 }
 
-// mshrStart models MSHR occupancy: a ring of completion times where a new
-// miss reuses the slot of the oldest outstanding one, waiting for it if
-// still busy.
-func mshrStart(ring []uint64, idx *int, now, done uint64) (start uint64) {
-	start = now
-	if ring[*idx] > now {
-		start = ring[*idx]
+// inflightLookup finds the in-flight record for line, if any. Expired
+// records may still surface; every caller compares ready against its own
+// deadline, so they are indistinguishable from absence.
+func (p *Port) inflightLookup(line memaddr.Line) (flight, bool) {
+	if p.ref {
+		f, ok := p.refInflight[line]
+		return f, ok
 	}
-	ring[*idx] = done
-	*idx = (*idx + 1) % len(ring)
-	return start
+	return p.inflight.lookup(line)
+}
+
+// inflightInsert records an outstanding fetch, overwriting any previous
+// record for the line in place.
+func (p *Port) inflightInsert(line memaddr.Line, f flight) {
+	p.gen++
+	if p.ref {
+		p.refInflight[line] = f
+		return
+	}
+	p.inflight.insert(line, f)
+}
+
+// inflightPrune discards completed records once the tracker holds 4096
+// entries. Called on the demand miss path, as the original map pruning was.
+func (p *Port) inflightPrune(now uint64) {
+	if p.ref {
+		p.pruneInflight(now)
+		return
+	}
+	p.inflight.prune(now)
 }
 
 // Access performs one demand load or store issued at cycle now and returns
@@ -273,20 +344,22 @@ func mshrStart(ring []uint64, idx *int, now, done uint64) (start uint64) {
 func (p *Port) Access(now uint64, pc memaddr.PC, line memaddr.Line, write bool) uint64 {
 	p.now = now
 	p.stats.L1Accesses++
-	p.drainPrefetchQueue(now)
+	if p.pqHead < len(p.pq) {
+		p.drainPrefetchQueue(now)
+	}
 
 	r1 := p.l1.Access(line, write)
 
 	// The L1 prefetcher trains on every L1 demand access.
 	if p.l1pf != nil {
-		p.reqBuf = p.l1pf.Train(prefetch.Access{PC: pc, Line: line, Write: write, Hit: r1.Hit}, portContext{p}, p.reqBuf[:0])
+		p.reqBuf = p.l1pf.Train(prefetch.Access{PC: pc, Line: line, Write: write, Hit: r1.Hit}, p.ctx, p.reqBuf[:0])
 		p.issuePrefetches(now, p.reqBuf, true)
 	}
 	if r1.Hit {
 		done := now + p.sys.cfg.L1HitLat
 		// A hit on a line whose fetch is still in flight waits for the data
 		// (the tag is installed at issue; see issuePrefetches).
-		if f, ok := p.inflight[line]; ok && f.ready > done {
+		if f, ok := p.inflightLookup(line); ok && f.ready > done {
 			done = p.mergeWait(now, f.ready)
 		}
 		if r1.FirstUseOfPrefetch {
@@ -306,11 +379,12 @@ func (p *Port) Access(now uint64, pc memaddr.PC, line memaddr.Line, write bool) 
 			PC: pc, Line: line, Write: write,
 			Hit:           r2hit,
 			HitPrefetched: p.lastWasPrefetchHit,
-		}, portContext{p}, p.reqBuf[:0])
+		}, p.ctx, p.reqBuf[:0])
 		p.issuePrefetches(now, p.reqBuf, false)
 	}
 
 	// Fill L1 with the returning line.
+	p.gen++
 	v1 := p.l1.Fill(line, cache.FillOpts{Dirty: write})
 	if v1.Valid && v1.Dirty {
 		p.l2.Fill(v1.Line, cache.FillOpts{Dirty: true})
@@ -324,7 +398,7 @@ func (p *Port) fetchDemand(now uint64, line memaddr.Line, write bool) uint64 {
 	cfg := &p.sys.cfg
 	p.lastWasPrefetchHit = false
 
-	start := mshrStart(p.l1mshr, &p.l1mshrI, now, 0) // completion patched below
+	start := p.l1mshr.claim(now, 0) // completion patched below
 
 	r2 := p.l2.Access(line, write)
 	if r2.Hit {
@@ -332,7 +406,7 @@ func (p *Port) fetchDemand(now uint64, line memaddr.Line, write bool) uint64 {
 		// If the line is still in flight (tag filled at issue), the demand
 		// waits for the data. The entry stays until it expires so further
 		// demands in the window also wait.
-		if f, ok := p.inflight[line]; ok && f.ready > done {
+		if f, ok := p.inflightLookup(line); ok && f.ready > done {
 			done = p.mergeWait(start, f.ready)
 		}
 		if r2.FirstUseOfPrefetch {
@@ -340,14 +414,14 @@ func (p *Port) fetchDemand(now uint64, line memaddr.Line, write bool) uint64 {
 			p.prefUseful++
 			p.lastWasPrefetchHit = true
 		}
-		p.patchMSHR(done)
+		p.l1mshr.patchLast(done)
 		return done
 	}
 
 	rL := p.sys.llc.Access(line, write)
 	if rL.Hit {
 		done := start + cfg.LLCHitLat
-		if f, ok := p.inflight[line]; ok && f.ready > done {
+		if f, ok := p.inflightLookup(line); ok && f.ready > done {
 			done = p.mergeWait(start, f.ready)
 		}
 		if rL.FirstUseOfPrefetch {
@@ -358,8 +432,10 @@ func (p *Port) fetchDemand(now uint64, line memaddr.Line, write bool) uint64 {
 		if p.sys.pollution != nil {
 			p.sys.pollution.onDemand(line, true)
 		}
-		p.fillL2(line, cache.FillOpts{Dirty: write})
-		p.patchMSHR(done)
+		// Absent: the L2 lookup above missed and nothing has filled the L2
+		// since (the LLC access touches only LLC state).
+		p.fillL2(line, cache.FillOpts{Dirty: write, Absent: true})
+		p.l1mshr.patchLast(done)
 		return done
 	}
 
@@ -367,35 +443,21 @@ func (p *Port) fetchDemand(now uint64, line memaddr.Line, write bool) uint64 {
 	if p.sys.pollution != nil {
 		p.sys.pollution.onDemand(line, false)
 	}
-	start2 := mshrStart(p.l2mshr, &p.l2mshrI, start, 0)
+	p.gen++     // L2 MSHR times change (claim + patch below)
+	p.sys.gen++ // DRAM bank/bus state changes
+	start2 := p.l2mshr.claim(start, 0)
 	dramDone := p.sys.dram.Access(start2+cfg.LLCHitLat, line, false)
 	p.stats.Uncovered++
 	p.stats.DemandDRAM++
-	p.fillLLC(line, cache.FillOpts{Dirty: write}, 0)
-	p.fillL2(line, cache.FillOpts{Dirty: write})
-	p.inflight[line] = flight{ready: dramDone}
-	p.pruneInflight(now)
-	p.patchL2MSHR(dramDone)
-	p.patchMSHR(dramDone)
+	// Absent: both lookups above missed, and neither the DRAM access nor the
+	// LLC fill's victim write-back can install this line meanwhile.
+	p.fillLLC(line, cache.FillOpts{Dirty: write, Absent: true}, 0)
+	p.fillL2(line, cache.FillOpts{Dirty: write, Absent: true})
+	p.inflightInsert(line, flight{ready: dramDone})
+	p.inflightPrune(now)
+	p.l2mshr.patchLast(dramDone)
+	p.l1mshr.patchLast(dramDone)
 	return dramDone
-}
-
-// patchMSHR/patchL2MSHR record the real completion time in the slot just
-// claimed (mshrStart wrote a placeholder).
-func (p *Port) patchMSHR(done uint64) {
-	i := p.l1mshrI - 1
-	if i < 0 {
-		i = len(p.l1mshr) - 1
-	}
-	p.l1mshr[i] = done
-}
-
-func (p *Port) patchL2MSHR(done uint64) {
-	i := p.l2mshrI - 1
-	if i < 0 {
-		i = len(p.l2mshr) - 1
-	}
-	p.l2mshr[i] = done
 }
 
 // issuePrefetches enqueues a batch of prefetch candidates and drains the
@@ -421,6 +483,21 @@ func (p *Port) issuePrefetches(now uint64, reqs []prefetch.Request, toL1 bool) {
 // drainPrefetchQueue issues pending prefetches until it runs out of
 // candidates, MSHRs, controller queue space, or its per-event budget.
 func (p *Port) drainPrefetchQueue(now uint64) {
+	// A drain that ended blocked on resources performed no mutation for its
+	// head entry; re-running it is pure re-reading. If the head entry, the
+	// cycle and every generation counter it read under are unchanged, the
+	// re-run provably blocks at the same point (the memory-controller limit
+	// only tightens for a fresh attempt at the same cycle), so skip it
+	// outright. Saturated phases hit this on nearly every event. A full
+	// queue displacing the blocked head (issuePrefetches bumps pqHead)
+	// invalidates the skip: the new head may well issue. Reference mode
+	// always re-drains, so the differential equivalence tests prove the
+	// skip is a pure no-op.
+	if !p.ref && p.drainBlocked && now == p.drainBlockedNow && p.pqHead == p.drainBlockedHead &&
+		p.gen == p.drainGenPort && p.sys.gen == p.drainGenSys {
+		return
+	}
+	blocked := false
 	cfg := &p.sys.cfg
 	issued := 0
 	issueAt := now
@@ -433,21 +510,35 @@ func (p *Port) drainPrefetchQueue(now uint64) {
 		}
 		if p.l2.Probe(line) {
 			if q.toL1 {
-				p.l1.Fill(line, cache.FillOpts{Prefetch: true})
+				// Absent: the L1 probe above missed; nothing fills the L1
+				// between it and here.
+				p.gen++
+				p.l1.Fill(line, cache.FillOpts{Prefetch: true, Absent: true})
 			}
 			p.pqHead++
 			continue
 		}
-		if f, ok := p.inflight[line]; ok && f.ready > now {
+		// Skip only while the line's fetch is still outstanding. A stale
+		// completed record deliberately falls through: if this re-prefetch
+		// reaches DRAM below, inflightInsert overwrites the record in place
+		// (same key, same slot) rather than skipping the issue or leaking a
+		// second entry for the line. The record itself must not be deleted
+		// here — per-port access cycles are not monotone, so an entry
+		// completed relative to this event can still be observably in flight
+		// for a later access at an earlier cycle; cleanup belongs to the
+		// deterministic prune on the demand path.
+		if f, ok := p.inflightLookup(line); ok && f.ready > now {
 			p.pqHead++
 			continue
 		}
 		if p.sys.llc.Probe(line) {
-			// Promote from LLC into L2: no DRAM traffic.
+			// Promote from LLC into L2: no DRAM traffic. Absent: the L2 (and,
+			// for toL1 entries, L1) probes above missed with no fill since.
 			p.stats.PrefetchLLC++
-			p.fillL2(line, cache.FillOpts{Prefetch: !q.toL1, LowPriority: q.req.LowPriority})
+			p.fillL2(line, cache.FillOpts{Prefetch: !q.toL1, LowPriority: q.req.LowPriority, Absent: true})
 			if q.toL1 {
-				p.l1.Fill(line, cache.FillOpts{Prefetch: true})
+				p.gen++
+				p.l1.Fill(line, cache.FillOpts{Prefetch: true, Absent: true})
 			}
 			p.pqHead++
 			issued++
@@ -455,30 +546,40 @@ func (p *Port) drainPrefetchQueue(now uint64) {
 		}
 		// A prefetch needs an L2 MSHR for its whole flight and must leave
 		// headroom for demand misses; it stays queued while none is free.
-		slot := freeMSHRReserve(p.l2mshr, now, demandMSHRReserve)
+		var slot int
+		if p.ref {
+			slot = freeMSHRReserve(p.l2mshr.times, now, demandMSHRReserve)
+		} else {
+			slot = p.l2mshr.freeReserve(now, demandMSHRReserve)
+		}
 		if slot < 0 {
+			blocked = true
 			break
 		}
 		done, ok := p.sys.dram.TryPrefetch(issueAt+cfg.LLCHitLat, line)
 		if !ok {
 			// Memory-controller prefetch queue full: wait for it to drain.
+			blocked = true
 			break
 		}
 		issueAt += prefetchIssueInterval
-		p.l2mshr[slot] = done
+		p.gen++
+		p.l2mshr.set(slot, done)
 		if q.toL1 {
 			p.stats.PrefetchDRAML1++
 		} else {
 			p.stats.PrefetchDRAM++
 		}
 		// L1-prefetcher fills carry the prefetch bit only in the L1, so the
-		// L2 coverage metrics track the L2 prefetcher alone.
-		p.fillLLC(line, cache.FillOpts{Prefetch: !q.toL1, LowPriority: q.req.LowPriority}, line)
-		p.fillL2(line, cache.FillOpts{Prefetch: !q.toL1, LowPriority: q.req.LowPriority})
+		// L2 coverage metrics track the L2 prefetcher alone. Absent: every
+		// level was probed missing above and nothing re-installed the line.
+		p.fillLLC(line, cache.FillOpts{Prefetch: !q.toL1, LowPriority: q.req.LowPriority, Absent: true}, line)
+		p.fillL2(line, cache.FillOpts{Prefetch: !q.toL1, LowPriority: q.req.LowPriority, Absent: true})
 		if q.toL1 {
-			p.l1.Fill(line, cache.FillOpts{Prefetch: true})
+			p.gen++
+			p.l1.Fill(line, cache.FillOpts{Prefetch: true, Absent: true})
 		}
-		p.inflight[line] = flight{ready: done, prefetch: true}
+		p.inflightInsert(line, flight{ready: done, prefetch: true})
 		p.pqHead++
 		issued++
 	}
@@ -486,6 +587,15 @@ func (p *Port) drainPrefetchQueue(now uint64) {
 	if p.pqHead > 64 {
 		p.pq = append(p.pq[:0], p.pq[p.pqHead:]...)
 		p.pqHead = 0
+	}
+	// Snapshot the blocked state after compaction so the recorded head
+	// position matches what the next call will see.
+	p.drainBlocked = blocked
+	if blocked {
+		p.drainBlockedNow = now
+		p.drainBlockedHead = p.pqHead
+		p.drainGenPort = p.gen
+		p.drainGenSys = p.sys.gen
 	}
 }
 
@@ -520,6 +630,7 @@ func freeMSHRReserve(ring []uint64, now uint64, reserve int) int {
 // fillL2 installs a line in the private L2, cascading dirty victims to the
 // LLC.
 func (p *Port) fillL2(line memaddr.Line, opts cache.FillOpts) {
+	p.gen++
 	v := p.l2.Fill(line, opts)
 	if v.Valid && v.Dirty {
 		p.fillLLC(v.Line, cache.FillOpts{Dirty: true}, 0)
@@ -530,6 +641,7 @@ func (p *Port) fillL2(line memaddr.Line, opts cache.FillOpts) {
 // memory. evicter is the prefetched line causing the fill (zero for demand
 // fills) — the pollution tracker uses it.
 func (p *Port) fillLLC(line memaddr.Line, opts cache.FillOpts, evicter memaddr.Line) {
+	p.sys.gen++ // LLC residency and (below) DRAM bus state change
 	v := p.sys.llc.Fill(line, opts)
 	if p.sys.pollution != nil {
 		if opts.Prefetch {
@@ -545,14 +657,15 @@ func (p *Port) fillLLC(line memaddr.Line, opts cache.FillOpts, evicter memaddr.L
 	}
 }
 
-// pruneInflight bounds the in-flight map by discarding completed entries.
+// pruneInflight bounds the reference-mode in-flight map by discarding
+// completed entries. The open-addressed table compacts itself instead.
 func (p *Port) pruneInflight(now uint64) {
-	if len(p.inflight) < 4096 {
+	if len(p.refInflight) < 4096 {
 		return
 	}
-	for l, f := range p.inflight {
+	for l, f := range p.refInflight {
 		if f.ready <= now {
-			delete(p.inflight, l)
+			delete(p.refInflight, l)
 		}
 	}
 }

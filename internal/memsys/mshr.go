@@ -1,0 +1,132 @@
+package memsys
+
+import "math/bits"
+
+// mshrRing models MSHR occupancy: a ring of completion times where a new
+// miss reuses the slot of the oldest outstanding one (round-robin claim,
+// "oldest frees first") and prefetches take any currently-free slot.
+//
+// It replaces the plain []uint64 rings whose free-slot query scanned every
+// entry per drained prefetch. The ring keeps a conservative bitmask of slots
+// known free as of some past query — a slot marked free stays free until
+// rewritten, so the mask never lies, it only understates. The free-slot
+// query is then O(1) in the common cases:
+//
+//   - enough slots already known free, none of the stale bits below the
+//     first known-free slot has expired → popcount + trailing zeros;
+//   - not enough known free → one linear pass re-derives the exact mask
+//     (the only full scan, paid when the ring is genuinely near-full).
+//
+// The answer is always exact — the same slot index and the same
+// accept/reject decision as a full scan at the query cycle — because any
+// slot the stale mask misses is re-checked before it could change the
+// result.
+type mshrRing struct {
+	times []uint64
+	idx   int // round-robin cursor for claim
+
+	lastNow  uint64 // cycle freeMask was last verified against
+	freeMask uint64 // bit i set => times[i] <= lastNow (hence free at any later cycle)
+}
+
+func newMSHRRing(n int) mshrRing {
+	if n < 1 || n > 64 {
+		panic("memsys: MSHR ring size must be in [1,64]")
+	}
+	return mshrRing{
+		times:    make([]uint64, n),
+		freeMask: fullMask(n),
+	}
+}
+
+func fullMask(n int) uint64 {
+	if n == 64 {
+		return ^uint64(0)
+	}
+	return uint64(1)<<n - 1
+}
+
+// claim implements the round-robin MSHR acquisition: the new miss takes the
+// cursor's slot, waiting for its previous occupant if still busy, and stamps
+// it with the new completion time. Returns the start cycle.
+func (r *mshrRing) claim(now, done uint64) (start uint64) {
+	start = now
+	if t := r.times[r.idx]; t > now {
+		start = t
+	}
+	r.set(r.idx, done)
+	r.idx++
+	if r.idx == len(r.times) {
+		r.idx = 0
+	}
+	return start
+}
+
+// patchLast overwrites the completion time of the slot claim just took
+// (claim wrote a placeholder when the real latency was not yet known).
+func (r *mshrRing) patchLast(done uint64) {
+	i := r.idx - 1
+	if i < 0 {
+		i = len(r.times) - 1
+	}
+	r.set(i, done)
+}
+
+// set writes a completion time, keeping the free mask conservative.
+func (r *mshrRing) set(i int, v uint64) {
+	r.times[i] = v
+	if v <= r.lastNow {
+		r.freeMask |= 1 << uint(i)
+	} else {
+		r.freeMask &^= 1 << uint(i)
+	}
+}
+
+// freeReserve returns the index of a free slot at cycle now, provided more
+// than reserve slots are free (the reserve stays available to demands);
+// -1 otherwise. It matches a full linear scan exactly: the lowest-index
+// free slot wins.
+func (r *mshrRing) freeReserve(now uint64, reserve int) int {
+	if now < r.lastNow {
+		// Time moved backwards (non-monotonic test drivers): known-free no
+		// longer implies free, so re-derive everything at this cycle.
+		r.rescan(now)
+	}
+	r.lastNow = now
+	for {
+		if bits.OnesCount64(r.freeMask) <= reserve {
+			// Not enough known free: check every stale slot once.
+			if r.rescan(now); bits.OnesCount64(r.freeMask) <= reserve {
+				return -1
+			}
+		}
+		first := bits.TrailingZeros64(r.freeMask)
+		// Slots below the first known-free one may have expired since the
+		// mask was last verified; the true first free slot would be among
+		// them. They are typically none.
+		low := ^r.freeMask & (uint64(1)<<uint(first) - 1)
+		for low != 0 {
+			i := bits.TrailingZeros64(low)
+			low &= low - 1
+			if r.times[i] <= now {
+				r.freeMask |= 1 << uint(i)
+				first = -1 // mask grew below: recompute
+			}
+		}
+		if first >= 0 {
+			return first
+		}
+	}
+}
+
+// rescan re-derives the exact free mask at cycle now in one linear pass.
+func (r *mshrRing) rescan(now uint64) {
+	r.lastNow = now
+	free := uint64(0)
+	for i, t := range r.times {
+		if t <= now {
+			free |= 1 << uint(i)
+		}
+	}
+	r.freeMask = free
+}

@@ -1,0 +1,13 @@
+// Package perfbench holds the simulator's micro-benchmarks: the per-layer
+// numbers (Port.Access, DRAM.Access, DSPatch.Train) and an end-to-end run
+// that together make up the BENCH_*.json performance trajectory.
+//
+// Run them with:
+//
+//	go test -bench=. -benchmem ./internal/perfbench
+//
+// and compare two trajectories with benchstat (see the README's Performance
+// section). TestPortAccessSteadyStateZeroAllocs turns the hot path's
+// zero-allocation property into a regression test, so CI fails if an
+// allocation sneaks back into the per-reference path.
+package perfbench

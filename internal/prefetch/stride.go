@@ -32,6 +32,7 @@ type strideEntry struct {
 type Stride struct {
 	cfg   StrideConfig
 	table []strideEntry
+	bits  uint // log2(Entries), precomputed: Train indexes per access
 }
 
 // NewStride builds a stride prefetcher.
@@ -39,7 +40,7 @@ func NewStride(cfg StrideConfig) *Stride {
 	if cfg.Entries <= 0 || cfg.Entries&(cfg.Entries-1) != 0 {
 		panic("prefetch: stride entries must be a power of two")
 	}
-	return &Stride{cfg: cfg, table: make([]strideEntry, cfg.Entries)}
+	return &Stride{cfg: cfg, table: make([]strideEntry, cfg.Entries), bits: uint(log2(cfg.Entries))}
 }
 
 // Name implements Prefetcher.
@@ -47,7 +48,7 @@ func (s *Stride) Name() string { return "l1stride" }
 
 // Train implements Prefetcher.
 func (s *Stride) Train(a Access, _ Context, dst []Request) []Request {
-	idx := memaddr.FoldXOR(uint64(a.PC), uint(log2(s.cfg.Entries)))
+	idx := memaddr.FoldXOR(uint64(a.PC), s.bits)
 	e := &s.table[idx]
 	if !e.valid || e.tag != uint64(a.PC) {
 		*e = strideEntry{tag: uint64(a.PC), lastLine: a.Line, valid: true}

@@ -1,0 +1,139 @@
+package sim
+
+import (
+	"reflect"
+	"testing"
+
+	"dspatch/internal/cache"
+	"dspatch/internal/memsys"
+	"dspatch/internal/trace"
+)
+
+// resultSnapshot flattens everything observable about a run — the Result
+// fields plus every per-port stats counter — into a comparable value, so the
+// differential tests can assert bit-identity without chasing live pointers.
+type resultSnapshot struct {
+	IPC              []float64
+	Cycles           uint64
+	Coverage         float64
+	MispredRate      float64
+	Accuracy         float64
+	AvgBandwidthGBps float64
+	Pollution        [3]float64
+
+	PortStats  []memsys.CoverageStats
+	Useful     []uint64
+	Unused     []uint64
+	L1Stats    []cache.Stats
+	L2Stats    []cache.Stats
+	LLCStats   cache.Stats
+	DSPatchHit []uint64 // DSPatch Triggers counter per port, when present
+}
+
+func snapshot(r Result) resultSnapshot {
+	s := resultSnapshot{
+		IPC:              r.IPC,
+		Cycles:           r.Cycles,
+		Coverage:         r.Coverage,
+		MispredRate:      r.MispredRate,
+		Accuracy:         r.Accuracy,
+		AvgBandwidthGBps: r.AvgBandwidthGBps,
+		Pollution:        r.Pollution,
+	}
+	for i, p := range r.Ports {
+		s.PortStats = append(s.PortStats, p.Stats())
+		s.Useful = append(s.Useful, p.UsefulPrefetches())
+		s.Unused = append(s.Unused, p.UnusedPrefetches())
+		s.L1Stats = append(s.L1Stats, p.L1().Stats())
+		s.L2Stats = append(s.L2Stats, p.L2().Stats())
+		if i == 0 {
+			// The LLC is shared; record it once.
+			s.LLCStats = p.SharedLLC().Stats()
+		}
+		if d := FindDSPatch(p.L2Prefetcher()); d != nil {
+			s.DSPatchHit = append(s.DSPatchHit, d.Stats().Triggers)
+		}
+	}
+	return s
+}
+
+// runBoth simulates the same job with the optimized memory-system structures
+// and with the pre-optimization reference (map-based in-flight tracking,
+// linear MSHR scans, scan-the-ways cache tag stores) and returns both
+// snapshots.
+func runBoth(ws []trace.Workload, opt Options) (optimized, reference resultSnapshot) {
+	opt.referenceMemsys = false
+	optimized = snapshot(Run(ws, opt))
+	opt.referenceMemsys = true
+	reference = snapshot(Run(ws, opt))
+	return optimized, reference
+}
+
+// TestEquivalenceSingleThread is the tentpole's differential acceptance
+// test: for one workload of every category on the paper's single-thread
+// machine, the open-addressed in-flight table and the O(1) MSHR ring produce
+// a bit-identical Result — every field, every stats counter — versus the
+// structures they replaced.
+func TestEquivalenceSingleThread(t *testing.T) {
+	for _, cat := range trace.Categories {
+		ws := trace.ByCategory(cat)
+		if len(ws) == 0 {
+			t.Fatalf("category %s has no workloads", cat)
+		}
+		w := ws[0]
+		for _, pf := range []PF{PFDSPatchSPP, PFESPP} {
+			opt := DefaultST()
+			opt.Refs = 6_000
+			opt.L2 = pf
+			got, want := runBoth([]trace.Workload{w}, opt)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s/%s: optimized result differs from reference\noptimized: %+v\nreference: %+v",
+					cat, w.Name, pf, got, want)
+			}
+		}
+	}
+}
+
+// TestEquivalenceMultiProgrammed repeats the differential check on the
+// 4-core DefaultMP machine, where ports contend for the shared LLC and DRAM.
+func TestEquivalenceMultiProgrammed(t *testing.T) {
+	mix1 := []trace.Workload{
+		trace.ByCategory(trace.Client)[0],
+		trace.ByCategory(trace.HPC)[0],
+		trace.ByCategory(trace.ISPEC06)[0],
+		trace.ByCategory(trace.Cloud)[0],
+	}
+	mix2 := []trace.Workload{
+		trace.ByCategory(trace.Server)[0],
+		trace.ByCategory(trace.FSPEC06)[0],
+		trace.ByCategory(trace.FSPEC17)[0],
+		trace.ByCategory(trace.SYSmark)[0],
+	}
+	for i, mix := range [][]trace.Workload{mix1, mix2} {
+		for _, pf := range []PF{PFDSPatchSPP, PFSPP} {
+			opt := DefaultMP()
+			opt.Refs = 4_000
+			opt.L2 = pf
+			got, want := runBoth(mix, opt)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("mix%d/%s: optimized MP result differs from reference\noptimized: %+v\nreference: %+v",
+					i+1, pf, got, want)
+			}
+		}
+	}
+}
+
+// TestEquivalenceBaseline covers the no-L2-prefetcher path (stride L1 only),
+// which every figure's baseline runs through.
+func TestEquivalenceBaseline(t *testing.T) {
+	for _, cat := range trace.Categories {
+		w := trace.ByCategory(cat)[0]
+		opt := DefaultST()
+		opt.Refs = 6_000
+		opt.L2 = PFNone
+		got, want := runBoth([]trace.Workload{w}, opt)
+		if !reflect.DeepEqual(got, want) {
+			t.Errorf("%s/%s: optimized baseline differs from reference", cat, w.Name)
+		}
+	}
+}

@@ -28,6 +28,12 @@ type Options struct {
 	SMSPHTEntries int
 	// TrackPollution enables the Fig. 20 victim taxonomy.
 	TrackPollution bool
+
+	// referenceMemsys selects the pre-optimization memory-system bookkeeping
+	// (map-based in-flight tracking, linear MSHR scans). Unexported: only the
+	// differential equivalence tests set it, to prove the optimized
+	// structures bit-identical.
+	referenceMemsys bool
 }
 
 // DefaultST returns the paper's single-thread configuration: one core, 2MB
@@ -83,6 +89,7 @@ func Run(ws []trace.Workload, opt Options) Result {
 	}
 	d := dram.New(opt.DRAM)
 	cfg := memsys.DefaultConfig(opt.LLCBytes)
+	cfg.Reference = opt.referenceMemsys
 
 	var l1f func() prefetch.Prefetcher
 	if !opt.NoL1Stride {

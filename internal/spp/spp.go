@@ -97,12 +97,18 @@ type SPP struct {
 	enhanced   bool
 	name       string
 	lowPronoun bool
+
+	stMask uint64 // STEntries-1; table indexing runs on every training event
+	ptMask uint64 // PTEntries-1
 }
 
 // New builds an SPP instance.
 func New(cfg Config) *SPP {
 	if cfg.FilterSize&(cfg.FilterSize-1) != 0 {
 		panic("spp: filter size must be a power of two")
+	}
+	if cfg.STEntries&(cfg.STEntries-1) != 0 || cfg.PTEntries&(cfg.PTEntries-1) != 0 {
+		panic("spp: table sizes must be powers of two")
 	}
 	name := "spp"
 	if cfg.LowBWThresholdPct > 0 {
@@ -116,6 +122,8 @@ func New(cfg Config) *SPP {
 		filter:    make([]memaddr.Line, cfg.FilterSize),
 		filterSet: make([]bool, cfg.FilterSize),
 		name:      name,
+		stMask:    uint64(cfg.STEntries - 1),
+		ptMask:    uint64(cfg.PTEntries - 1),
 	}
 }
 
@@ -175,8 +183,7 @@ func (s *SPP) Train(a prefetch.Access, ctx prefetch.Context, dst []prefetch.Requ
 }
 
 func (s *SPP) lookupST(page memaddr.Page) *stEntry {
-	idx := uint64(page) % uint64(s.cfg.STEntries)
-	e := &s.st[idx]
+	e := &s.st[uint64(page)&s.stMask]
 	if e.valid && e.tag == uint64(page) {
 		return e
 	}
@@ -184,15 +191,14 @@ func (s *SPP) lookupST(page memaddr.Page) *stEntry {
 }
 
 func (s *SPP) allocST(page memaddr.Page, off int) *stEntry {
-	idx := uint64(page) % uint64(s.cfg.STEntries)
-	e := &s.st[idx]
+	e := &s.st[uint64(page)&s.stMask]
 	*e = stEntry{tag: uint64(page), lastOff: off, valid: true, used: s.clock}
 	return e
 }
 
 // updatePT records that signature sig was followed by delta.
 func (s *SPP) updatePT(sig uint16, delta int) {
-	p := &s.pt[uint64(sig)%uint64(s.cfg.PTEntries)]
+	p := &s.pt[uint64(sig)&s.ptMask]
 	p.cSig++
 	slot := -1
 	minC, minI := 1<<30, 0
@@ -234,9 +240,10 @@ func (s *SPP) threshold(ctx prefetch.Context) int {
 func (s *SPP) lookahead(page memaddr.Page, off int, sig uint16, pathPct int, ctx prefetch.Context, dst []prefetch.Request) []prefetch.Request {
 	thr := s.threshold(ctx)
 	alpha := s.accuracyPct()
+	thr100 := 100 * thr
 	curOff, curSig, p := off, sig, pathPct
 	for depth := 0; depth < s.cfg.MaxLookahead && p >= thr; depth++ {
-		pe := &s.pt[uint64(curSig)%uint64(s.cfg.PTEntries)]
+		pe := &s.pt[uint64(curSig)&s.ptMask]
 		if pe.cSig == 0 {
 			break
 		}
@@ -246,8 +253,10 @@ func (s *SPP) lookahead(page memaddr.Page, off int, sig uint16, pathPct int, ctx
 				continue
 			}
 			conf := 100 * pe.cDelta[i] / pe.cSig
-			cand := p * conf / 100
-			if cand >= thr {
+			// p*conf/100 >= thr without the division: all terms nonnegative,
+			// so the floored quotient clears thr exactly when p*conf clears
+			// 100*thr.
+			if p*conf >= thr100 {
 				t := curOff + int(pe.deltas[i])
 				if t >= 0 && t < memaddr.LinesPage {
 					dst = s.issue(page.Line(t), dst)
