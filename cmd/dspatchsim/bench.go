@@ -19,7 +19,7 @@ const benchSchema = "dspatch-bench/1"
 // benchRepeats is how many times each configuration runs; the fastest wall
 // time wins, which is the standard way to shave scheduler noise off
 // throughput measurements.
-const benchRepeats = 3
+const benchRepeats = 5
 
 // BenchConfig is one measured simulation configuration.
 type BenchConfig struct {
@@ -74,6 +74,28 @@ func benchPlan() []struct {
 		{"dspatch+spp-mcf", []string{"mcf"}, sim.PFDSPatchSPP, false},
 		{"mp4-dspatch+spp", []string{"tpcc", "linpack", "mcf", "specjbb"}, sim.PFDSPatchSPP, true},
 	}
+}
+
+// benchNeedsLongerTrace reports whether the bench roster would replay the
+// imported stream m past its recorded end (imported traces cannot extend),
+// and the per-run ref count it would need. Only (workload, lane-seed) pairs
+// the plan actually simulates are considered.
+func benchNeedsLongerTrace(m *trace.Materialized, refs int) (bool, int) {
+	if refs <= 0 {
+		refs = 20_000
+	}
+	if refs <= m.Len() {
+		return false, refs
+	}
+	for _, c := range benchPlan() {
+		for lane, name := range c.ws {
+			// Both bench machines run at Options.Seed 1.
+			if name == m.Name() && m.Seed() == 1+int64(lane)*sim.LaneSeedStride {
+				return true, refs
+			}
+		}
+	}
+	return false, refs
 }
 
 // runBench measures the plan and writes the trajectory point to path (or

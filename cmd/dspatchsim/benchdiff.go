@@ -1,0 +1,68 @@
+package main
+
+import (
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+)
+
+// runBenchDiff renders a per-config ns/ref delta table (GitHub-flavoured
+// markdown) between two BENCH_*.json trajectory points. CI appends it to the
+// job summary so every PR shows its simulator-throughput delta against the
+// last committed point. It is informational only — callers decide whether
+// any regression gates.
+func runBenchDiff(oldPath, newPath string, w io.Writer) error {
+	oldFile, err := readBenchFile(oldPath)
+	if err != nil {
+		return err
+	}
+	newFile, err := readBenchFile(newPath)
+	if err != nil {
+		return err
+	}
+
+	oldBy := map[string]BenchConfig{}
+	for _, c := range oldFile.Configs {
+		oldBy[c.Name] = c
+	}
+
+	fmt.Fprintf(w, "### Simulator throughput: %s vs %s\n\n", oldPath, newPath)
+	fmt.Fprintf(w, "| config | old ns/ref | new ns/ref | delta | old allocs/ref | new allocs/ref |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|---:|---:|\n")
+	for _, n := range newFile.Configs {
+		o, ok := oldBy[n.Name]
+		if !ok {
+			fmt.Fprintf(w, "| %s | — | %.1f | new | — | %.3f |\n", n.Name, n.NsPerRef, n.AllocsPerRef)
+			continue
+		}
+		delta := "n/a"
+		if o.NsPerRef > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(n.NsPerRef-o.NsPerRef)/o.NsPerRef)
+		}
+		fmt.Fprintf(w, "| %s | %.1f | %.1f | %s | %.3f | %.3f |\n",
+			n.Name, o.NsPerRef, n.NsPerRef, delta, o.AllocsPerRef, n.AllocsPerRef)
+	}
+	fmt.Fprintf(w, "\n(negative delta = faster; refs/core old %d, new %d; hosts may differ)\n",
+		refsOf(oldFile), refsOf(newFile))
+	return nil
+}
+
+func readBenchFile(path string) (BenchFile, error) {
+	var f BenchFile
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return f, fmt.Errorf("bench-diff: %w", err)
+	}
+	if err := json.Unmarshal(data, &f); err != nil {
+		return f, fmt.Errorf("bench-diff: %s: %w", path, err)
+	}
+	return f, nil
+}
+
+func refsOf(f BenchFile) int {
+	if len(f.Configs) > 0 {
+		return f.Configs[0].Refs
+	}
+	return 0
+}

@@ -5,7 +5,11 @@
 //	dspatchsim -experiment fig12           # quick scale (default)
 //	dspatchsim -experiment fig15 -full     # full 75-workload roster
 //	dspatchsim -experiment all -parallel 8 # pin the simulation worker count
+//	dspatchsim -experiment all -cache-dir ~/.cache/dspatchsim  # reuse runs across invocations
 //	dspatchsim -bench                      # emit a BENCH_<date>.json perf point
+//	dspatchsim -bench-diff OLD.json,NEW.json  # per-config ns/ref delta table
+//	dspatchsim -trace-export tpcc.trace -workload tpcc -refs 50000
+//	dspatchsim -trace-import tpcc.trace -experiment fig12
 //	dspatchsim -experiment all -cpuprofile cpu.prof
 //	dspatchsim -list
 package main
@@ -20,6 +24,8 @@ import (
 	"strings"
 
 	"dspatch/internal/experiments"
+	"dspatch/internal/sim"
+	"dspatch/internal/trace"
 )
 
 var experimentOrder = []string{
@@ -44,6 +50,13 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 	list := fs.Bool("list", false, "list experiment ids")
 	bench := fs.Bool("bench", false, "measure simulator throughput and write a BENCH_<date>.json trajectory point")
 	benchOut := fs.String("bench-out", "", "path for the -bench JSON (default BENCH_<date>.json)")
+	benchDiff := fs.String("bench-diff", "", "OLD.json,NEW.json: print a per-config ns/ref delta table between two bench points")
+	cacheDir := fs.String("cache-dir", "", "persistent run-cache directory: completed simulations are reused across process invocations")
+	noCache := fs.Bool("no-cache", false, "ignore -cache-dir (force every simulation to run)")
+	traceExport := fs.String("trace-export", "", "record the -workload reference stream and write it to this file")
+	traceImport := fs.String("trace-import", "", "load a trace file; its refs replace the generator for that (workload, seed)")
+	workload := fs.String("workload", "", "workload name for -trace-export (see internal/trace roster)")
+	seed := fs.Int64("seed", 1, "generator seed for -trace-export")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -57,11 +70,76 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stdout, strings.Join(experimentOrder, "\n"))
 		return 0
 	}
-	if *exp == "" && !*bench {
-		fmt.Fprintln(stderr, "usage: dspatchsim -experiment <id|all> [-full] [-refs N] [-parallel N]")
+	if *benchDiff != "" {
+		parts := strings.SplitN(*benchDiff, ",", 2)
+		if len(parts) != 2 {
+			fmt.Fprintln(stderr, "bench-diff: want OLD.json,NEW.json")
+			return 2
+		}
+		if err := runBenchDiff(parts[0], parts[1], stdout); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
+	if *exp == "" && !*bench && *traceExport == "" && *traceImport == "" {
+		fmt.Fprintln(stderr, "usage: dspatchsim -experiment <id|all> [-full] [-refs N] [-parallel N] [-cache-dir DIR]")
 		fmt.Fprintln(stderr, "       dspatchsim -bench [-refs N] [-bench-out FILE]")
+		fmt.Fprintln(stderr, "       dspatchsim -bench-diff OLD.json,NEW.json")
+		fmt.Fprintln(stderr, "       dspatchsim -trace-export FILE -workload NAME [-refs N] [-seed N]")
+		fmt.Fprintln(stderr, "       dspatchsim -trace-import FILE [-experiment ...]")
 		fmt.Fprintln(stderr, "ids:", strings.Join(experimentOrder, " "))
 		return 2
+	}
+
+	// The run-cache directory is set (or cleared) on every invocation: the
+	// engine is process-global, so a stale directory from an earlier call in
+	// the same process must not leak into one that disabled it. An imported
+	// trace changes simulation inputs in a way the cache key (workload name
+	// + seed) cannot distinguish from the synthetic generator, so importing
+	// forces the cache off for the invocation.
+	activeCacheDir := ""
+	if *cacheDir != "" && !*noCache {
+		if *traceImport != "" {
+			fmt.Fprintln(stderr, "note: persistent run cache disabled for this invocation: -trace-import replaces a stream the cache key does not capture")
+		} else {
+			activeCacheDir = *cacheDir
+		}
+	}
+	if err := experiments.SetCacheDir(activeCacheDir); err != nil {
+		fmt.Fprintln(stderr, err)
+		return 1
+	}
+
+	var imported *trace.Materialized
+	importedKnown := false // name was already in the roster (a generator stream was replaced)
+	if *traceImport != "" {
+		m, known, err := importTrace(*traceImport)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		imported, importedKnown = m, known
+		fmt.Fprintf(stdout, "imported trace %s: workload %q seed %d refs %d\n",
+			*traceImport, m.Name(), m.Seed(), m.Len())
+		if *exp == "" && !*bench && *traceExport == "" {
+			return 0
+		}
+	}
+	if *traceExport != "" {
+		if *workload == "" {
+			fmt.Fprintln(stderr, "trace-export: -workload is required")
+			return 2
+		}
+		n, err := exportTrace(*traceExport, *workload, *seed, *refs)
+		if err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		fmt.Fprintf(stdout, "exported %d refs of %q (seed %d) to %s\n", n, *workload, *seed, *traceExport)
+		if *exp == "" && !*bench {
+			return 0
+		}
 	}
 
 	if *cpuprofile != "" {
@@ -93,6 +171,13 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 	}
 
 	if *bench {
+		if imported != nil {
+			if short, need := benchNeedsLongerTrace(imported, *refs); short {
+				fmt.Fprintf(stderr, "trace-import: %q holds %d refs but the bench roster simulates %d per run; re-export with more refs\n",
+					imported.Name(), imported.Len(), need)
+				return 2
+			}
+		}
 		if _, err := runBench(*refs, *benchOut, stdout); err != nil {
 			fmt.Fprintln(stderr, "bench:", err)
 			return 1
@@ -111,6 +196,26 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 	}
 	scale = scale.WithParallel(*parallel)
 
+	// Guard the documented import-then-experiment flow up front: an imported
+	// trace cannot be extended, so an experiment that actually replays it
+	// past its end would panic mid-simulation. Only streams the experiments
+	// can reach are checked — a roster-known name at one of the lane seeds
+	// the engine derives from the scale seed; an unknown-name or
+	// foreign-seed import is never read and must not block the run.
+	if imported != nil && *exp != "" && importedKnown && scale.Refs > imported.Len() {
+		seedReachable := false
+		for lane := int64(0); lane < 4; lane++ {
+			if imported.Seed() == scale.Seed+lane*sim.LaneSeedStride {
+				seedReachable = true
+			}
+		}
+		if seedReachable {
+			fmt.Fprintf(stderr, "trace-import: %q holds %d refs but the requested scale simulates %d per run; re-export with more refs or pass -refs %d\n",
+				imported.Name(), imported.Len(), scale.Refs, imported.Len())
+			return 2
+		}
+	}
+
 	ids := []string{*exp}
 	if *exp == "all" {
 		ids = experimentOrder
@@ -122,6 +227,53 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 		}
 	}
 	return 0
+}
+
+// exportTrace materializes refs references of the named workload at seed and
+// writes the scenario file. refs <= 0 uses the single-thread default.
+func exportTrace(path, name string, seed int64, refs int) (int, error) {
+	w, ok := trace.ByName(name)
+	if !ok {
+		return 0, fmt.Errorf("trace-export: unknown workload %q", name)
+	}
+	if refs <= 0 {
+		refs = 40_000
+	}
+	m := trace.Shared(w, seed)
+	if !m.CanExtend() && m.Len() < refs {
+		// The stream was itself imported this invocation; it cannot grow.
+		return 0, fmt.Errorf("trace-export: %q holds %d refs and cannot be extended to %d", name, m.Len(), refs)
+	}
+	trace.Replay(w, seed, refs) // extend the recording to refs
+	f, err := os.Create(path)
+	if err != nil {
+		return 0, fmt.Errorf("trace-export: %w", err)
+	}
+	if err := m.Export(f, refs); err != nil {
+		f.Close()
+		return 0, fmt.Errorf("trace-export: %w", err)
+	}
+	return refs, f.Close()
+}
+
+// importTrace loads a scenario file and registers it as the process-wide
+// stream for its (workload, seed): experiments naming that workload at that
+// seed replay the imported refs instead of the synthetic generator. The
+// second result reports whether the name was already in the roster (i.e. a
+// generator-backed stream was replaced rather than a new workload added).
+func importTrace(path string) (*trace.Materialized, bool, error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, false, fmt.Errorf("trace-import: %w", err)
+	}
+	defer f.Close()
+	m, err := trace.Import(f)
+	if err != nil {
+		return nil, false, err
+	}
+	_, known := trace.ByName(m.Name())
+	trace.RegisterShared(m)
+	return m, known, nil
 }
 
 // run renders one experiment to w, reporting whether id was recognized.

@@ -2,6 +2,9 @@ package main
 
 import (
 	"bytes"
+
+	"dspatch/internal/experiments"
+	"dspatch/internal/trace"
 	"encoding/json"
 	"os"
 	"path/filepath"
@@ -134,5 +137,162 @@ func TestProfileFlagsWriteFiles(t *testing.T) {
 		if st.Size() == 0 {
 			t.Errorf("profile %s is empty", p)
 		}
+	}
+}
+
+func TestTraceExportImportRoundTrip(t *testing.T) {
+	defer trace.ResetShared() // imports replace process-wide streams
+	dir := t.TempDir()
+	path := filepath.Join(dir, "linpack.trace")
+	var out, errb bytes.Buffer
+	if code := appMain([]string{"-trace-export", path, "-workload", "linpack", "-refs", "1000", "-seed", "3"}, &out, &errb); code != 0 {
+		t.Fatalf("trace-export exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), "exported 1000 refs") {
+		t.Fatalf("unexpected export output: %s", out.String())
+	}
+	out.Reset()
+	if code := appMain([]string{"-trace-import", path}, &out, &errb); code != 0 {
+		t.Fatalf("trace-import exit %d, stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(out.String(), `workload "linpack" seed 3 refs 1000`) {
+		t.Fatalf("unexpected import output: %s", out.String())
+	}
+}
+
+func TestTraceExportRequiresWorkload(t *testing.T) {
+	var out, errb bytes.Buffer
+	if code := appMain([]string{"-trace-export", filepath.Join(t.TempDir(), "x.trace")}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2", code)
+	}
+}
+
+func TestTraceImportRejectsGarbage(t *testing.T) {
+	path := filepath.Join(t.TempDir(), "bad.trace")
+	if err := os.WriteFile(path, []byte("not a trace"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := appMain([]string{"-trace-import", path}, &out, &errb); code != 1 {
+		t.Fatalf("exit = %d, want 1 (stderr: %s)", code, errb.String())
+	}
+}
+
+func TestCacheDirSecondRunIdentical(t *testing.T) {
+	cache := filepath.Join(t.TempDir(), "cache")
+	args := []string{"-experiment", "fig4", "-refs", "600", "-parallel", "1", "-cache-dir", cache}
+	var out1, out2, errb bytes.Buffer
+	if code := appMain(args, &out1, &errb); code != 0 {
+		t.Fatalf("first run exit %d, stderr: %s", code, errb.String())
+	}
+	entries, err := filepath.Glob(filepath.Join(cache, "*.json"))
+	if err != nil || len(entries) == 0 {
+		t.Fatalf("cache dir empty after run (err %v)", err)
+	}
+	// Drop the in-process memo so the second invocation genuinely reads the
+	// disk entries, as a second process would.
+	experiments.ResetMemo()
+	if code := appMain(args, &out2, &errb); code != 0 {
+		t.Fatalf("second run exit %d, stderr: %s", code, errb.String())
+	}
+	if out1.String() != out2.String() {
+		t.Fatal("cache-served second run printed different output")
+	}
+}
+
+func TestBenchDiffTable(t *testing.T) {
+	dir := t.TempDir()
+	oldP := filepath.Join(dir, "old.json")
+	newP := filepath.Join(dir, "new.json")
+	var out, errb bytes.Buffer
+	if code := appMain([]string{"-bench", "-refs", "400", "-bench-out", oldP}, &out, &errb); code != 0 {
+		t.Fatalf("bench exit %d: %s", code, errb.String())
+	}
+	if code := appMain([]string{"-bench", "-refs", "400", "-bench-out", newP}, &out, &errb); code != 0 {
+		t.Fatalf("bench exit %d: %s", code, errb.String())
+	}
+	out.Reset()
+	if code := appMain([]string{"-bench-diff", oldP + "," + newP}, &out, &errb); code != 0 {
+		t.Fatalf("bench-diff exit %d: %s", code, errb.String())
+	}
+	for _, want := range []string{"| config |", "dspatch+spp-tpcc", "%"} {
+		if !strings.Contains(out.String(), want) {
+			t.Errorf("bench-diff output missing %q:\n%s", want, out.String())
+		}
+	}
+	if code := appMain([]string{"-bench-diff", "missing.json," + newP}, &out, &errb); code != 1 {
+		t.Fatalf("bench-diff with missing file: exit %d, want 1", code)
+	}
+}
+
+func TestTraceImportTooShortForScale(t *testing.T) {
+	defer trace.ResetShared() // imports replace process-wide streams
+	dir := t.TempDir()
+	path := filepath.Join(dir, "short.trace")
+	var out, errb bytes.Buffer
+	if code := appMain([]string{"-trace-export", path, "-workload", "linpack", "-refs", "500"}, &out, &errb); code != 0 {
+		t.Fatalf("export exit %d: %s", code, errb.String())
+	}
+	errb.Reset()
+	if code := appMain([]string{"-trace-import", path, "-experiment", "fig4", "-refs", "2000"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2 (refs exceed imported length); stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "holds 500 refs") {
+		t.Errorf("error should explain the length limit: %s", errb.String())
+	}
+}
+
+func TestTraceImportDisablesRunCache(t *testing.T) {
+	defer trace.ResetShared() // imports replace process-wide streams
+	dir := t.TempDir()
+	path := filepath.Join(dir, "t.trace")
+	cache := filepath.Join(dir, "cache")
+	var out, errb bytes.Buffer
+	if code := appMain([]string{"-trace-export", path, "-workload", "linpack", "-refs", "1500"}, &out, &errb); code != 0 {
+		t.Fatalf("export exit %d: %s", code, errb.String())
+	}
+	errb.Reset()
+	if code := appMain([]string{"-trace-import", path, "-experiment", "fig4", "-refs", "800", "-cache-dir", cache, "-parallel", "1"}, &out, &errb); code != 0 {
+		t.Fatalf("exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "cache disabled") {
+		t.Errorf("stderr should note the disabled cache: %s", errb.String())
+	}
+	if entries, _ := filepath.Glob(filepath.Join(cache, "*.json")); len(entries) != 0 {
+		t.Errorf("cache entries written despite -trace-import: %v", entries)
+	}
+}
+
+func TestTraceImportBenchGuard(t *testing.T) {
+	defer trace.ResetShared() // imports replace process-wide streams
+	dir := t.TempDir()
+	path := filepath.Join(dir, "tpcc.trace")
+	var out, errb bytes.Buffer
+	if code := appMain([]string{"-trace-export", path, "-workload", "tpcc", "-refs", "500"}, &out, &errb); code != 0 {
+		t.Fatalf("export exit %d: %s", code, errb.String())
+	}
+	errb.Reset()
+	if code := appMain([]string{"-trace-import", path, "-bench", "-refs", "2000"}, &out, &errb); code != 2 {
+		t.Fatalf("exit = %d, want 2 (bench exceeds imported length); stderr: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "holds 500 refs") {
+		t.Errorf("error should explain the length limit: %s", errb.String())
+	}
+}
+
+func TestTraceImportUnreachableStreamDoesNotBlock(t *testing.T) {
+	defer trace.ResetShared()
+	dir := t.TempDir()
+	path := filepath.Join(dir, "ext.trace")
+	var out, errb bytes.Buffer
+	// Record at a seed no experiment lane reaches, then rename to an
+	// unknown workload: the experiment must run even though the imported
+	// trace is far shorter than the scale.
+	if code := appMain([]string{"-trace-export", path, "-workload", "linpack", "-refs", "300", "-seed", "77"}, &out, &errb); code != 0 {
+		t.Fatalf("export exit %d: %s", code, errb.String())
+	}
+	errb.Reset()
+	if code := appMain([]string{"-trace-import", path, "-experiment", "fig4", "-refs", "1500", "-parallel", "1"}, &out, &errb); code != 0 {
+		t.Fatalf("foreign-seed import blocked the experiment: exit %d, stderr: %s", code, errb.String())
 	}
 }

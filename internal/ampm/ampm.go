@@ -9,6 +9,7 @@
 package ampm
 
 import (
+	"dspatch/internal/idx"
 	"dspatch/internal/memaddr"
 	"dspatch/internal/prefetch"
 )
@@ -18,6 +19,10 @@ type Config struct {
 	Maps      int // concurrently tracked pages
 	MaxStride int // largest stride considered
 	Degree    int // max prefetches per access
+
+	// Reference selects the pre-optimization linear map scan instead of the
+	// hashed page index; only the differential equivalence tests set it.
+	Reference bool
 }
 
 // DefaultConfig returns a 64-page AMPM comparable to the other prefetchers'
@@ -37,11 +42,15 @@ type AMPM struct {
 	cfg   Config
 	maps  []mapEntry
 	clock uint64
+
+	// mapIdx maps live page numbers to their map slots for the O(1) per-train
+	// lookup; Reference mode scans the maps directly and must agree.
+	mapIdx *idx.Table
 }
 
 // New builds an AMPM instance.
 func New(cfg Config) *AMPM {
-	return &AMPM{cfg: cfg, maps: make([]mapEntry, cfg.Maps)}
+	return &AMPM{cfg: cfg, maps: make([]mapEntry, cfg.Maps), mapIdx: idx.New(cfg.Maps)}
 }
 
 // Name implements prefetch.Prefetcher.
@@ -87,10 +96,16 @@ func (a *AMPM) Train(acc prefetch.Access, _ prefetch.Context, dst []prefetch.Req
 }
 
 func (a *AMPM) lookup(page memaddr.Page) *mapEntry {
-	for i := range a.maps {
-		if a.maps[i].valid && a.maps[i].page == page {
-			return &a.maps[i]
+	if a.cfg.Reference {
+		for i := range a.maps {
+			if a.maps[i].valid && a.maps[i].page == page {
+				return &a.maps[i]
+			}
 		}
+		return nil
+	}
+	if i, ok := a.mapIdx.Get(uint64(page)); ok {
+		return &a.maps[i]
 	}
 	return nil
 }
@@ -107,7 +122,11 @@ func (a *AMPM) alloc(page memaddr.Page) *mapEntry {
 			oldest, victim = a.maps[i].used, i
 		}
 	}
+	if a.maps[victim].valid {
+		a.mapIdx.Del(uint64(a.maps[victim].page))
+	}
 	a.maps[victim] = mapEntry{page: page, valid: true, used: a.clock}
+	a.mapIdx.Put(uint64(page), victim)
 	return &a.maps[victim]
 }
 

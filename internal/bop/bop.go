@@ -134,11 +134,12 @@ func (b *BOP) Train(a prefetch.Access, ctx prefetch.Context, dst []prefetch.Requ
 		return dst
 	}
 	x := a.Line
+	page := x.Page()
 
 	// Learning: test the next offset in the round-robin schedule.
 	d := offsetList[b.testIdx]
 	cand := int64(x) - int64(d)
-	if cand >= 0 && memaddr.Line(cand).Page() == x.Page() && b.rrContains(memaddr.Line(cand)) {
+	if cand >= 0 && memaddr.Line(cand).Page() == page && b.rrContains(memaddr.Line(cand)) {
 		b.scores[b.testIdx]++
 		if b.scores[b.testIdx] >= b.cfg.MaxScore {
 			b.adopt(b.testIdx)
@@ -160,7 +161,6 @@ func (b *BOP) Train(a prefetch.Access, ctx prefetch.Context, dst []prefetch.Requ
 		return dst
 	}
 	deg := b.degree(ctx)
-	page := x.Page()
 	for i := 1; i <= deg; i++ {
 		t := int64(x) + int64(i*b.bestOff)
 		if t < 0 || memaddr.Line(t).Page() != page {

@@ -164,6 +164,22 @@ func popShift(mask uint64) int {
 func (c *Cache) findWay(set []uint64, tag uint64) int {
 	part := byteLSBs * (tag & 0xFF)
 	fl := set[0]
+	if c.ways <= 8 {
+		// Single partial-tag word (the L1/L2 geometry): no outer loop.
+		x := set[1] ^ part
+		m := (x - byteLSBs) &^ x & byteMSBs
+		for m != 0 {
+			way := bits.TrailingZeros64(m) >> 3
+			m &= m - 1
+			if way >= c.ways {
+				break
+			}
+			if set[c.tagOff+way] == tag && fl>>(uint(way)*4)&fValid != 0 {
+				return way
+			}
+		}
+		return -1
+	}
 	for w, pi := 0, 1; w < c.ways; w, pi = w+8, pi+1 {
 		x := set[pi] ^ part
 		// Zero-byte finder: MSB of each byte that equals the partial tag.
@@ -337,19 +353,18 @@ func (c *Cache) Fill(l memaddr.Line, opts FillOpts) Victim {
 // this is the victim scan of every fill into a full set without dead-block
 // candidates, the hottest replacement path.
 func (c *Cache) argminAll(set []uint64) int {
+	// A plain strict-less-than forward scan: the branch body is two register
+	// moves, which the compiler turns into conditional moves, so the loop
+	// runs without data-dependent branches. Ties (including several
+	// zero-stamp low-priority ways) resolve to the lowest way, exactly as
+	// any forward scan with strict less-than does.
 	lru := set[c.lruOff : c.lruOff+c.ways]
 	best, bestStamp := 0, lru[0]
-	if bestStamp == 0 {
-		return 0
-	}
 	for i := 1; i < len(lru); i++ {
-		if s := lru[i]; s < bestStamp {
-			if s == 0 {
-				// A zero stamp (low-priority fill) is the global minimum,
-				// and a forward scan's first zero is the tie-winner.
-				return i
-			}
-			best, bestStamp = i, s
+		s := lru[i]
+		if s < bestStamp {
+			bestStamp = s
+			best = i
 		}
 	}
 	return best

@@ -22,7 +22,10 @@
 package core
 
 import (
+	"math/bits"
+
 	"dspatch/internal/bitpattern"
+	"dspatch/internal/idx"
 	"dspatch/internal/memaddr"
 	"dspatch/internal/prefetch"
 )
@@ -70,6 +73,12 @@ type Config struct {
 	AccThr      bitpattern.Quartile // accuracy threshold (50% → Q2)
 	CovThr      bitpattern.Quartile // coverage threshold (50% → Q2)
 	Mode        Mode
+
+	// Reference selects the pre-optimization per-train bookkeeping: the
+	// linear Page Buffer scan instead of the hashed page index. It exists so
+	// the differential equivalence tests can prove the indexed fast path
+	// bit-identical; simulations never set it.
+	Reference bool
 }
 
 // DefaultConfig returns the paper's 3.6KB configuration.
@@ -142,18 +151,29 @@ type DSPatch struct {
 	stats Stats
 
 	// pbPages mirrors pb[i].page for valid entries (an impossible sentinel
-	// otherwise), so the per-train PB lookup scans a dense word array
-	// instead of dragging whole pbEntry structs through the cache.
+	// otherwise); the Reference-mode PB lookup scans this dense word array.
 	pbPages []memaddr.Page
+	// pbIdx is the O(1) page → PB-slot index the optimized lookup probes
+	// instead of scanning pbPages. Both are maintained on every PB mutation
+	// so either lookup path answers identically.
+	pbIdx *idx.Table
+
+	// Exact-LRU bookkeeping for the optimized victim choice. Touch stamps
+	// (pb[i].used) are unique — the clock advances every train — so a
+	// most-recent-first list ordered by touches IS the stamp order, and its
+	// tail is precisely the entry the Reference-mode min-stamp scan finds.
+	// While the PB is still filling, slots are handed out in index order
+	// (pbFree), matching the scan's first-invalid-slot choice: entries only
+	// invalidate all at once (Flush), so the invalid set is always a suffix.
+	pbMRU  int32 // most recently touched slot: spatial streams revisit it
+	pbHead int32 // list head (most recent), -1 when empty
+	pbTail int32 // list tail (least recent), -1 when empty
+	pbFree int32 // next never-used slot while filling
+	pbPrev []int32
+	pbNext []int32
 
 	patW    int  // stored pattern width: 32 compressed, 64 uncompressed
 	sptBits uint // log2(SPTEntries), precomputed for the per-trigger hash
-
-	// offsetScratch avoids per-prediction allocations. It lives on the
-	// instance, not in a package var: instances stay single-owner (each
-	// simulated core owns one) but distinct instances run on concurrent
-	// experiment-engine workers.
-	offsetScratch [memaddr.LinesPage]int
 }
 
 // New builds a DSPatch instance.
@@ -170,6 +190,11 @@ func New(cfg Config) *DSPatch {
 		pb:      make([]pbEntry, cfg.PBEntries),
 		spt:     make([]sptEntry, cfg.SPTEntries),
 		pbPages: make([]memaddr.Page, cfg.PBEntries),
+		pbIdx:   idx.New(cfg.PBEntries),
+		pbHead:  -1,
+		pbTail:  -1,
+		pbPrev:  make([]int32, cfg.PBEntries),
+		pbNext:  make([]int32, cfg.PBEntries),
 		patW:    w,
 		sptBits: uint(log2(cfg.SPTEntries)),
 	}
@@ -220,11 +245,15 @@ func (d *DSPatch) Train(a prefetch.Access, ctx prefetch.Context, dst []prefetch.
 	off := a.Line.PageOffset()
 	seg := a.Line.Segment()
 
-	e := d.lookupPB(page)
-	if e == nil {
-		e = d.allocPB(page, ctx) // may learn from the evicted generation
+	slot := d.lookupPB(page)
+	if slot < 0 {
+		slot = d.allocPB(page, ctx) // may learn from the evicted generation
 	}
+	e := &d.pb[slot]
 	e.used = d.clock
+	if !d.cfg.Reference {
+		d.pbTouch(int32(slot))
+	}
 
 	isTrigger := !e.triggers[seg].valid
 	e.pattern = e.pattern.Set(off)
@@ -241,34 +270,102 @@ func (d *DSPatch) Train(a prefetch.Access, ctx prefetch.Context, dst []prefetch.
 	return d.predict(page, e.triggers[seg], seg, ctx, dst)
 }
 
-func (d *DSPatch) lookupPB(page memaddr.Page) *pbEntry {
-	for i, pg := range d.pbPages {
-		if pg == page {
-			return &d.pb[i]
+// lookupPB returns the PB slot tracking page, or -1. The optimized path
+// first checks the most recently touched slot — spatial streams deliver
+// several consecutive trains to one page — and falls back to the hashed
+// index; Reference mode scans the dense page array.
+func (d *DSPatch) lookupPB(page memaddr.Page) int {
+	if d.cfg.Reference {
+		for i, pg := range d.pbPages {
+			if pg == page {
+				return i
+			}
 		}
+		return -1
 	}
-	return nil
+	if m := d.pbMRU; d.pbPages[m] == page {
+		return int(m)
+	}
+	if i, ok := d.pbIdx.Get(uint64(page)); ok {
+		return i
+	}
+	return -1
 }
 
-func (d *DSPatch) allocPB(page memaddr.Page, ctx prefetch.Context) *pbEntry {
-	victim := 0
-	oldest := ^uint64(0)
-	for i := range d.pb {
-		if !d.pb[i].valid {
-			victim = i
-			oldest = 0
-			break
+// pbTouch moves slot i to the front of the recency list.
+func (d *DSPatch) pbTouch(i int32) {
+	d.pbMRU = i
+	if d.pbHead == i {
+		return
+	}
+	prev, next := d.pbPrev[i], d.pbNext[i]
+	if prev >= 0 {
+		d.pbNext[prev] = next
+	}
+	if next >= 0 {
+		d.pbPrev[next] = prev
+	}
+	if d.pbTail == i {
+		d.pbTail = prev
+	}
+	d.pbNext[i] = d.pbHead
+	d.pbPrev[i] = -1
+	if d.pbHead >= 0 {
+		d.pbPrev[d.pbHead] = i
+	}
+	d.pbHead = i
+	if d.pbTail < 0 {
+		d.pbTail = i
+	}
+}
+
+func (d *DSPatch) allocPB(page memaddr.Page, ctx prefetch.Context) int {
+	var victim int
+	switch {
+	case d.cfg.Reference:
+		oldest := ^uint64(0)
+		for i := range d.pb {
+			if !d.pb[i].valid {
+				victim = i
+				oldest = 0
+				break
+			}
+			if d.pb[i].used < oldest {
+				oldest, victim = d.pb[i].used, i
+			}
 		}
-		if d.pb[i].used < oldest {
-			oldest, victim = d.pb[i].used, i
+	case int(d.pbFree) < len(d.pb):
+		// Filling phase: slots are issued in index order, exactly the
+		// first-invalid-slot the reference scan picks (invalidation only
+		// happens wholesale, so invalid slots are always a suffix).
+		victim = int(d.pbFree)
+		d.pbFree++
+		i := int32(victim)
+		d.pbNext[i] = d.pbHead
+		d.pbPrev[i] = -1
+		if d.pbHead >= 0 {
+			d.pbPrev[d.pbHead] = i
 		}
+		d.pbHead = i
+		if d.pbTail < 0 {
+			d.pbTail = i
+		}
+	default:
+		// Steady state: the recency-list tail is the min-stamp entry the
+		// reference scan finds (stamps are unique and touch-ordered). The
+		// caller's pbTouch moves it to the front.
+		victim = int(d.pbTail)
 	}
 	if d.pb[victim].valid {
 		d.learn(&d.pb[victim], ctx)
+		d.pbIdx.Del(uint64(d.pb[victim].page))
 	}
 	d.pb[victim] = pbEntry{page: page, pattern: bitpattern.New(memaddr.LinesPage), valid: true}
 	d.pbPages[victim] = page
-	return &d.pb[victim]
+	if !d.cfg.Reference {
+		d.pbIdx.Put(uint64(page), victim)
+	}
+	return victim
 }
 
 // anchored converts the PB's absolute 64b program pattern into the stored
@@ -342,7 +439,8 @@ func (d *DSPatch) updateEntry(ent *sptEntry, prog bitpattern.Pattern, nHalves in
 			ent.measureAcc[h].Dec()
 		}
 
-		// AccP: replaced by program & stored CovP (pre-OR; see DESIGN.md §4.2).
+		// AccP: replaced by program & stored CovP as it stood before this
+		// update's OR-growth — the paper's §3.6 modulation order.
 		newAcc := progH[h].And(covOldH[h])
 		ent.accP = setHalf(ent.accP, newAcc, h)
 
@@ -389,9 +487,12 @@ func (d *DSPatch) predict(page memaddr.Page, tr trigger, seg int, ctx prefetch.C
 		}
 		// Translate anchored half-relative offsets back to page offsets:
 		// anchored index i in half h is page line (trigger + h*32 + i) mod 64.
+		// Walking the raw bits ascending emits the same order Offsets did,
+		// without staging indices through a scratch array; base + i is
+		// non-negative, so masking is exact for the mod.
 		base := tr.off + h*halfW*expandFactor(d.cfg.Compress)
-		for _, i := range pat.Offsets(d.offsetScratch[:0]) {
-			pageOff := (base + i) % memaddr.LinesPage
+		for b := pat.Bits(); b != 0; b &= b - 1 {
+			pageOff := (base + bits.TrailingZeros64(b)) & memaddr.OffsetMask
 			if pageOff == tr.off {
 				continue // the trigger line is the demand itself
 			}
@@ -487,6 +588,8 @@ func (d *DSPatch) Flush(ctx prefetch.Context) {
 			d.pbPages[i] = pbNoPage
 		}
 	}
+	d.pbIdx.Reset()
+	d.pbHead, d.pbTail, d.pbFree, d.pbMRU = -1, -1, 0, 0
 }
 
 // StorageBits implements prefetch.Prefetcher using the paper's Table 1

@@ -139,32 +139,65 @@ func (c *Core) Op() {
 
 // Ops dispatches n non-memory instructions. It is Op unrolled in place:
 // instruction gaps run it for every simulated reference, so the dispatch
-// slot and ROB push are inlined rather than paying two calls per
-// instruction. The state transitions are identical to n calls of Op.
+// slot, retirement and ROB push work on locals for the whole batch (the
+// compiler cannot cache pointer fields across the complete[] stores) and
+// write back once. The state transitions are identical to n calls of Op.
 func (c *Core) Ops(n int) {
-	rob := c.cfg.ROB
+	rob, width := c.cfg.ROB, c.cfg.Width
+	head, count := c.head, c.count
+	dispatchCycle, dispatched := c.dispatchCycle, c.dispatched
+	retireCycle, retiredSlot := c.retireCycle, c.retiredSlot
+	finish := c.finish
+	complete := c.complete
 	for i := 0; i < n; i++ {
-		if c.count == rob {
-			// ROB full: dispatch waits for the head to retire.
-			freeAt := c.retireOne()
-			if freeAt > c.dispatchCycle {
-				c.dispatchCycle = freeAt
-				c.dispatched = 0
+		if count == rob {
+			// ROB full: dispatch waits for the head to retire (retireOne,
+			// inlined on the batch locals).
+			done := complete[head]
+			when := done
+			if when < retireCycle {
+				when = retireCycle
+			}
+			if when == retireCycle {
+				retiredSlot++
+				if retiredSlot >= width {
+					retireCycle++
+					retiredSlot = 0
+				}
+			} else {
+				retireCycle = when
+				retiredSlot = 1
+			}
+			head++
+			if head == rob {
+				head = 0
+			}
+			count--
+			if done > finish {
+				finish = done
+			}
+			if when > dispatchCycle {
+				dispatchCycle = when
+				dispatched = 0
 			}
 		}
-		slot := c.dispatchCycle
-		c.dispatched++
-		if c.dispatched >= c.cfg.Width {
-			c.dispatchCycle++
-			c.dispatched = 0
+		slot := dispatchCycle
+		dispatched++
+		if dispatched >= width {
+			dispatchCycle++
+			dispatched = 0
 		}
-		tail := c.head + c.count
+		tail := head + count
 		if tail >= rob {
 			tail -= rob
 		}
-		c.complete[tail] = slot + 1
-		c.count++
+		complete[tail] = slot + 1
+		count++
 	}
+	c.head, c.count = head, count
+	c.dispatchCycle, c.dispatched = dispatchCycle, dispatched
+	c.retireCycle, c.retiredSlot = retireCycle, retiredSlot
+	c.finish = finish
 	c.instructions += uint64(n)
 }
 

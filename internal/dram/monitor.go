@@ -12,7 +12,7 @@ import "dspatch/internal/bitpattern"
 // a start-of-window value of r, so tRC samples taken during a window read
 // between 1.25r and 2r (average 13r/8). The quartile thresholds are therefore
 // taken against 13/8 × PeakCASPerWindow, which makes the quantized signal an
-// unbiased estimate of the true utilization fraction (see DESIGN.md §4.3).
+// unbiased estimate of the true utilization fraction.
 //
 // The monitor is advanced lazily: state is brought up to date whenever a CAS
 // is recorded or the signal is sampled, which is equivalent to per-cycle

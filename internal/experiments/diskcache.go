@@ -1,0 +1,108 @@
+package experiments
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+	"os"
+	"path/filepath"
+
+	"dspatch/internal/sim"
+)
+
+// The persistent run cache extends the in-process memo across processes:
+// every memoizable simulation result is written to a content-addressed file
+// under the cache directory, and later invocations — a second CLI run of the
+// same figure, a CI job, a notebook — load it instead of re-simulating.
+//
+// Correctness rules:
+//
+//   - The address is a SHA-256 over every runKey field, so any change to the
+//     requested configuration is a different file.
+//   - Each file embeds sim.ResultVersion; entries stamped by an older (or
+//     newer) simulator behaviour are ignored and overwritten. Bump
+//     sim.ResultVersion on any behavioral change.
+//   - A corrupt or unreadable file is treated as a miss: the run simulates
+//     and rewrites the entry. The cache can be deleted at any time.
+//   - Writes are atomic (temp file + rename), so concurrent processes racing
+//     on one entry at worst both simulate; neither observes a torn file.
+
+// cacheEntry is the on-disk layout. Key is stored for debuggability: the
+// filename is its hash.
+type cacheEntry struct {
+	Version int        `json:"result_version"`
+	Key     string     `json:"key"`
+	Result  sim.Result `json:"result"`
+}
+
+// keyString renders every runKey field in a stable, self-describing form.
+func (k runKey) keyString() string {
+	return fmt.Sprintf("names=%q dram=%+v llc=%d refs=%d seed=%d l2=%s nol1=%t smspht=%d",
+		k.names, k.dram, k.llcBytes, k.refs, k.seed, k.l2, k.noL1Stride, k.smsPHT)
+}
+
+// cachePath is the content address of k under dir.
+func cachePath(dir string, k runKey) string {
+	sum := sha256.Sum256([]byte(k.keyString()))
+	return filepath.Join(dir, hex.EncodeToString(sum[:16])+".json")
+}
+
+// cacheLoad returns the persisted result for k, if a valid, version-matched
+// entry exists under dir.
+func cacheLoad(dir string, k runKey) (sim.Result, bool) {
+	data, err := os.ReadFile(cachePath(dir, k))
+	if err != nil {
+		return sim.Result{}, false
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		return sim.Result{}, false // corrupt: simulate and rewrite
+	}
+	if e.Version != sim.ResultVersion {
+		return sim.Result{}, false // stale behaviour stamp: recompute
+	}
+	return e.Result, true
+}
+
+// cacheStore persists res for k under dir. Failures are silent: the cache is
+// an accelerator, never a correctness dependency.
+func cacheStore(dir string, k runKey, res sim.Result) {
+	data, err := json.Marshal(cacheEntry{Version: sim.ResultVersion, Key: k.keyString(), Result: res})
+	if err != nil {
+		return
+	}
+	tmp, err := os.CreateTemp(dir, "run-*.tmp")
+	if err != nil {
+		return
+	}
+	_, werr := tmp.Write(data)
+	cerr := tmp.Close()
+	if werr != nil || cerr != nil {
+		os.Remove(tmp.Name())
+		return
+	}
+	if err := os.Rename(tmp.Name(), cachePath(dir, k)); err != nil {
+		os.Remove(tmp.Name())
+	}
+}
+
+// SetCacheDir enables the persistent run cache for the process-wide engine,
+// creating dir if needed. An empty dir disables it (the default: tests and
+// library callers opt in explicitly).
+func SetCacheDir(dir string) error {
+	return engine.SetCacheDir(dir)
+}
+
+// SetCacheDir enables the persistent run cache on this runner.
+func (r *Runner) SetCacheDir(dir string) error {
+	if dir != "" {
+		if err := os.MkdirAll(dir, 0o755); err != nil {
+			return fmt.Errorf("experiments: cache dir: %w", err)
+		}
+	}
+	r.mu.Lock()
+	r.cacheDir = dir
+	r.mu.Unlock()
+	return nil
+}

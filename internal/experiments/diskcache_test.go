@@ -1,0 +1,164 @@
+package experiments
+
+import (
+	"encoding/json"
+	"os"
+	"path/filepath"
+	"reflect"
+	"testing"
+
+	"dspatch/internal/sim"
+	"dspatch/internal/trace"
+)
+
+func cacheTestJob(t *testing.T) Job {
+	t.Helper()
+	w, ok := trace.ByName("linpack")
+	if !ok {
+		t.Fatal("roster is missing linpack")
+	}
+	opt := sim.DefaultST()
+	opt.Refs = 3_000
+	opt.L2 = sim.PFDSPatchSPP
+	return SingleJob(w, opt)
+}
+
+// entryFile returns the single cache entry in dir.
+func entryFile(t *testing.T, dir string) string {
+	t.Helper()
+	files, err := filepath.Glob(filepath.Join(dir, "*.json"))
+	if err != nil || len(files) != 1 {
+		t.Fatalf("want exactly one cache entry, got %v (err %v)", files, err)
+	}
+	return files[0]
+}
+
+// TestDiskCacheRoundTrip proves a second runner (a stand-in for a second
+// process) serves the persisted result — by tampering with the stored entry
+// and observing the tampered value come back, which only a disk hit can
+// produce — and that results round-trip exactly when untampered.
+func TestDiskCacheRoundTrip(t *testing.T) {
+	dir := t.TempDir()
+	job := cacheTestJob(t)
+
+	r1 := NewRunner(1)
+	if err := r1.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	fresh := r1.RunAll([]Job{job}, 1)[0]
+
+	// A clean second runner must reproduce the result exactly from disk.
+	r2 := NewRunner(1)
+	if err := r2.SetCacheDir(dir); err != nil {
+		t.Fatal(err)
+	}
+	if got := r2.RunAll([]Job{job}, 1)[0]; !reflect.DeepEqual(got, fresh) {
+		t.Fatalf("cached result differs from fresh: %+v vs %+v", got, fresh)
+	}
+
+	// Tamper: bump Cycles in the stored entry. A runner that really reads
+	// the disk returns the tampered value.
+	path := entryFile(t, dir)
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatal(err)
+	}
+	e.Result.Cycles++
+	data, _ = json.Marshal(e)
+	if err := os.WriteFile(path, data, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r3 := NewRunner(1)
+	r3.SetCacheDir(dir)
+	if got := r3.RunAll([]Job{job}, 1)[0]; got.Cycles != fresh.Cycles+1 {
+		t.Fatalf("runner did not serve the disk entry: Cycles = %d, want %d", got.Cycles, fresh.Cycles+1)
+	}
+}
+
+// TestDiskCacheCorruptFallback proves a corrupt entry silently falls back to
+// simulation and is rewritten valid.
+func TestDiskCacheCorruptFallback(t *testing.T) {
+	dir := t.TempDir()
+	job := cacheTestJob(t)
+	r1 := NewRunner(1)
+	r1.SetCacheDir(dir)
+	fresh := r1.RunAll([]Job{job}, 1)[0]
+
+	path := entryFile(t, dir)
+	if err := os.WriteFile(path, []byte("{definitely not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	r2 := NewRunner(1)
+	r2.SetCacheDir(dir)
+	if got := r2.RunAll([]Job{job}, 1)[0]; !reflect.DeepEqual(got, fresh) {
+		t.Fatalf("corrupt-entry fallback produced a different result")
+	}
+	// The entry was rewritten and now parses with the current version.
+	data, err := os.ReadFile(path)
+	if err != nil {
+		t.Fatal(err)
+	}
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatalf("entry not rewritten after corruption: %v", err)
+	}
+	if e.Version != sim.ResultVersion {
+		t.Fatalf("rewritten entry version = %d, want %d", e.Version, sim.ResultVersion)
+	}
+}
+
+// TestDiskCacheVersionMismatch proves an entry stamped by a different
+// sim.ResultVersion is ignored (re-simulated) and overwritten with the
+// current stamp.
+func TestDiskCacheVersionMismatch(t *testing.T) {
+	dir := t.TempDir()
+	job := cacheTestJob(t)
+	r1 := NewRunner(1)
+	r1.SetCacheDir(dir)
+	fresh := r1.RunAll([]Job{job}, 1)[0]
+
+	path := entryFile(t, dir)
+	data, _ := os.ReadFile(path)
+	var e cacheEntry
+	if err := json.Unmarshal(data, &e); err != nil {
+		t.Fatal(err)
+	}
+	e.Version = sim.ResultVersion + 1
+	e.Result.Cycles += 99 // would be visible if the stale entry were served
+	data, _ = json.Marshal(e)
+	os.WriteFile(path, data, 0o644)
+
+	r2 := NewRunner(1)
+	r2.SetCacheDir(dir)
+	if got := r2.RunAll([]Job{job}, 1)[0]; !reflect.DeepEqual(got, fresh) {
+		t.Fatalf("version-mismatched entry was served instead of re-simulated")
+	}
+	data, _ = os.ReadFile(path)
+	if err := json.Unmarshal(data, &e); err != nil || e.Version != sim.ResultVersion {
+		t.Fatalf("entry not restamped: version %d err %v", e.Version, err)
+	}
+}
+
+// TestDiskCacheDisabledIdentical proves cache-off and cache-on runs return
+// identical results, and that no files appear when disabled.
+func TestDiskCacheDisabledIdentical(t *testing.T) {
+	dir := t.TempDir()
+	job := cacheTestJob(t)
+	off := NewRunner(1).RunAll([]Job{job}, 1)[0]
+	r := NewRunner(1)
+	r.SetCacheDir(dir)
+	on := r.RunAll([]Job{job}, 1)[0]
+	if !reflect.DeepEqual(off, on) {
+		t.Fatal("cache-enabled result differs from cache-disabled result")
+	}
+	plain := NewRunner(1)
+	plain.RunAll([]Job{job}, 1)
+	files, _ := filepath.Glob(filepath.Join(t.TempDir(), "*"))
+	if len(files) != 0 {
+		t.Fatalf("disabled cache wrote files: %v", files)
+	}
+}

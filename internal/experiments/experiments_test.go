@@ -88,7 +88,7 @@ func TestFig11bHistogram(t *testing.T) {
 	// The paper reports 42% of page generations compress exactly; our
 	// synthetic traces under-represent that bucket and over-represent the
 	// 50% bucket (sparse one-line page generations — a documented deviation,
-	// EXPERIMENTS.md Fig. 11b). The invariants that must hold: the exact
+	// README experiment index, Fig. 11b). The invariants that must hold: the exact
 	// bucket exists, and — by the §3.8 bound — nothing exceeds 50%, i.e.
 	// the six buckets exhaust the distribution.
 	if h[0] == 0 {
@@ -149,7 +149,7 @@ func TestFig20Taxonomy(t *testing.T) {
 		sum := r.NoReuse + r.PrefetchedBeforeUse + r.BadPollution
 		if sum == 0 {
 			// Short traces may not pressure a large LLC at all; the full
-			// scale does (see EXPERIMENTS.md).
+			// scale does (see the README's experiment index).
 			continue
 		}
 		sawData = true

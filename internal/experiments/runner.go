@@ -93,8 +93,9 @@ type memoEntry struct {
 type Runner struct {
 	workers int
 
-	mu   sync.Mutex
-	memo map[runKey]*memoEntry
+	mu       sync.Mutex
+	memo     map[runKey]*memoEntry
+	cacheDir string // non-empty: persistent run cache root (diskcache.go)
 }
 
 // NewRunner returns a Runner whose default pool width is workers
@@ -125,8 +126,9 @@ func MemoLen() int {
 	return len(engine.memo)
 }
 
-// run executes one job, consulting the memo first. Memoized results drop
-// their Ports: live memory-system state is bulky, and jobs that need it set
+// run executes one job, consulting the in-process memo first and then the
+// persistent disk cache (when configured). Memoized results drop their
+// Ports: live memory-system state is bulky, and jobs that need it set
 // NeedPorts to bypass the memo entirely.
 func (r *Runner) run(j Job) sim.Result {
 	key, ok := memoizable(j)
@@ -139,10 +141,20 @@ func (r *Runner) run(j Job) sim.Result {
 		e = &memoEntry{}
 		r.memo[key] = e
 	}
+	dir := r.cacheDir
 	r.mu.Unlock()
 	e.once.Do(func() {
+		if dir != "" {
+			if res, ok := cacheLoad(dir, key); ok {
+				e.res = res
+				return
+			}
+		}
 		res := sim.Run(j.Workloads, j.Opt)
 		res.Ports = nil
+		if dir != "" {
+			cacheStore(dir, key, res)
+		}
 		e.res = res
 	})
 	return e.res

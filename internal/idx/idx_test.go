@@ -1,0 +1,82 @@
+package idx
+
+import (
+	"math/rand"
+	"testing"
+)
+
+// TestBasic covers insert, update, lookup and delete on a handful of keys.
+func TestBasic(t *testing.T) {
+	tb := New(8)
+	if _, ok := tb.Get(42); ok {
+		t.Fatal("empty table reports a hit")
+	}
+	tb.Put(42, 3)
+	tb.Put(0, 0) // zero key must be a first-class citizen
+	if s, ok := tb.Get(42); !ok || s != 3 {
+		t.Fatalf("Get(42) = %d,%t want 3,true", s, ok)
+	}
+	if s, ok := tb.Get(0); !ok || s != 0 {
+		t.Fatalf("Get(0) = %d,%t want 0,true", s, ok)
+	}
+	tb.Put(42, 5)
+	if s, _ := tb.Get(42); s != 5 {
+		t.Fatalf("update lost: Get(42) = %d want 5", s)
+	}
+	tb.Del(42)
+	if _, ok := tb.Get(42); ok {
+		t.Fatal("deleted key still present")
+	}
+	if _, ok := tb.Get(0); !ok {
+		t.Fatal("unrelated key lost by deletion")
+	}
+	tb.Del(42) // deleting an absent key is a no-op
+}
+
+// TestAgainstMap fuzzes the table against a Go map through random
+// insert/update/delete/lookup sequences, including keys engineered to
+// collide, exercising the backward-shift deletion chains.
+func TestAgainstMap(t *testing.T) {
+	rng := rand.New(rand.NewSource(1))
+	tb := New(64)
+	ref := map[uint64]int{}
+	// Key pool with deliberate collisions: multiples of the table size hash
+	// to nearby homes.
+	keys := make([]uint64, 96)
+	for i := range keys {
+		if i%3 == 0 {
+			keys[i] = uint64(i) * 256
+		} else {
+			keys[i] = rng.Uint64()
+		}
+	}
+	for step := 0; step < 200_000; step++ {
+		k := keys[rng.Intn(len(keys))]
+		switch op := rng.Intn(4); {
+		case op == 0 && len(ref) < 64:
+			v := rng.Intn(1 << 20)
+			tb.Put(k, v)
+			ref[k] = v
+		case op == 1:
+			tb.Del(k)
+			delete(ref, k)
+		default:
+			got, ok := tb.Get(k)
+			want, wantOK := ref[k]
+			if ok != wantOK || (ok && got != want) {
+				t.Fatalf("step %d: Get(%d) = %d,%t want %d,%t", step, k, got, ok, want, wantOK)
+			}
+		}
+	}
+	for k, want := range ref {
+		if got, ok := tb.Get(k); !ok || got != want {
+			t.Fatalf("final state: Get(%d) = %d,%t want %d,true", k, got, ok, want)
+		}
+	}
+	tb.Reset()
+	for k := range ref {
+		if _, ok := tb.Get(k); ok {
+			t.Fatalf("Reset left key %d", k)
+		}
+	}
+}

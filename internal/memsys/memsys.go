@@ -16,7 +16,7 @@ import (
 )
 
 // Config sizes the hierarchy. Latencies are cumulative round trips from the
-// core (see DESIGN.md §4.4).
+// core, matching the paper's Table 2 access latencies.
 type Config struct {
 	L1  cache.Config
 	L2  cache.Config
@@ -464,6 +464,12 @@ func (p *Port) fetchDemand(now uint64, line memaddr.Line, write bool) uint64 {
 // queue as far as resources allow. toL1 marks L1 prefetcher output, which
 // additionally fills the L1.
 func (p *Port) issuePrefetches(now uint64, reqs []prefetch.Request, toL1 bool) {
+	if len(reqs) == 0 && p.pqHead == len(p.pq) {
+		// Nothing to enqueue and nothing queued: the drain below would be a
+		// pure no-op (an empty queue always exits the drain loop unblocked,
+		// so drainBlocked is already false). Holds in Reference mode too.
+		return
+	}
 	n := len(reqs)
 	if n > p.sys.cfg.MaxPrefetchesPerTrain {
 		n = p.sys.cfg.MaxPrefetchesPerTrain
@@ -499,16 +505,17 @@ func (p *Port) drainPrefetchQueue(now uint64) {
 	}
 	blocked := false
 	cfg := &p.sys.cfg
+	l1, l2, llc, dr := p.l1, p.l2, p.sys.llc, p.sys.dram
 	issued := 0
 	issueAt := now
 	for p.pqHead < len(p.pq) && issued < prefetchDrainPerEvent {
 		q := p.pq[p.pqHead]
 		line := q.req.Line
-		if q.toL1 && p.l1.Probe(line) {
+		if q.toL1 && l1.Probe(line) {
 			p.pqHead++
 			continue
 		}
-		if p.l2.Probe(line) {
+		if l2.Probe(line) {
 			if q.toL1 {
 				// Absent: the L1 probe above missed; nothing fills the L1
 				// between it and here.
@@ -531,7 +538,7 @@ func (p *Port) drainPrefetchQueue(now uint64) {
 			p.pqHead++
 			continue
 		}
-		if p.sys.llc.Probe(line) {
+		if llc.Probe(line) {
 			// Promote from LLC into L2: no DRAM traffic. Absent: the L2 (and,
 			// for toL1 entries, L1) probes above missed with no fill since.
 			p.stats.PrefetchLLC++
@@ -556,7 +563,7 @@ func (p *Port) drainPrefetchQueue(now uint64) {
 			blocked = true
 			break
 		}
-		done, ok := p.sys.dram.TryPrefetch(issueAt+cfg.LLCHitLat, line)
+		done, ok := dr.TryPrefetch(issueAt+cfg.LLCHitLat, line)
 		if !ok {
 			// Memory-controller prefetch queue full: wait for it to drain.
 			blocked = true

@@ -27,6 +27,15 @@ type mshrRing struct {
 
 	lastNow  uint64 // cycle freeMask was last verified against
 	freeMask uint64 // bit i set => times[i] <= lastNow (hence free at any later cycle)
+
+	// earliestBusy is a conservative lower bound on the completion times of
+	// slots not in freeMask: while earliestBusy > now, no busy slot can have
+	// expired since the mask was verified, so the mask is exact — the query
+	// answers without verifying stale bits, and a failed reserve check needs
+	// no rescan. Lowered on every write of a future time; re-derived exactly
+	// by rescan. Slots turning free can only raise the true minimum, so the
+	// bound stays safe without bookkeeping there.
+	earliestBusy uint64
 }
 
 func newMSHRRing(n int) mshrRing {
@@ -34,8 +43,9 @@ func newMSHRRing(n int) mshrRing {
 		panic("memsys: MSHR ring size must be in [1,64]")
 	}
 	return mshrRing{
-		times:    make([]uint64, n),
-		freeMask: fullMask(n),
+		times:        make([]uint64, n),
+		freeMask:     fullMask(n),
+		earliestBusy: ^uint64(0),
 	}
 }
 
@@ -79,6 +89,9 @@ func (r *mshrRing) set(i int, v uint64) {
 		r.freeMask |= 1 << uint(i)
 	} else {
 		r.freeMask &^= 1 << uint(i)
+		if v < r.earliestBusy {
+			r.earliestBusy = v
+		}
 	}
 }
 
@@ -95,12 +108,22 @@ func (r *mshrRing) freeReserve(now uint64, reserve int) int {
 	r.lastNow = now
 	for {
 		if bits.OnesCount64(r.freeMask) <= reserve {
-			// Not enough known free: check every stale slot once.
+			// Not enough known free. A rescan can only help if some busy
+			// slot's completion has actually passed; otherwise the mask is
+			// already exact and the answer is no.
+			if r.earliestBusy > now {
+				return -1
+			}
 			if r.rescan(now); bits.OnesCount64(r.freeMask) <= reserve {
 				return -1
 			}
 		}
 		first := bits.TrailingZeros64(r.freeMask)
+		if r.earliestBusy > now {
+			// No busy slot has expired since verification: nothing below
+			// first can be free, so first is the full scan's answer.
+			return first
+		}
 		// Slots below the first known-free one may have expired since the
 		// mask was last verified; the true first free slot would be among
 		// them. They are typically none.
@@ -119,14 +142,19 @@ func (r *mshrRing) freeReserve(now uint64, reserve int) int {
 	}
 }
 
-// rescan re-derives the exact free mask at cycle now in one linear pass.
+// rescan re-derives the exact free mask (and the exact earliest busy
+// completion) at cycle now in one linear pass.
 func (r *mshrRing) rescan(now uint64) {
 	r.lastNow = now
 	free := uint64(0)
+	earliest := ^uint64(0)
 	for i, t := range r.times {
 		if t <= now {
 			free |= 1 << uint(i)
+		} else if t < earliest {
+			earliest = t
 		}
 	}
 	r.freeMask = free
+	r.earliestBusy = earliest
 }

@@ -30,8 +30,8 @@ func newPollutionTracker(instrs func() uint64) *PollutionTracker {
 
 // onPrefetchEvict records that a prefetch fill displaced victim from the LLC.
 // The evicter line is accepted for interface symmetry; the taxonomy tracks
-// victims of all prefetch fills (the study's prefetcher is deliberately
-// inaccurate, see DESIGN.md).
+// victims of all prefetch fills (the study's prefetcher — the appendix's
+// aggressive streamer — is deliberately inaccurate).
 func (t *PollutionTracker) onPrefetchEvict(victim, _ memaddr.Line) {
 	t.pending[victim] = t.instrs()
 }

@@ -57,14 +57,15 @@ func snapshot(r Result) resultSnapshot {
 	return s
 }
 
-// runBoth simulates the same job with the optimized memory-system structures
-// and with the pre-optimization reference (map-based in-flight tracking,
-// linear MSHR scans, scan-the-ways cache tag stores) and returns both
-// snapshots.
+// runBoth simulates the same job twice — once fully optimized (open-addressed
+// memory-system structures, hashed prefetcher-model lookups, replayed
+// materialized traces) and once fully in reference mode (map-based in-flight
+// tracking, linear MSHR and model scans, per-probe divisions, fresh
+// generators) — and returns both snapshots.
 func runBoth(ws []trace.Workload, opt Options) (optimized, reference resultSnapshot) {
-	opt.referenceMemsys = false
+	opt.referenceMemsys, opt.referenceModels, opt.directGeneration = false, false, false
 	optimized = snapshot(Run(ws, opt))
-	opt.referenceMemsys = true
+	opt.referenceMemsys, opt.referenceModels, opt.directGeneration = true, true, true
 	reference = snapshot(Run(ws, opt))
 	return optimized, reference
 }
@@ -118,6 +119,31 @@ func TestEquivalenceMultiProgrammed(t *testing.T) {
 			if !reflect.DeepEqual(got, want) {
 				t.Errorf("mix%d/%s: optimized MP result differs from reference\noptimized: %+v\nreference: %+v",
 					i+1, pf, got, want)
+			}
+		}
+	}
+}
+
+// TestEquivalenceModelRoster extends the differential check to every
+// prefetcher model whose lookup structures this PR rewrote — SMS's AT/FT
+// indexes, AMPM's map index, BOP, and the triple composite — on workloads
+// picked to stress each model's structures (footprint-heavy, streaming,
+// pointer-chasing).
+func TestEquivalenceModelRoster(t *testing.T) {
+	names := []string{"tpcc", "linpack", "mcf"}
+	for _, name := range names {
+		w, ok := trace.ByName(name)
+		if !ok {
+			t.Fatalf("roster is missing %s", name)
+		}
+		for _, pf := range []PF{PFSMS, PFAMPM, PFBOP, PFSMS256SPP, PFTriple} {
+			opt := DefaultST()
+			opt.Refs = 6_000
+			opt.L2 = pf
+			got, want := runBoth([]trace.Workload{w}, opt)
+			if !reflect.DeepEqual(got, want) {
+				t.Errorf("%s/%s: optimized result differs from reference\noptimized: %+v\nreference: %+v",
+					name, pf, got, want)
 			}
 		}
 	}

@@ -39,7 +39,7 @@ const (
 	PFDSPatchAlwaysCov PF = "dspatch-alwayscovp"
 	PFDSPatchModCov    PF = "dspatch-modcovp"
 
-	// Design-choice ablations (DESIGN.md §6).
+	// Design-choice ablations (see the README's experiment index).
 	PFDSPatchNoCompress    PF = "dspatch-nocompress"
 	PFDSPatchSingleTrigger PF = "dspatch-singletrigger"
 )
@@ -52,6 +52,22 @@ func factory(opt Options) func() prefetch.Prefetcher {
 	if opt.L2 == PFNone || opt.L2 == "" {
 		return nil
 	}
+	// ref propagates the differential-test switch: every model built for
+	// this run uses either its optimized lookup structures or the
+	// pre-optimization reference bookkeeping they were proven against.
+	ref := opt.referenceModels
+	mkCore := func(cfg core.Config) func() prefetch.Prefetcher {
+		cfg.Reference = ref
+		return func() prefetch.Prefetcher { return core.New(cfg) }
+	}
+	mkSPP := func(cfg spp.Config) func() prefetch.Prefetcher {
+		cfg.Reference = ref
+		return func() prefetch.Prefetcher { return spp.New(cfg) }
+	}
+	mkSMS := func(cfg sms.Config) func() prefetch.Prefetcher {
+		cfg.Reference = ref
+		return func() prefetch.Prefetcher { return sms.New(cfg) }
+	}
 	mk := func(kind PF) func() prefetch.Prefetcher {
 		switch kind {
 		case PFBOP:
@@ -63,33 +79,35 @@ func factory(opt Options) func() prefetch.Prefetcher {
 			if opt.SMSPHTEntries > 0 {
 				cfg = cfg.WithPHTEntries(opt.SMSPHTEntries)
 			}
-			return func() prefetch.Prefetcher { return sms.New(cfg) }
+			return mkSMS(cfg)
 		case PFSPP:
-			return func() prefetch.Prefetcher { return spp.New(spp.DefaultConfig()) }
+			return mkSPP(spp.DefaultConfig())
 		case PFESPP:
-			return func() prefetch.Prefetcher { return spp.New(spp.EnhancedConfig()) }
+			return mkSPP(spp.EnhancedConfig())
 		case PFAMPM:
-			return func() prefetch.Prefetcher { return ampm.New(ampm.DefaultConfig()) }
+			cfg := ampm.DefaultConfig()
+			cfg.Reference = ref
+			return func() prefetch.Prefetcher { return ampm.New(cfg) }
 		case PFStreamer:
 			return func() prefetch.Prefetcher { return prefetch.NewStream(prefetch.DefaultStreamConfig()) }
 		case PFDSPatch:
-			return func() prefetch.Prefetcher { return core.New(core.DefaultConfig()) }
+			return mkCore(core.DefaultConfig())
 		case PFDSPatchAlwaysCov:
 			cfg := core.DefaultConfig()
 			cfg.Mode = core.ModeAlwaysCovP
-			return func() prefetch.Prefetcher { return core.New(cfg) }
+			return mkCore(cfg)
 		case PFDSPatchModCov:
 			cfg := core.DefaultConfig()
 			cfg.Mode = core.ModeModCovP
-			return func() prefetch.Prefetcher { return core.New(cfg) }
+			return mkCore(cfg)
 		case PFDSPatchNoCompress:
 			cfg := core.DefaultConfig()
 			cfg.Compress = false
-			return func() prefetch.Prefetcher { return core.New(cfg) }
+			return mkCore(cfg)
 		case PFDSPatchSingleTrigger:
 			cfg := core.DefaultConfig()
 			cfg.DualTrigger = false
-			return func() prefetch.Prefetcher { return core.New(cfg) }
+			return mkCore(cfg)
 		default:
 			panic("sim: unknown prefetcher " + string(kind))
 		}
@@ -108,7 +126,7 @@ func factory(opt Options) func() prefetch.Prefetcher {
 	case PFSMS256SPP:
 		return func() prefetch.Prefetcher {
 			return prefetch.NewComposite("sms256+spp",
-				mk(PFSPP)(), sms.New(sms.IsoStorageConfig()))
+				mk(PFSPP)(), mkSMS(sms.IsoStorageConfig())())
 		}
 	case PFEBOPSPP:
 		return func() prefetch.Prefetcher {

@@ -34,7 +34,29 @@ type Options struct {
 	// differential equivalence tests set it, to prove the optimized
 	// structures bit-identical.
 	referenceMemsys bool
+	// referenceModels selects the pre-optimization prefetcher-model lookups
+	// (linear DSPatch PB / SMS AT+FT / AMPM map scans, per-probe SPP
+	// divisions). Equivalence tests set it to prove the indexed fast paths
+	// bit-identical.
+	referenceModels bool
+	// directGeneration bypasses the process-shared materialized-trace store
+	// and drives each lane from a fresh generator, the pre-replay behaviour.
+	// Equivalence tests set it to prove record/replay bit-identical.
+	directGeneration bool
 }
+
+// ResultVersion stamps persisted results of Run. Bump it on ANY change that
+// can alter a simulation's outcome — workload generators, prefetcher
+// algorithms, timing models, Result fields — so persistent caches keyed on
+// simulation inputs (experiments' -cache-dir) discard entries computed by
+// older behaviour instead of serving them as current.
+const ResultVersion = 1
+
+// LaneSeedStride separates the generator seeds of a multi-programmed run's
+// lanes: lane i streams from Options.Seed + i*LaneSeedStride. Exported so
+// tools reasoning about which (workload, seed) streams a run touches (the
+// CLI's imported-trace guards) use the same derivation.
+const LaneSeedStride = 104729
 
 // DefaultST returns the paper's single-thread configuration: one core, 2MB
 // LLC, one DDR4-2133 channel.
@@ -115,9 +137,20 @@ func Run(ws []trace.Workload, opt Options) Result {
 	lanes := make([]*lane, n)
 	for i := 0; i < n; i++ {
 		ad := &memAdapter{port: sys.Port(i)}
+		laneSeed := opt.Seed + int64(i)*LaneSeedStride
+		var gen trace.Generator
+		if opt.directGeneration {
+			gen = ws[i].Build(laneSeed)
+		} else {
+			// Every run of the same (workload, seed) replays one process-wide
+			// materialized stream: the generator executes once, and every
+			// prefetcher configuration and worker goroutine reads the same
+			// immutable columns.
+			gen = trace.Replay(ws[i], laneSeed, opt.Refs)
+		}
 		lanes[i] = &lane{
 			core: cpu.New(cpu.DefaultConfig()),
-			gen:  ws[i].Build(opt.Seed + int64(i)*104729),
+			gen:  gen,
 			ad:   ad,
 			mem:  ad.access,
 			left: opt.Refs,
@@ -126,20 +159,30 @@ func Run(ws []trace.Workload, opt Options) Result {
 	}
 
 	// Interleave cores by advancing whichever is earliest in simulated time,
-	// so they contend for the shared LLC and DRAM realistically.
+	// so they contend for the shared LLC and DRAM realistically. A single
+	// lane needs no selection scan — the paper's single-thread machine runs
+	// the tight loop.
 	var ref trace.Ref
+	single := lanes[0]
 	for {
 		var l *lane
-		for _, cand := range lanes {
-			if cand.left == 0 {
-				continue
+		if n == 1 {
+			if single.left == 0 {
+				break
 			}
-			if l == nil || cand.core.Cycle() < l.core.Cycle() {
-				l = cand
+			l = single
+		} else {
+			for _, cand := range lanes {
+				if cand.left == 0 {
+					continue
+				}
+				if l == nil || cand.core.Cycle() < l.core.Cycle() {
+					l = cand
+				}
 			}
-		}
-		if l == nil {
-			break
+			if l == nil {
+				break
+			}
 		}
 		l.gen.Next(&ref)
 		l.core.Ops(ref.Gap)

@@ -10,6 +10,7 @@
 package sms
 
 import (
+	"dspatch/internal/idx"
 	"dspatch/internal/memaddr"
 	"dspatch/internal/prefetch"
 )
@@ -23,6 +24,12 @@ type Config struct {
 	FTEntries  int // filter table (regions with 1 access)
 	PHTEntries int // pattern history table total entries
 	PHTWays    int
+
+	// Reference selects the pre-optimization per-train bookkeeping: linear
+	// scans of the accumulation and filter tables instead of the hashed
+	// region indexes. It exists so the differential equivalence tests can
+	// prove the indexed fast path bit-identical; simulations never set it.
+	Reference bool
 }
 
 // DefaultConfig returns the paper's full-size SMS (88KB-class).
@@ -77,6 +84,13 @@ type SMS struct {
 	pht   []phtEntry // sets × ways
 	sets  int
 	clock uint64
+
+	// atIdx and ftIdx map live region numbers to their table slots, so the
+	// per-train lookups probe O(1) instead of scanning the fully associative
+	// tables. Maintained on every AT/FT mutation; the Reference mode scans
+	// the tables directly and must agree.
+	atIdx *idx.Table
+	ftIdx *idx.Table
 }
 
 // New builds an SMS instance.
@@ -86,11 +100,13 @@ func New(cfg Config) *SMS {
 		panic("sms: PHT set count must be a positive power of two")
 	}
 	return &SMS{
-		cfg:  cfg,
-		ft:   make([]ftEntry, cfg.FTEntries),
-		at:   make([]atEntry, cfg.ATEntries),
-		pht:  make([]phtEntry, cfg.PHTEntries),
-		sets: sets,
+		cfg:   cfg,
+		ft:    make([]ftEntry, cfg.FTEntries),
+		at:    make([]atEntry, cfg.ATEntries),
+		pht:   make([]phtEntry, cfg.PHTEntries),
+		sets:  sets,
+		atIdx: idx.New(cfg.ATEntries),
+		ftIdx: idx.New(cfg.FTEntries),
 	}
 }
 
@@ -140,19 +156,31 @@ func (s *SMS) Train(a prefetch.Access, _ prefetch.Context, dst []prefetch.Reques
 }
 
 func (s *SMS) lookupAT(reg region) *atEntry {
-	for i := range s.at {
-		if s.at[i].valid && s.at[i].reg == reg {
-			return &s.at[i]
+	if s.cfg.Reference {
+		for i := range s.at {
+			if s.at[i].valid && s.at[i].reg == reg {
+				return &s.at[i]
+			}
 		}
+		return nil
+	}
+	if i, ok := s.atIdx.Get(uint64(reg)); ok {
+		return &s.at[i]
 	}
 	return nil
 }
 
 func (s *SMS) lookupFT(reg region) *ftEntry {
-	for i := range s.ft {
-		if s.ft[i].valid && s.ft[i].reg == reg {
-			return &s.ft[i]
+	if s.cfg.Reference {
+		for i := range s.ft {
+			if s.ft[i].valid && s.ft[i].reg == reg {
+				return &s.ft[i]
+			}
 		}
+		return nil
+	}
+	if i, ok := s.ftIdx.Get(uint64(reg)); ok {
+		return &s.ft[i]
 	}
 	return nil
 }
@@ -169,7 +197,11 @@ func (s *SMS) allocFT(reg region, sig uint64, trigger int) {
 			oldest, victim = s.ft[i].used, i
 		}
 	}
+	if s.ft[victim].valid {
+		s.ftIdx.Del(uint64(s.ft[victim].reg))
+	}
 	s.ft[victim] = ftEntry{reg: reg, sig: sig, trigger: trigger, valid: true, used: s.clock}
+	s.ftIdx.Put(uint64(reg), victim)
 }
 
 // promote moves a filter-table region into the accumulation table; the AT
@@ -189,6 +221,7 @@ func (s *SMS) promote(f *ftEntry, secondOff int) {
 	}
 	if s.at[victim].valid {
 		s.phtStore(s.at[victim].sig, s.at[victim].pattern)
+		s.atIdx.Del(uint64(s.at[victim].reg))
 	}
 	s.at[victim] = atEntry{
 		reg:     f.reg,
@@ -197,6 +230,8 @@ func (s *SMS) promote(f *ftEntry, secondOff int) {
 		valid:   true,
 		used:    s.clock,
 	}
+	s.atIdx.Put(uint64(f.reg), victim)
+	s.ftIdx.Del(uint64(f.reg))
 	f.valid = false
 }
 

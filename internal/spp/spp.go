@@ -33,6 +33,12 @@ type Config struct {
 
 	MaxLookahead int // recursion depth bound
 	FilterSize   int // prefetch filter entries (power of two)
+
+	// Reference selects the pre-optimization arithmetic: per-probe integer
+	// divisions for delta confidence instead of the precomputed quotient
+	// table. It exists so the differential equivalence tests can prove the
+	// table path bit-identical; simulations never set it.
+	Reference bool
 }
 
 // DefaultConfig returns the paper's SPP configuration.
@@ -100,6 +106,15 @@ type SPP struct {
 
 	stMask uint64 // STEntries-1; table indexing runs on every training event
 	ptMask uint64 // PTEntries-1
+
+	// confTab[cSig*(CounterMax+1)+cDelta] = 100*cDelta/cSig, precomputed
+	// over the counter range so the lookahead loop (up to DeltasPer probes
+	// per level, up to MaxLookahead levels per train) reads a byte from one
+	// flat array instead of dividing. Counters never exceed CounterMax:
+	// updatePT halves past the cap, and the up-rounded cSig halving
+	// preserves cDelta <= cSig.
+	confTab  []uint8
+	confSpan int // row stride: CounterMax+1
 }
 
 // New builds an SPP instance.
@@ -114,7 +129,16 @@ func New(cfg Config) *SPP {
 	if cfg.LowBWThresholdPct > 0 {
 		name = "espp"
 	}
+	span := cfg.CounterMax + 1
+	confTab := make([]uint8, span*span)
+	for cs := 1; cs < span; cs++ {
+		for cd := 0; cd < span; cd++ {
+			confTab[cs*span+cd] = uint8(100 * cd / cs)
+		}
+	}
 	return &SPP{
+		confTab:   confTab,
+		confSpan:  span,
 		cfg:       cfg,
 		st:        make([]stEntry, cfg.STEntries),
 		pt:        make([]ptEntry, cfg.PTEntries),
@@ -241,6 +265,7 @@ func (s *SPP) lookahead(page memaddr.Page, off int, sig uint16, pathPct int, ctx
 	thr := s.threshold(ctx)
 	alpha := s.accuracyPct()
 	thr100 := 100 * thr
+	ref := s.cfg.Reference
 	curOff, curSig, p := off, sig, pathPct
 	for depth := 0; depth < s.cfg.MaxLookahead && p >= thr; depth++ {
 		pe := &s.pt[uint64(curSig)&s.ptMask]
@@ -252,7 +277,12 @@ func (s *SPP) lookahead(page memaddr.Page, off int, sig uint16, pathPct int, ctx
 			if pe.cDelta[i] == 0 {
 				continue
 			}
-			conf := 100 * pe.cDelta[i] / pe.cSig
+			var conf int
+			if ref {
+				conf = 100 * pe.cDelta[i] / pe.cSig
+			} else {
+				conf = int(s.confTab[pe.cSig*s.confSpan+pe.cDelta[i]])
+			}
 			// p*conf/100 >= thr without the division: all terms nonnegative,
 			// so the floored quotient clears thr exactly when p*conf clears
 			// 100*thr.

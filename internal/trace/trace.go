@@ -1,7 +1,7 @@
 // Package trace generates the synthetic memory access streams that stand in
 // for the paper's 75 proprietary workload traces (SPEC CPU2006/2017, Client,
-// Server, HPC, Cloud, SYSmark — see DESIGN.md §2 for the substitution
-// argument).
+// Server, HPC, Cloud, SYSmark — the repository README's experiment index
+// explains the substitution argument).
 //
 // Each generator reproduces the access-pattern property the paper attributes
 // to its suite: dense regular strides and delta series (HPC, FSPEC),
@@ -84,6 +84,7 @@ type streamGen struct {
 func NewStream(cfg StreamConfig, seed int64) Generator {
 	rng := rand.New(rand.NewSource(seed))
 	s := &streamGen{cfg: cfg, rng: rng, g: gapper{rng, cfg.MeanGap}}
+	s.streams = make([]streamState, 0, cfg.Streams)
 	pcs := cfg.PCCount
 	if pcs <= 0 {
 		pcs = cfg.Streams
@@ -208,13 +209,23 @@ func NewSpatial(cfg SpatialConfig, seed int64) Generator {
 	if cfg.Segment1 {
 		lim = memaddr.LinesPage
 	}
+	// All footprints and placement lists live in two shared slabs. Code-heavy
+	// workloads build thousands of patterns per generator; per-pattern slices
+	// made generator construction ~0.4 heap objects per simulated reference
+	// on the tpcc family.
+	maxDensity := max(cfg.Density, 1)
+	nPlace := max(cfg.Placements, 1)
+	footSlab := make([]int, cfg.Patterns*maxDensity)
+	placeSlab := make([]int, cfg.Patterns*nPlace)
+	s.foot = make([][]int, 0, cfg.Patterns)
+	s.places = make([][]int, 0, cfg.Patterns)
 	for p := 0; p < cfg.Patterns; p++ {
 		// Footprints are generated relative to their head line (offset 0)
 		// within a span of about a third of the region, leaving room for
 		// placement variation and keeping most visits inside one 2KB
 		// segment (real spatial footprints are object-sized).
 		span := lim / 3
-		foot := make([]int, 1, max(cfg.Density, 1))
+		foot := append(footSlab[p*maxDensity:p*maxDensity:(p+1)*maxDensity], 0)
 		// seen is indexed by in-span offset (< LinesPage); an array keeps
 		// workload construction allocation-free — building 75 generators per
 		// figure was 96% of the simulator's allocation count as maps.
@@ -253,15 +264,11 @@ func NewSpatial(cfg SpatialConfig, seed int64) Generator {
 			}
 		}
 		s.foot = append(s.foot, foot)
-		nPlace := cfg.Placements
-		if nPlace < 1 {
-			nPlace = 1
-		}
 		// Placements are 128B-aligned (allocators align sizable objects)
 		// and segment-contained, so a footprint recurs at varying bases
 		// without straddling the 2KB boundary or flipping the compression
 		// pairing.
-		places := make([]int, nPlace)
+		places := placeSlab[p*nPlace : (p+1)*nPlace]
 		for i := 1; i < nPlace; i++ {
 			seg := 0
 			if cfg.Segment1 {

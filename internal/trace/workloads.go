@@ -82,8 +82,8 @@ func mix(parts []func(int64) Generator, weights []int) func(int64) Generator {
 }
 
 // Workloads is the full 75-entry roster. Names follow the paper's exemplars;
-// parameters encode each suite's characteristic stream statistics (see
-// DESIGN.md §2).
+// parameters encode each suite's characteristic stream statistics (see the
+// repository README's experiment index).
 var Workloads = buildWorkloads()
 
 func buildWorkloads() []Workload {
