@@ -1,0 +1,98 @@
+// Command dspatchd serves the DSPatch experiment engine as a long-running
+// simulation-as-a-service daemon (see internal/service for the API).
+//
+// Usage:
+//
+//	dspatchd                                   # listen on :8491
+//	dspatchd -addr 127.0.0.1:9000 -cache-dir ~/.cache/dspatchd
+//	dspatchd -job-workers 4 -sim-workers 2 -queue 128
+//	dspatchd -drain-timeout 60s                # SIGTERM grace period
+//
+// The daemon drains gracefully on SIGINT/SIGTERM: intake stops, running
+// jobs get -drain-timeout to finish (then are canceled), and the process
+// exits 0.
+package main
+
+import (
+	"context"
+	"flag"
+	"fmt"
+	"io"
+	"os"
+	"os/signal"
+	"syscall"
+	"time"
+
+	"dspatch/internal/service"
+)
+
+func main() {
+	ctx, stop := signal.NotifyContext(context.Background(), os.Interrupt, syscall.SIGTERM)
+	defer stop()
+	os.Exit(appMain(ctx, os.Args[1:], os.Stdout, os.Stderr))
+}
+
+// appMain is main with its dependencies injected, so tests can drive the
+// daemon end to end. It blocks until ctx is canceled (graceful drain, exit
+// 0) or startup fails.
+func appMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
+	fs := flag.NewFlagSet("dspatchd", flag.ContinueOnError)
+	fs.SetOutput(stderr)
+	addr := fs.String("addr", ":8491", "listen address")
+	jobWorkers := fs.Int("job-workers", 0, "concurrent job workers / queue shards (0 = default 2)")
+	simWorkers := fs.Int("sim-workers", 0, "simulation goroutines per job (0 = GOMAXPROCS/job-workers)")
+	queue := fs.Int("queue", 0, "queued jobs per worker shard before 503 (0 = default 64)")
+	maxJobs := fs.Int("max-jobs", 0, "retained job records before eviction (0 = default 4096)")
+	cacheDir := fs.String("cache-dir", "", "persistent run-cache directory shared with dspatchsim")
+	noCache := fs.Bool("no-cache", false, "ignore -cache-dir (force every simulation to run)")
+	drain := fs.Duration("drain-timeout", 30*time.Second, "how long running jobs may finish after SIGTERM")
+	if err := fs.Parse(args); err != nil {
+		if err == flag.ErrHelp {
+			return 0
+		}
+		return 2
+	}
+	fail := func(msg string) int {
+		fmt.Fprintln(stderr, "dspatchd:", msg)
+		return 2
+	}
+	switch {
+	case *addr == "":
+		return fail("-addr must not be empty")
+	case *jobWorkers < 0:
+		return fail(fmt.Sprintf("-job-workers must be non-negative, got %d", *jobWorkers))
+	case *simWorkers < 0:
+		return fail(fmt.Sprintf("-sim-workers must be non-negative, got %d", *simWorkers))
+	case *queue < 0:
+		return fail(fmt.Sprintf("-queue must be non-negative, got %d", *queue))
+	case *maxJobs < 0:
+		return fail(fmt.Sprintf("-max-jobs must be non-negative, got %d", *maxJobs))
+	case *drain <= 0:
+		return fail(fmt.Sprintf("-drain-timeout must be positive, got %s", *drain))
+	case *noCache && *cacheDir == "":
+		return fail("-no-cache without -cache-dir has nothing to disable")
+	}
+	activeCacheDir := *cacheDir
+	if *noCache {
+		activeCacheDir = ""
+		fmt.Fprintln(stderr, "note: persistent run cache disabled by -no-cache")
+	}
+
+	cfg := service.Config{
+		Addr:         *addr,
+		JobWorkers:   *jobWorkers,
+		SimWorkers:   *simWorkers,
+		QueueDepth:   *queue,
+		MaxJobs:      *maxJobs,
+		CacheDir:     activeCacheDir,
+		DrainTimeout: *drain,
+		Logf: func(format string, a ...any) {
+			fmt.Fprintf(stdout, format+"\n", a...)
+		},
+	}
+	if err := service.ListenAndServe(ctx, cfg); err != nil {
+		fmt.Fprintln(stderr, "dspatchd:", err)
+		return 1
+	}
+	return 0
+}

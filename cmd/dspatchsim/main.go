@@ -28,11 +28,10 @@ import (
 	"dspatch/internal/trace"
 )
 
-var experimentOrder = []string{
-	"table1", "table3", "fig1", "fig4", "fig5", "fig6", "fig11",
-	"fig12", "fig13", "fig14", "fig15", "fig16", "fig17", "fig18",
-	"fig19", "fig20", "headline",
-}
+// experimentOrder mirrors the shared experiment registry
+// (internal/experiments/registry.go), the single source of truth for both
+// this CLI and the dspatchd service.
+var experimentOrder = experiments.ExperimentIDs()
 
 func main() {
 	os.Exit(appMain(os.Args[1:], os.Stdout, os.Stderr))
@@ -64,6 +63,29 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 			return 0
 		}
 		return 2
+	}
+
+	// Flag-validation audit: every bad value or nonsensical combination must
+	// exit non-zero with a message, never be silently ignored.
+	set := map[string]bool{}
+	fs.Visit(func(f *flag.Flag) { set[f.Name] = true })
+	fail := func(msg string) int {
+		fmt.Fprintln(stderr, "dspatchsim:", msg)
+		return 2
+	}
+	switch {
+	case *refs < 0:
+		return fail(fmt.Sprintf("-refs must be non-negative, got %d", *refs))
+	case *parallel < 0:
+		return fail(fmt.Sprintf("-parallel must be non-negative, got %d", *parallel))
+	case set["workload"] && *traceExport == "":
+		return fail("-workload only applies to -trace-export")
+	case set["bench-out"] && !*bench:
+		return fail("-bench-out only applies to -bench")
+	case *noCache && *cacheDir == "":
+		return fail("-no-cache without -cache-dir has nothing to disable")
+	case *benchDiff != "" && (*exp != "" || *bench || *traceExport != "" || *traceImport != ""):
+		return fail("-bench-diff cannot be combined with -experiment, -bench or trace flags")
 	}
 
 	if *list {
@@ -277,44 +299,13 @@ func importTrace(path string) (*trace.Materialized, bool, error) {
 }
 
 // run renders one experiment to w, reporting whether id was recognized.
+// The registry drives it, so the CLI and the dspatchd service can never
+// disagree about what an experiment id means.
 func run(w io.Writer, id string, s experiments.Scale) bool {
-	switch id {
-	case "table1":
-		experiments.FormatStorage(w, "Table 1: DSPatch storage", experiments.Table1())
-	case "table3":
-		experiments.FormatStorage(w, "Table 3: prefetcher storage budgets", experiments.Table3())
-	case "fig1":
-		experiments.FormatScaling(w, "Fig 1: prefetcher scaling with DRAM bandwidth", experiments.Fig1(s))
-	case "fig4":
-		experiments.FormatCategory(w, "Fig 4: BOP/SMS/SPP by category (1ch DDR4-2133)", experiments.Fig4(s))
-	case "fig5":
-		experiments.FormatFig5(w, experiments.Fig5(s))
-	case "fig6":
-		experiments.FormatScaling(w, "Fig 6: scaling incl. eSPP/eBOP", experiments.Fig6(s))
-	case "fig11":
-		experiments.FormatFig11(w, experiments.Fig11a(s), experiments.Fig11b(s))
-	case "fig12":
-		experiments.FormatCategory(w, "Fig 12: single-thread performance", experiments.Fig12(s))
-	case "fig13":
-		experiments.FormatFig13(w, experiments.Fig13(s))
-	case "fig14":
-		experiments.FormatCategory(w, "Fig 14: adjunct prefetchers to SPP", experiments.Fig14(s))
-	case "fig15":
-		experiments.FormatScaling(w, "Fig 15: performance scaling with DRAM bandwidth", experiments.Fig15(s))
-	case "fig16":
-		experiments.FormatFig16(w, experiments.Fig16(s))
-	case "fig17":
-		experiments.FormatCategory(w, "Fig 17: homogeneous 4-core mixes", experiments.Fig17(s))
-	case "fig18":
-		experiments.FormatFig18(w, experiments.Fig18(s))
-	case "fig19":
-		experiments.FormatFig19(w, experiments.Fig19(s))
-	case "fig20":
-		experiments.FormatFig20(w, experiments.Fig20(s))
-	case "headline":
-		experiments.FormatHeadline(w, experiments.Headline(s))
-	default:
+	e, ok := experiments.ExperimentByID(id)
+	if !ok {
 		return false
 	}
+	e.Format(w, e.Run(s))
 	return true
 }

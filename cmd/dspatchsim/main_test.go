@@ -28,6 +28,41 @@ func TestListPrintsEveryExperiment(t *testing.T) {
 	}
 }
 
+// TestBadFlagsExitNonZero is the flag-validation audit: every invalid value
+// or nonsensical combination must exit 2 with a message on stderr — never a
+// panic, never a silent success that quietly ignores the flag.
+func TestBadFlagsExitNonZero(t *testing.T) {
+	cases := []struct {
+		name string
+		args []string
+		want string // stderr substring
+	}{
+		{"unknown flag", []string{"-bogus"}, "flag provided but not defined"},
+		{"negative refs", []string{"-experiment", "fig4", "-refs", "-5"}, "-refs"},
+		{"negative parallel", []string{"-experiment", "fig4", "-parallel", "-2"}, "-parallel"},
+		{"malformed refs", []string{"-experiment", "fig4", "-refs", "many"}, "invalid value"},
+		{"workload without export", []string{"-workload", "tpcc", "-experiment", "fig4"}, "-workload"},
+		{"bench-out without bench", []string{"-bench-out", "x.json", "-experiment", "fig4"}, "-bench-out"},
+		{"no-cache without cache-dir", []string{"-no-cache", "-experiment", "fig4"}, "-no-cache"},
+		{"bench-diff with experiment", []string{"-bench-diff", "a.json,b.json", "-experiment", "fig4"}, "-bench-diff"},
+		{"bench-diff with bench", []string{"-bench-diff", "a.json,b.json", "-bench"}, "-bench-diff"},
+		{"bench-diff single file", []string{"-bench-diff", "only.json"}, "OLD.json,NEW.json"},
+		{"export without workload", []string{"-trace-export", "x.trace"}, "-workload"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			code := appMain(tc.args, &out, &errb)
+			if code != 2 {
+				t.Fatalf("exit = %d, want 2 (stderr: %s)", code, errb.String())
+			}
+			if !strings.Contains(errb.String(), tc.want) {
+				t.Errorf("stderr %q missing %q", errb.String(), tc.want)
+			}
+		})
+	}
+}
+
 func TestNoArgsIsUsageError(t *testing.T) {
 	var out, errb bytes.Buffer
 	if code := appMain(nil, &out, &errb); code != 2 {

@@ -94,6 +94,14 @@ func SetCacheDir(dir string) error {
 	return engine.SetCacheDir(dir)
 }
 
+// CacheDir reports the process-wide engine's persistent cache directory
+// (empty when the disk cache is disabled).
+func CacheDir() string {
+	engine.mu.Lock()
+	defer engine.mu.Unlock()
+	return engine.cacheDir
+}
+
 // SetCacheDir enables the persistent run cache on this runner.
 func (r *Runner) SetCacheDir(dir string) error {
 	if dir != "" {

@@ -12,6 +12,7 @@
 package experiments
 
 import (
+	"context"
 	"math"
 
 	"dspatch/internal/dram"
@@ -28,6 +29,9 @@ type Scale struct {
 	MPMixes     int // multi-programmed mixes (Fig. 17/18)
 	Seed        int64
 	Parallel    int // simulation worker goroutines (0 = GOMAXPROCS)
+
+	// cctx, when set via WithContext, cancels the scale's simulations.
+	cctx context.Context
 }
 
 // Quick is the default bench scale.
@@ -41,6 +45,25 @@ func Full() Scale { return Scale{Refs: 200_000, PerCategory: 0, MPMixes: 42, See
 func (s Scale) WithParallel(n int) Scale {
 	s.Parallel = n
 	return s
+}
+
+// WithContext returns a copy of s whose simulations abort when ctx fires —
+// the hook the dspatchd service uses for per-job cancellation. A canceled
+// experiment's return value is meaningless (aborted runs contribute zero
+// metrics that the aggregation drops); callers that set a context must check
+// ctx.Err() before using the result. Completed runs are never affected:
+// results are bit-identical with or without a context.
+func (s Scale) WithContext(ctx context.Context) Scale {
+	s.cctx = ctx
+	return s
+}
+
+// context returns the scale's cancellation context, Background if unset.
+func (s Scale) context() context.Context {
+	if s.cctx != nil {
+		return s.cctx
+	}
+	return context.Background()
 }
 
 // workloads returns the evaluation roster at this scale, category-balanced.

@@ -89,6 +89,9 @@ func Fig11a(s Scale) Fig11aResult {
 	var res Fig11aResult
 	var total float64
 	for _, w := range s.workloads() {
+		if s.context().Err() != nil {
+			break // canceled via WithContext; partial result is discarded
+		}
 		g := w.Build(s.Seed)
 		lastOff := map[memaddr.Page]int{}
 		var r trace.Ref
@@ -139,6 +142,9 @@ func Fig11b(s Scale) [6]float64 {
 	}
 	var hist [6]uint64
 	for _, r := range s.runAll(jobs) {
+		if len(r.Ports) == 0 {
+			continue // run aborted by a WithContext cancellation
+		}
 		d := sim.FindDSPatch(r.Ports[0].L2Prefetcher())
 		for i, v := range d.Stats().CompressionHist {
 			hist[i] += v

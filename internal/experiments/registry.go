@@ -1,0 +1,161 @@
+package experiments
+
+import "io"
+
+// Experiment is one registry entry: a table or figure of the paper's
+// evaluation, runnable at any Scale and renderable as text. The registry is
+// the single source of truth for both front ends — cmd/dspatchsim iterates
+// it for -list/-experiment, and the dspatchd service exposes it as
+// POST /v1/experiments/{id} — so the two can never drift.
+type Experiment struct {
+	ID    string
+	Title string
+	// Sim reports whether the experiment schedules simulations (the storage
+	// tables are pure arithmetic and return instantly at any scale).
+	Sim bool
+	// Run executes the experiment and returns its typed result (the same
+	// value the dspatch facade function of the same name returns). For a
+	// scale carrying a canceled WithContext the value is meaningless and
+	// must be discarded.
+	Run func(Scale) any
+	// Format renders a value previously produced by Run. It panics on a
+	// value of the wrong type: pairing Run and Format from the same entry
+	// is a program invariant, not an input.
+	Format func(io.Writer, any)
+}
+
+// Fig11Result pairs both halves of paper Fig. 11 (the registry entry runs
+// them together, like the CLI always has).
+type Fig11Result struct {
+	A Fig11aResult
+	B [6]float64
+}
+
+// registry lists every experiment in the CLI's historical -list order.
+var registry = []Experiment{
+	{
+		ID: "table1", Title: "Table 1: DSPatch storage",
+		Run:    func(Scale) any { return Table1() },
+		Format: func(w io.Writer, v any) { FormatStorage(w, "Table 1: DSPatch storage", v.([]StorageRow)) },
+	},
+	{
+		ID: "table3", Title: "Table 3: prefetcher storage budgets",
+		Run:    func(Scale) any { return Table3() },
+		Format: func(w io.Writer, v any) { FormatStorage(w, "Table 3: prefetcher storage budgets", v.([]StorageRow)) },
+	},
+	{
+		ID: "fig1", Title: "Fig 1: prefetcher scaling with DRAM bandwidth", Sim: true,
+		Run: func(s Scale) any { return Fig1(s) },
+		Format: func(w io.Writer, v any) {
+			FormatScaling(w, "Fig 1: prefetcher scaling with DRAM bandwidth", v.(ScalingResult))
+		},
+	},
+	{
+		ID: "fig4", Title: "Fig 4: BOP/SMS/SPP by category (1ch DDR4-2133)", Sim: true,
+		Run: func(s Scale) any { return Fig4(s) },
+		Format: func(w io.Writer, v any) {
+			FormatCategory(w, "Fig 4: BOP/SMS/SPP by category (1ch DDR4-2133)", v.(CategoryResult))
+		},
+	},
+	{
+		ID: "fig5", Title: "Fig 5: SMS performance vs pattern-history-table size", Sim: true,
+		Run:    func(s Scale) any { return Fig5(s) },
+		Format: func(w io.Writer, v any) { FormatFig5(w, v.([]Fig5Row)) },
+	},
+	{
+		ID: "fig6", Title: "Fig 6: scaling incl. eSPP/eBOP", Sim: true,
+		Run:    func(s Scale) any { return Fig6(s) },
+		Format: func(w io.Writer, v any) { FormatScaling(w, "Fig 6: scaling incl. eSPP/eBOP", v.(ScalingResult)) },
+	},
+	{
+		ID: "fig11", Title: "Fig 11: delta distribution and compression mispredictions", Sim: true,
+		Run: func(s Scale) any { return Fig11Result{A: Fig11a(s), B: Fig11b(s)} },
+		Format: func(w io.Writer, v any) {
+			r := v.(Fig11Result)
+			FormatFig11(w, r.A, r.B)
+		},
+	},
+	{
+		ID: "fig12", Title: "Fig 12: single-thread performance", Sim: true,
+		Run: func(s Scale) any { return Fig12(s) },
+		Format: func(w io.Writer, v any) {
+			FormatCategory(w, "Fig 12: single-thread performance", v.(CategoryResult))
+		},
+	},
+	{
+		ID: "fig13", Title: "Fig 13: 42 memory-intensive workloads", Sim: true,
+		Run:    func(s Scale) any { return Fig13(s) },
+		Format: func(w io.Writer, v any) { FormatFig13(w, v.([]Fig13Row)) },
+	},
+	{
+		ID: "fig14", Title: "Fig 14: adjunct prefetchers to SPP", Sim: true,
+		Run: func(s Scale) any { return Fig14(s) },
+		Format: func(w io.Writer, v any) {
+			FormatCategory(w, "Fig 14: adjunct prefetchers to SPP", v.(CategoryResult))
+		},
+	},
+	{
+		ID: "fig15", Title: "Fig 15: performance scaling with DRAM bandwidth", Sim: true,
+		Run: func(s Scale) any { return Fig15(s) },
+		Format: func(w io.Writer, v any) {
+			FormatScaling(w, "Fig 15: performance scaling with DRAM bandwidth", v.(ScalingResult))
+		},
+	},
+	{
+		ID: "fig16", Title: "Fig 16: coverage and mispredictions", Sim: true,
+		Run:    func(s Scale) any { return Fig16(s) },
+		Format: func(w io.Writer, v any) { FormatFig16(w, v.([]Fig16Row)) },
+	},
+	{
+		ID: "fig17", Title: "Fig 17: homogeneous 4-core mixes", Sim: true,
+		Run: func(s Scale) any { return Fig17(s) },
+		Format: func(w io.Writer, v any) {
+			FormatCategory(w, "Fig 17: homogeneous 4-core mixes", v.(CategoryResult))
+		},
+	},
+	{
+		ID: "fig18", Title: "Fig 18: multi-programmed mixes vs DRAM bandwidth", Sim: true,
+		Run:    func(s Scale) any { return Fig18(s) },
+		Format: func(w io.Writer, v any) { FormatFig18(w, v.([]Fig18Row)) },
+	},
+	{
+		ID: "fig19", Title: "Fig 19: contribution of the accuracy-biased pattern", Sim: true,
+		Run:    func(s Scale) any { return Fig19(s) },
+		Format: func(w io.Writer, v any) { FormatFig19(w, v.(Fig19Result)) },
+	},
+	{
+		ID: "fig20", Title: "Fig 20: LLC pollution taxonomy", Sim: true,
+		Run:    func(s Scale) any { return Fig20(s) },
+		Format: func(w io.Writer, v any) { FormatFig20(w, v.([]Fig20Row)) },
+	},
+	{
+		ID: "headline", Title: "Headline numbers", Sim: true,
+		Run:    func(s Scale) any { return Headline(s) },
+		Format: func(w io.Writer, v any) { FormatHeadline(w, v.(HeadlineResult)) },
+	},
+}
+
+// Experiments returns the registry in canonical order. The slice is shared:
+// callers must not mutate it.
+func Experiments() []Experiment {
+	return registry
+}
+
+// ExperimentIDs returns every registry id in canonical order.
+func ExperimentIDs() []string {
+	ids := make([]string, len(registry))
+	for i, e := range registry {
+		ids[i] = e.ID
+	}
+	return ids
+}
+
+// ExperimentByID looks up one registry entry.
+func ExperimentByID(id string) (Experiment, bool) {
+	for _, e := range registry {
+		if e.ID == id {
+			return e, true
+		}
+	}
+	return Experiment{}, false
+}

@@ -1,10 +1,13 @@
 package experiments
 
 import (
+	"context"
+	"fmt"
 	"runtime"
 	"strings"
 	"sync"
 	"sync/atomic"
+	"time"
 
 	"dspatch/internal/dram"
 	"dspatch/internal/sim"
@@ -80,10 +83,33 @@ func memoizable(j Job) (runKey, bool) {
 
 // memoEntry computes its result once under its own guard, so two distinct
 // baselines never serialize on each other and a duplicate submitted
-// concurrently waits for the first instead of re-simulating.
+// concurrently waits for the first instead of re-simulating. A canceled
+// computation records err; observers drop the entry from the memo so a later
+// request recomputes instead of inheriting the cancellation.
 type memoEntry struct {
-	once sync.Once
-	res  sim.Result
+	once     sync.Once
+	res      sim.Result
+	err      error
+	panicked any // recovered panic value; re-raised for every observer
+}
+
+// Counters is a monotonic snapshot of the engine's work ledger. Long-running
+// callers (the dspatchd daemon's /metrics, tests proving cache behaviour)
+// read it before and after an operation and look at the deltas.
+type Counters struct {
+	// Sims counts simulations actually executed (cold runs).
+	Sims uint64
+	// MemoHits counts runs served from the in-process memo without
+	// simulating — including concurrent duplicates that waited on the
+	// first computation.
+	MemoHits uint64
+	// DiskHits counts runs loaded from the persistent -cache-dir store.
+	DiskHits uint64
+	// RefsSimulated totals memory references of cold runs (refs × lanes).
+	RefsSimulated uint64
+	// SimNanos totals wall time spent inside cold simulations. With
+	// RefsSimulated it yields the engine's aggregate refs/s.
+	SimNanos uint64
 }
 
 // Runner fans simulation jobs across a goroutine pool and memoizes every
@@ -96,6 +122,12 @@ type Runner struct {
 	mu       sync.Mutex
 	memo     map[runKey]*memoEntry
 	cacheDir string // non-empty: persistent run cache root (diskcache.go)
+
+	sims     atomic.Uint64
+	memoHits atomic.Uint64
+	diskHits atomic.Uint64
+	refsSim  atomic.Uint64
+	simNanos atomic.Uint64
 }
 
 // NewRunner returns a Runner whose default pool width is workers
@@ -111,8 +143,9 @@ func NewRunner(workers int) *Runner {
 // baseline simulated for one figure is reused by the next.
 var engine = NewRunner(0)
 
-// ResetMemo drops every memoized run from the shared engine. Benchmarks use
-// it to measure cold-cache behaviour; normal callers never need it.
+// ResetMemo drops every memoized run from the shared engine. Benchmarks and
+// cache tests use it to measure cold-memo behaviour (a fresh process);
+// normal callers never need it. Counters are monotonic and unaffected.
 func ResetMemo() {
 	engine.mu.Lock()
 	engine.memo = map[runKey]*memoEntry{}
@@ -126,38 +159,127 @@ func MemoLen() int {
 	return len(engine.memo)
 }
 
-// run executes one job, consulting the in-process memo first and then the
+// EngineCounters snapshots the shared engine's work ledger.
+func EngineCounters() Counters {
+	return engine.Counters()
+}
+
+// Counters snapshots this runner's work ledger.
+func (r *Runner) Counters() Counters {
+	return Counters{
+		Sims:          r.sims.Load(),
+		MemoHits:      r.memoHits.Load(),
+		DiskHits:      r.diskHits.Load(),
+		RefsSimulated: r.refsSim.Load(),
+		SimNanos:      r.simNanos.Load(),
+	}
+}
+
+// simulate runs j cold under ctx, bookkeeping the work ledger.
+func (r *Runner) simulate(ctx context.Context, j Job) (sim.Result, error) {
+	start := time.Now()
+	res, err := sim.RunCtx(ctx, j.Workloads, j.Opt)
+	if err != nil {
+		return res, err
+	}
+	r.sims.Add(1)
+	r.refsSim.Add(uint64(j.Opt.Refs) * uint64(len(j.Workloads)))
+	r.simNanos.Add(uint64(time.Since(start)))
+	return res, nil
+}
+
+// run executes one job on the background context (the library path, which
+// cannot be canceled and therefore cannot fail).
+func (r *Runner) run(j Job) sim.Result {
+	res, _ := r.runCtx(context.Background(), j)
+	return res
+}
+
+// runCtx executes one job, consulting the in-process memo first and then the
 // persistent disk cache (when configured). Memoized results drop their
 // Ports: live memory-system state is bulky, and jobs that need it set
 // NeedPorts to bypass the memo entirely.
-func (r *Runner) run(j Job) sim.Result {
+//
+// Cancellation safety: a memo entry whose computation was canceled is
+// removed, never served. A waiter that finds a canceled entry retries with a
+// fresh one as long as its own context is live, so one canceled request
+// never poisons the shared memo for others.
+func (r *Runner) runCtx(ctx context.Context, j Job) (sim.Result, error) {
 	key, ok := memoizable(j)
 	if !ok {
-		return sim.Run(j.Workloads, j.Opt)
+		return r.simulate(ctx, j)
 	}
-	r.mu.Lock()
-	e := r.memo[key]
-	if e == nil {
-		e = &memoEntry{}
-		r.memo[key] = e
-	}
-	dir := r.cacheDir
-	r.mu.Unlock()
-	e.once.Do(func() {
-		if dir != "" {
-			if res, ok := cacheLoad(dir, key); ok {
-				e.res = res
+	for {
+		r.mu.Lock()
+		e := r.memo[key]
+		if e == nil {
+			e = &memoEntry{}
+			r.memo[key] = e
+		}
+		dir := r.cacheDir
+		r.mu.Unlock()
+		computed := false
+		e.once.Do(func() {
+			computed = true
+			// A panicking simulation must not leave the sync.Once completed
+			// over a zero Result with a nil error — later identical jobs
+			// would be served that zero result as a memo hit. Record the
+			// panic so every observer drops the entry and re-raises it.
+			defer func() {
+				if p := recover(); p != nil {
+					e.panicked = p
+					e.err = fmt.Errorf("simulation panicked: %v", p)
+				}
+			}()
+			if dir != "" {
+				if res, ok := cacheLoad(dir, key); ok {
+					r.diskHits.Add(1)
+					e.res = res
+					return
+				}
+			}
+			res, err := r.simulate(ctx, j)
+			if err != nil {
+				e.err = err
 				return
 			}
+			res.Ports = nil
+			if dir != "" {
+				cacheStore(dir, key, res)
+			}
+			e.res = res
+		})
+		if e.err != nil {
+			r.mu.Lock()
+			if r.memo[key] == e {
+				delete(r.memo, key)
+			}
+			r.mu.Unlock()
+			if e.panicked != nil {
+				// Preserve sim.Run's panic semantics for the computing
+				// caller and waiters alike (dspatchd's execute recovers it
+				// into a failed job; the entry is gone, so a resubmission
+				// re-simulates instead of reading a poisoned memo).
+				panic(e.panicked)
+			}
+			if err := ctx.Err(); err != nil {
+				return canceledResult(j), err
+			}
+			continue // the computing request was canceled, not this one: retry
 		}
-		res := sim.Run(j.Workloads, j.Opt)
-		res.Ports = nil
-		if dir != "" {
-			cacheStore(dir, key, res)
+		if !computed {
+			r.memoHits.Add(1)
 		}
-		e.res = res
-	})
-	return e.res
+		return e.res, nil
+	}
+}
+
+// canceledResult is the placeholder for a run aborted by cancellation: zero
+// metrics, but one IPC slot per workload so downstream aggregation that
+// indexes per-core fields stays in bounds. Speedup ratios computed from it
+// are zero and are dropped by stats.FiniteRatios.
+func canceledResult(j Job) sim.Result {
+	return sim.Result{IPC: make([]float64, len(j.Workloads))}
 }
 
 // RunAll executes jobs across a pool of the given width (<= 0 means the
@@ -165,6 +287,15 @@ func (r *Runner) run(j Job) sim.Result {
 // jobs[i]'s outcome regardless of scheduling, so parallel and serial runs
 // aggregate bit-identically.
 func (r *Runner) RunAll(jobs []Job, workers int) []sim.Result {
+	results, _ := r.RunAllCtx(context.Background(), jobs, workers)
+	return results
+}
+
+// RunAllCtx is RunAll under a context: when ctx fires, in-flight simulations
+// abort at their next cancellation check, every not-yet-run job is filled
+// with canceledResult, and the first context error is returned. Results of
+// jobs that completed before the cancellation are exact.
+func (r *Runner) RunAllCtx(ctx context.Context, jobs []Job, workers int) ([]sim.Result, error) {
 	if workers <= 0 {
 		workers = r.workers
 	}
@@ -172,32 +303,57 @@ func (r *Runner) RunAll(jobs []Job, workers int) []sim.Result {
 		workers = len(jobs)
 	}
 	results := make([]sim.Result, len(jobs))
-	if workers <= 1 {
-		for i, j := range jobs {
-			results[i] = r.run(j)
-		}
-		return results
-	}
-	var next atomic.Int64
-	var wg sync.WaitGroup
-	for w := 0; w < workers; w++ {
-		wg.Add(1)
-		go func() {
-			defer wg.Done()
-			for {
-				i := int(next.Add(1)) - 1
-				if i >= len(jobs) {
-					return
-				}
-				results[i] = r.run(jobs[i])
+	var errMu sync.Mutex
+	var firstErr error
+	runOne := func(i int) {
+		// runCtx returns canceledResult-shaped placeholders on error, so
+		// results[i] always has one IPC slot per workload.
+		res, err := r.runCtx(ctx, jobs[i])
+		if err != nil {
+			errMu.Lock()
+			if firstErr == nil {
+				firstErr = err
 			}
-		}()
+			errMu.Unlock()
+		}
+		results[i] = res
 	}
-	wg.Wait()
-	return results
+	if workers <= 1 {
+		for i := range jobs {
+			runOne(i)
+		}
+	} else {
+		var next atomic.Int64
+		var wg sync.WaitGroup
+		for w := 0; w < workers; w++ {
+			wg.Add(1)
+			go func() {
+				defer wg.Done()
+				for {
+					i := int(next.Add(1)) - 1
+					if i >= len(jobs) {
+						return
+					}
+					runOne(i)
+				}
+			}()
+		}
+		wg.Wait()
+	}
+	return results, firstErr
+}
+
+// RunJobs schedules jobs on the process-shared engine — the programmatic
+// entry the dspatchd service layers on. Results share the same memo and
+// persistent cache as the Fig*/Table* functions, so a job submitted over
+// HTTP and the equivalent library call return identical results and the
+// second of the two never re-simulates.
+func RunJobs(ctx context.Context, jobs []Job, workers int) ([]sim.Result, error) {
+	return engine.RunAllCtx(ctx, jobs, workers)
 }
 
 // runAll schedules jobs on the shared engine at this scale's parallelism.
 func (s Scale) runAll(jobs []Job) []sim.Result {
-	return engine.RunAll(jobs, s.Parallel)
+	results, _ := engine.RunAllCtx(s.context(), jobs, s.Parallel)
+	return results
 }

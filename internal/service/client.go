@@ -1,0 +1,193 @@
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"net/http"
+	"strings"
+	"time"
+)
+
+// Client is a minimal Go client for a dspatchd daemon. The zero value is
+// not usable; construct with NewClient.
+type Client struct {
+	// BaseURL is the daemon root, e.g. "http://127.0.0.1:8491".
+	BaseURL string
+	// HTTPClient defaults to http.DefaultClient.
+	HTTPClient *http.Client
+}
+
+// NewClient returns a Client for the daemon at baseURL.
+func NewClient(baseURL string) *Client {
+	return &Client{BaseURL: strings.TrimRight(baseURL, "/")}
+}
+
+func (c *Client) httpClient() *http.Client {
+	if c.HTTPClient != nil {
+		return c.HTTPClient
+	}
+	return http.DefaultClient
+}
+
+// APIError is a non-2xx daemon response.
+type APIError struct {
+	StatusCode int
+	Message    string
+}
+
+func (e *APIError) Error() string {
+	return fmt.Sprintf("dspatchd: %d: %s", e.StatusCode, e.Message)
+}
+
+// do issues one request and decodes the JSON response into out (skipped when
+// out is nil).
+func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
+	var rd io.Reader
+	if body != nil {
+		data, err := json.Marshal(body)
+		if err != nil {
+			return err
+		}
+		rd = bytes.NewReader(data)
+	}
+	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
+	if err != nil {
+		return err
+	}
+	if body != nil {
+		req.Header.Set("Content-Type", "application/json")
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return err
+	}
+	if resp.StatusCode/100 != 2 {
+		var ae apiError
+		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+			return &APIError{StatusCode: resp.StatusCode, Message: ae.Error}
+		}
+		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	if out == nil {
+		return nil
+	}
+	return json.Unmarshal(data, out)
+}
+
+// Health fetches /healthz.
+func (c *Client) Health(ctx context.Context) (Health, error) {
+	var h Health
+	err := c.do(ctx, http.MethodGet, "/healthz", nil, &h)
+	return h, err
+}
+
+// Metrics fetches the raw Prometheus text of /metrics.
+func (c *Client) Metrics(ctx context.Context) (string, error) {
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+"/metrics", nil)
+	if err != nil {
+		return "", err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return "", err
+	}
+	defer resp.Body.Close()
+	data, err := io.ReadAll(resp.Body)
+	if err != nil {
+		return "", err
+	}
+	if resp.StatusCode != http.StatusOK {
+		return "", &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	return string(data), nil
+}
+
+// SubmitRun submits one simulation job.
+func (c *Client) SubmitRun(ctx context.Context, spec RunSpec) (JobView, error) {
+	var j JobView
+	err := c.do(ctx, http.MethodPost, "/v1/runs", spec, &j)
+	return j, err
+}
+
+// SubmitExperiment submits a paper table/figure job at the given scale
+// (zero ScaleSpec = quick scale).
+func (c *Client) SubmitExperiment(ctx context.Context, id string, spec ScaleSpec) (JobView, error) {
+	var j JobView
+	err := c.do(ctx, http.MethodPost, "/v1/experiments/"+id, spec, &j)
+	return j, err
+}
+
+// Job fetches one job, result included when terminal.
+func (c *Client) Job(ctx context.Context, id string) (JobView, error) {
+	var j JobView
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id, nil, &j)
+	return j, err
+}
+
+// Wait long-polls the job until it reaches a terminal status or ctx fires.
+func (c *Client) Wait(ctx context.Context, id string) (JobView, error) {
+	for {
+		var j JobView
+		if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"?wait=30s", nil, &j); err != nil {
+			return j, err
+		}
+		if j.Status.Terminal() {
+			return j, nil
+		}
+		select {
+		case <-ctx.Done():
+			return j, ctx.Err()
+		case <-time.After(50 * time.Millisecond):
+		}
+	}
+}
+
+// Jobs lists every retained job (no results; fetch individually).
+func (c *Client) Jobs(ctx context.Context) ([]JobView, error) {
+	var out []JobView
+	err := c.do(ctx, http.MethodGet, "/v1/jobs", nil, &out)
+	return out, err
+}
+
+// Cancel requests cancellation of a queued or running job.
+func (c *Client) Cancel(ctx context.Context, id string) (JobView, error) {
+	var j JobView
+	err := c.do(ctx, http.MethodDelete, "/v1/jobs/"+id, nil, &j)
+	return j, err
+}
+
+// ExperimentInfo is one entry of GET /v1/experiments.
+type ExperimentInfo struct {
+	ID    string `json:"id"`
+	Title string `json:"title"`
+	Sim   bool   `json:"sim"`
+}
+
+// Experiments lists the experiment registry.
+func (c *Client) Experiments(ctx context.Context) ([]ExperimentInfo, error) {
+	var out []ExperimentInfo
+	err := c.do(ctx, http.MethodGet, "/v1/experiments", nil, &out)
+	return out, err
+}
+
+// WorkloadInfo is one entry of GET /v1/workloads.
+type WorkloadInfo struct {
+	Name         string `json:"name"`
+	Category     string `json:"category"`
+	MemIntensive bool   `json:"mem_intensive"`
+}
+
+// Workloads lists the workload roster.
+func (c *Client) Workloads(ctx context.Context) ([]WorkloadInfo, error) {
+	var out []WorkloadInfo
+	err := c.do(ctx, http.MethodGet, "/v1/workloads", nil, &out)
+	return out, err
+}

@@ -1,0 +1,873 @@
+// Package service exposes the experiment engine as a long-running
+// simulation-as-a-service daemon: a job-oriented HTTP API over the same
+// process-wide engine the dspatch library and CLI use, so every run a client
+// submits shares the in-process memo, the materialized replay-trace store
+// and the persistent -cache-dir with every other front end. Repeated
+// requests are answered from cache without re-simulating, and results are
+// deterministic: a job submitted over HTTP returns exactly what the
+// equivalent library call returns.
+//
+// API (all request/response bodies are JSON):
+//
+//	POST   /v1/runs              submit one simulation (RunSpec) -> JobView
+//	POST   /v1/experiments/{id}  submit a paper table/figure (ScaleSpec) -> JobView
+//	GET    /v1/jobs              list jobs (newest last)
+//	GET    /v1/jobs/{id}         fetch one job; ?wait=10s long-polls until terminal
+//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	GET    /v1/experiments       the experiment registry
+//	GET    /v1/workloads         the workload roster
+//	GET    /v1/prefetchers       selectable L2 prefetchers
+//	GET    /v1/cache             persistent run-cache location and size
+//	GET    /healthz              liveness + job/queue gauges
+//	GET    /metrics              Prometheus text format counters
+//
+// Jobs flow through a sharded worker pool: submissions hash to one of
+// JobWorkers bounded queues, so identical specs land on the same worker and
+// the second is served from the memo the first just filled. Each job runs
+// under its own context; DELETE cancels it mid-simulation, and draining the
+// server (SIGTERM in dspatchd) stops intake, lets running jobs finish within
+// the drain timeout, then cancels stragglers.
+package service
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"io"
+	"math"
+	"net"
+	"net/http"
+	"os"
+	"path/filepath"
+	"reflect"
+	"runtime"
+	"strconv"
+	"sync"
+	"sync/atomic"
+	"time"
+
+	"dspatch/internal/experiments"
+	"dspatch/internal/sim"
+	"dspatch/internal/trace"
+)
+
+// Config parameterizes a Server. The zero value is usable: every field has
+// a sensible default.
+type Config struct {
+	// Addr is the listen address for ListenAndServe (default ":8491").
+	Addr string
+	// JobWorkers is the number of worker goroutines, each owning one shard
+	// of the job queue (default 2).
+	JobWorkers int
+	// SimWorkers is the per-job simulation parallelism handed to the
+	// experiment engine (default GOMAXPROCS/JobWorkers, at least 1).
+	SimWorkers int
+	// QueueDepth bounds each worker shard's queue (default 64). A
+	// submission to a full shard is rejected with 503.
+	QueueDepth int
+	// MaxJobs bounds retained job records; the oldest terminal jobs are
+	// evicted past it (default 4096).
+	MaxJobs int
+	// CacheDir, when non-empty, enables the engine's persistent run cache.
+	CacheDir string
+	// DrainTimeout bounds how long Drain waits for running jobs before
+	// canceling them (default 30s).
+	DrainTimeout time.Duration
+	// Logf, when set, receives one-line operational messages.
+	Logf func(format string, args ...any)
+}
+
+func (c Config) withDefaults() Config {
+	if c.Addr == "" {
+		c.Addr = ":8491"
+	}
+	if c.JobWorkers <= 0 {
+		c.JobWorkers = 2
+	}
+	if c.SimWorkers <= 0 {
+		c.SimWorkers = runtime.GOMAXPROCS(0) / c.JobWorkers
+		if c.SimWorkers < 1 {
+			c.SimWorkers = 1
+		}
+	}
+	if c.QueueDepth <= 0 {
+		c.QueueDepth = 64
+	}
+	if c.MaxJobs <= 0 {
+		c.MaxJobs = 4096
+	}
+	if c.DrainTimeout <= 0 {
+		c.DrainTimeout = 30 * time.Second
+	}
+	if c.Logf == nil {
+		c.Logf = func(string, ...any) {}
+	}
+	return c
+}
+
+// JobStatus is a job's lifecycle state.
+type JobStatus string
+
+const (
+	StatusQueued   JobStatus = "queued"
+	StatusRunning  JobStatus = "running"
+	StatusDone     JobStatus = "done"
+	StatusFailed   JobStatus = "failed"
+	StatusCanceled JobStatus = "canceled"
+)
+
+// Terminal reports whether the status is final.
+func (s JobStatus) Terminal() bool {
+	return s == StatusDone || s == StatusFailed || s == StatusCanceled
+}
+
+const (
+	kindRun        = "run"
+	kindExperiment = "experiment"
+)
+
+// job is one unit of work and its record. Mutable state is guarded by mu;
+// done closes exactly once when the job reaches a terminal status.
+type job struct {
+	id    string
+	kind  string
+	run   *RunSpec   // kindRun
+	expID string     // kindExperiment
+	scale *ScaleSpec // kindExperiment
+
+	mu        sync.Mutex
+	status    JobStatus
+	errMsg    string
+	result    json.RawMessage
+	text      string
+	submitted time.Time
+	started   time.Time
+	finished  time.Time
+	cancel    context.CancelFunc // set while running
+
+	cancelRequested atomic.Bool
+	done            chan struct{}
+}
+
+// JobView is the wire form of a job.
+type JobView struct {
+	ID         string          `json:"id"`
+	Kind       string          `json:"kind"`
+	Status     JobStatus       `json:"status"`
+	Experiment string          `json:"experiment,omitempty"`
+	Run        *RunSpec        `json:"run,omitempty"`
+	Scale      *ScaleSpec      `json:"scale,omitempty"`
+	Error      string          `json:"error,omitempty"`
+	Submitted  time.Time       `json:"submitted_at"`
+	Started    *time.Time      `json:"started_at,omitempty"`
+	Finished   *time.Time      `json:"finished_at,omitempty"`
+	Result     json.RawMessage `json:"result,omitempty"`
+	// Text is the experiment's rendered table, exactly as cmd/dspatchsim
+	// prints it (empty for raw runs).
+	Text string `json:"text,omitempty"`
+}
+
+func (j *job) view(includeResult bool) JobView {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	v := JobView{
+		ID:         j.id,
+		Kind:       j.kind,
+		Status:     j.status,
+		Experiment: j.expID,
+		Run:        j.run,
+		Scale:      j.scale,
+		Error:      j.errMsg,
+		Submitted:  j.submitted,
+	}
+	if !j.started.IsZero() {
+		t := j.started
+		v.Started = &t
+	}
+	if !j.finished.IsZero() {
+		t := j.finished
+		v.Finished = &t
+	}
+	if includeResult {
+		v.Result = j.result
+		v.Text = j.text
+	}
+	return v
+}
+
+// claimRunning transitions queued -> running; false means the job was
+// already canceled (or otherwise finished) before a worker reached it.
+func (j *job) claimRunning(cancel context.CancelFunc) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status != StatusQueued {
+		return false
+	}
+	j.status = StatusRunning
+	j.started = time.Now()
+	j.cancel = cancel
+	return true
+}
+
+// finish records a terminal status; it reports false if the job already
+// reached one (a cancel raced with completion).
+func (j *job) finish(st JobStatus, result json.RawMessage, text, errMsg string) bool {
+	j.mu.Lock()
+	defer j.mu.Unlock()
+	if j.status.Terminal() {
+		return false
+	}
+	j.status = st
+	j.result = result
+	j.text = text
+	j.errMsg = errMsg
+	j.finished = time.Now()
+	j.cancel = nil
+	close(j.done)
+	return true
+}
+
+// Server is the daemon: an HTTP handler plus the worker pool behind it.
+// Create with New, serve via Handler or ListenAndServe, stop with Drain.
+type Server struct {
+	cfg Config
+	mux *http.ServeMux
+
+	baseCtx  context.Context // canceled to hard-stop running jobs
+	hardStop context.CancelFunc
+
+	mu       sync.Mutex
+	jobs     map[string]*job
+	order    []*job // submission order, for listing and eviction
+	seq      int
+	draining bool
+	shards   []chan *job
+
+	drainCh chan struct{} // closed when draining starts; releases long-polls
+	wg      sync.WaitGroup
+	start   time.Time
+
+	submitted atomic.Uint64
+	completed atomic.Uint64
+	failed    atomic.Uint64
+	canceled  atomic.Uint64
+	rejected  atomic.Uint64
+	running   atomic.Int64
+}
+
+// New builds a Server and starts its worker pool (no listener yet: mount
+// Handler yourself or call ListenAndServe). When cfg.CacheDir is set the
+// process-wide engine's persistent cache is pointed at it.
+func New(cfg Config) (*Server, error) {
+	cfg = cfg.withDefaults()
+	if cfg.CacheDir != "" {
+		if err := experiments.SetCacheDir(cfg.CacheDir); err != nil {
+			return nil, err
+		}
+	}
+	baseCtx, hardStop := context.WithCancel(context.Background())
+	s := &Server{
+		cfg:      cfg,
+		baseCtx:  baseCtx,
+		hardStop: hardStop,
+		jobs:     map[string]*job{},
+		shards:   make([]chan *job, cfg.JobWorkers),
+		drainCh:  make(chan struct{}),
+		start:    time.Now(),
+	}
+	for i := range s.shards {
+		s.shards[i] = make(chan *job, cfg.QueueDepth)
+		s.wg.Add(1)
+		go s.worker(s.shards[i])
+	}
+	s.mux = http.NewServeMux()
+	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
+	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
+	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleSubmitExperiment)
+	s.mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
+	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
+	s.mux.HandleFunc("GET /v1/prefetchers", s.handlePrefetchers)
+	s.mux.HandleFunc("GET /v1/cache", s.handleCache)
+	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
+	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
+	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	return s, nil
+}
+
+// Handler returns the daemon's HTTP handler.
+func (s *Server) Handler() http.Handler { return s.mux }
+
+// Drain gracefully stops the worker pool: intake closes (submissions get
+// 503), queued jobs are canceled, running jobs may finish until ctx fires,
+// then they are canceled too. Drain returns when every worker has exited.
+func (s *Server) Drain(ctx context.Context) {
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.wg.Wait()
+		return
+	}
+	s.draining = true
+	close(s.drainCh)
+	for _, sh := range s.shards {
+		close(sh)
+	}
+	s.mu.Unlock()
+
+	done := make(chan struct{})
+	go func() {
+		s.wg.Wait()
+		close(done)
+	}()
+	select {
+	case <-done:
+	case <-ctx.Done():
+		// Out of patience: cancel running simulations. Their cancellation
+		// hooks fire within microseconds, so this wait is short.
+		s.hardStop()
+		<-done
+	}
+	s.hardStop()
+}
+
+// ListenAndServe runs a Server on cfg.Addr until ctx is canceled, then
+// drains gracefully (bounded by cfg.DrainTimeout) and returns nil. A
+// listener or serve failure returns the error instead.
+func ListenAndServe(ctx context.Context, cfg Config) error {
+	cfg = cfg.withDefaults()
+	s, err := New(cfg)
+	if err != nil {
+		return err
+	}
+	ln, err := net.Listen("tcp", cfg.Addr)
+	if err != nil {
+		s.Drain(context.Background())
+		return err
+	}
+	hs := &http.Server{Handler: s.Handler()}
+	errc := make(chan error, 1)
+	go func() { errc <- hs.Serve(ln) }()
+	cfg.Logf("dspatchd listening on %s (workers=%d sim-workers=%d queue=%d cache=%s)",
+		ln.Addr(), cfg.JobWorkers, cfg.SimWorkers, cfg.QueueDepth, cacheDirLabel())
+
+	select {
+	case err := <-errc:
+		s.Drain(context.Background())
+		return err
+	case <-ctx.Done():
+	}
+	cfg.Logf("dspatchd draining (timeout %s)", cfg.DrainTimeout)
+	drainCtx, cancel := context.WithTimeout(context.Background(), cfg.DrainTimeout)
+	defer cancel()
+	s.Drain(drainCtx)
+	shCtx, shCancel := context.WithTimeout(context.Background(), 5*time.Second)
+	defer shCancel()
+	if err := hs.Shutdown(shCtx); err != nil {
+		hs.Close()
+	}
+	cfg.Logf("dspatchd stopped")
+	return nil
+}
+
+func cacheDirLabel() string {
+	if dir := experiments.CacheDir(); dir != "" {
+		return dir
+	}
+	return "off"
+}
+
+// worker drains one queue shard until it closes.
+func (s *Server) worker(shard chan *job) {
+	defer s.wg.Done()
+	for j := range shard {
+		s.runJob(j)
+	}
+}
+
+func (s *Server) runJob(j *job) {
+	if s.isDraining() || j.cancelRequested.Load() {
+		if j.finish(StatusCanceled, nil, "", "canceled before start") {
+			s.canceled.Add(1)
+		}
+		return
+	}
+	ctx, cancel := context.WithCancel(s.baseCtx)
+	defer cancel()
+	if !j.claimRunning(cancel) {
+		return // canceled while queued; the cancel handler finished it
+	}
+	// A cancel request that arrived between the queue check and the claim
+	// saw no cancel func to call; honor it now.
+	if j.cancelRequested.Load() {
+		cancel()
+	}
+	s.running.Add(1)
+	result, text, err := s.execute(ctx, j)
+	s.running.Add(-1)
+	switch {
+	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
+		if j.finish(StatusCanceled, nil, "", "canceled") {
+			s.canceled.Add(1)
+		}
+	case err != nil:
+		if j.finish(StatusFailed, nil, "", err.Error()) {
+			s.failed.Add(1)
+		}
+	default:
+		if j.finish(StatusDone, result, text, "") {
+			s.completed.Add(1)
+		}
+	}
+}
+
+// execute runs the job's work on the process-shared experiment engine. Panics
+// are converted to job failures: one malformed job must not take down the
+// daemon.
+func (s *Server) execute(ctx context.Context, j *job) (result json.RawMessage, text string, err error) {
+	defer func() {
+		if p := recover(); p != nil {
+			err = fmt.Errorf("job panicked: %v", p)
+		}
+	}()
+	switch j.kind {
+	case kindRun:
+		results, err := experiments.RunJobs(ctx, []experiments.Job{j.run.job()}, s.cfg.SimWorkers)
+		if err != nil {
+			return nil, "", err
+		}
+		res := results[0]
+		res.Ports = nil // live memory-system state is not part of the API
+		raw, err := marshalResult(res)
+		return raw, "", err
+	case kindExperiment:
+		e, ok := experiments.ExperimentByID(j.expID)
+		if !ok {
+			return nil, "", fmt.Errorf("unknown experiment %q", j.expID)
+		}
+		scale := j.scale.scale().WithParallel(s.cfg.SimWorkers).WithContext(ctx)
+		v := e.Run(scale)
+		if err := ctx.Err(); err != nil {
+			return nil, "", err
+		}
+		raw, err := marshalResult(v)
+		if err != nil {
+			return nil, "", err
+		}
+		var buf bytes.Buffer
+		e.Format(&buf, v)
+		return raw, buf.String(), nil
+	}
+	return nil, "", fmt.Errorf("unknown job kind %q", j.kind)
+}
+
+// marshalResult encodes a result value. The fast path is encoding/json
+// verbatim — byte-identical to marshaling the library call's return value.
+// Values containing NaN/Inf (possible in sparse experiment aggregates, e.g.
+// a category with no sampled workloads) are not representable in JSON;
+// those fall back to a sanitized deep copy with such numbers as null.
+func marshalResult(v any) (json.RawMessage, error) {
+	raw, err := json.Marshal(v)
+	if err == nil {
+		return raw, nil
+	}
+	var ue *json.UnsupportedValueError
+	if !errors.As(err, &ue) {
+		return nil, err
+	}
+	return json.Marshal(sanitizeValue(reflect.ValueOf(v)))
+}
+
+// sanitizeValue deep-copies v into generic JSON values, mapping NaN and
+// ±Inf floats to null. Struct fields follow their json tags so the shape
+// matches the fast path.
+func sanitizeValue(rv reflect.Value) any {
+	switch rv.Kind() {
+	case reflect.Invalid:
+		return nil
+	case reflect.Pointer, reflect.Interface:
+		if rv.IsNil() {
+			return nil
+		}
+		return sanitizeValue(rv.Elem())
+	case reflect.Float32, reflect.Float64:
+		f := rv.Float()
+		if math.IsNaN(f) || math.IsInf(f, 0) {
+			return nil
+		}
+		return f
+	case reflect.Slice, reflect.Array:
+		out := make([]any, rv.Len())
+		for i := range out {
+			out[i] = sanitizeValue(rv.Index(i))
+		}
+		return out
+	case reflect.Map:
+		out := make(map[string]any, rv.Len())
+		iter := rv.MapRange()
+		for iter.Next() {
+			out[fmt.Sprint(iter.Key().Interface())] = sanitizeValue(iter.Value())
+		}
+		return out
+	case reflect.Struct:
+		out := map[string]any{}
+		for _, f := range reflect.VisibleFields(rv.Type()) {
+			if !f.IsExported() || f.Anonymous {
+				continue
+			}
+			name := f.Name
+			if tag, ok := f.Tag.Lookup("json"); ok {
+				if tag == "-" {
+					continue
+				}
+				if comma := bytes.IndexByte([]byte(tag), ','); comma >= 0 {
+					tag = tag[:comma]
+				}
+				if tag != "" {
+					name = tag
+				}
+			}
+			out[name] = sanitizeValue(rv.FieldByIndex(f.Index))
+		}
+		return out
+	default:
+		return rv.Interface()
+	}
+}
+
+func (s *Server) isDraining() bool {
+	s.mu.Lock()
+	defer s.mu.Unlock()
+	return s.draining
+}
+
+// submit registers j and enqueues it on its spec's shard.
+func (s *Server) submit(w http.ResponseWriter, j *job, shard int) {
+	j.status = StatusQueued
+	j.submitted = time.Now()
+	j.done = make(chan struct{})
+
+	s.mu.Lock()
+	if s.draining {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "server is draining")
+		return
+	}
+	if !s.evictLocked() {
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		httpError(w, http.StatusServiceUnavailable, "job table full (all jobs active)")
+		return
+	}
+	s.seq++
+	j.id = fmt.Sprintf("j%06d", s.seq)
+	select {
+	case s.shards[shard] <- j:
+	default:
+		s.seq-- // id never observed
+		s.mu.Unlock()
+		s.rejected.Add(1)
+		w.Header().Set("Retry-After", "1")
+		httpError(w, http.StatusServiceUnavailable, "job queue full")
+		return
+	}
+	s.jobs[j.id] = j
+	s.order = append(s.order, j)
+	s.mu.Unlock()
+
+	s.submitted.Add(1)
+	writeJSON(w, http.StatusAccepted, j.view(false))
+}
+
+// evictLocked makes room for one more job record, reporting false when the
+// table is pinned by non-terminal jobs. Caller holds s.mu.
+func (s *Server) evictLocked() bool {
+	if len(s.order) < s.cfg.MaxJobs {
+		return true
+	}
+	for i, old := range s.order {
+		old.mu.Lock()
+		terminal := old.status.Terminal()
+		old.mu.Unlock()
+		if terminal {
+			delete(s.jobs, old.id)
+			s.order = append(s.order[:i:i], s.order[i+1:]...)
+			return true
+		}
+	}
+	return false
+}
+
+func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	var spec RunSpec
+	if !decodeBody(w, r, &spec, false) {
+		return
+	}
+	if err := spec.normalize(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	j := &job{kind: kindRun, run: &spec}
+	s.submit(w, j, shardKey(kindRun, &spec, s.cfg.JobWorkers))
+}
+
+func (s *Server) handleSubmitExperiment(w http.ResponseWriter, r *http.Request) {
+	id := r.PathValue("id")
+	if _, ok := experiments.ExperimentByID(id); !ok {
+		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q (see GET /v1/experiments)", id))
+		return
+	}
+	var spec ScaleSpec
+	if !decodeBody(w, r, &spec, true) {
+		return
+	}
+	if err := spec.normalize(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	j := &job{kind: kindExperiment, expID: id, scale: &spec}
+	s.submit(w, j, shardKey(kindExperiment+"\x00"+id, &spec, s.cfg.JobWorkers))
+}
+
+func (s *Server) handleListJobs(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	jobs := make([]*job, len(s.order))
+	copy(jobs, s.order)
+	s.mu.Unlock()
+	views := make([]JobView, len(jobs))
+	for i, j := range jobs {
+		views[i] = j.view(false)
+	}
+	writeJSON(w, http.StatusOK, views)
+}
+
+func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
+		d, err := time.ParseDuration(waitStr)
+		if err != nil {
+			httpError(w, http.StatusBadRequest, "wait: "+err.Error())
+			return
+		}
+		if d > time.Minute {
+			d = time.Minute
+		}
+		t := time.NewTimer(d)
+		defer t.Stop()
+		select {
+		case <-j.done:
+		case <-t.C:
+		case <-r.Context().Done():
+		case <-s.drainCh: // don't hold Shutdown hostage to long-polls
+		}
+	}
+	writeJSON(w, http.StatusOK, j.view(true))
+}
+
+func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok {
+		httpError(w, http.StatusNotFound, "no such job")
+		return
+	}
+	j.cancelRequested.Store(true)
+	j.mu.Lock()
+	switch {
+	case j.status == StatusQueued:
+		j.status = StatusCanceled
+		j.errMsg = "canceled while queued"
+		j.finished = time.Now()
+		close(j.done)
+		s.canceled.Add(1)
+	case j.status == StatusRunning && j.cancel != nil:
+		j.cancel()
+	}
+	j.mu.Unlock()
+	writeJSON(w, http.StatusOK, j.view(true))
+}
+
+func (s *Server) handleListExperiments(w http.ResponseWriter, r *http.Request) {
+	type info struct {
+		ID    string `json:"id"`
+		Title string `json:"title"`
+		Sim   bool   `json:"sim"`
+	}
+	var out []info
+	for _, e := range experiments.Experiments() {
+		out = append(out, info{ID: e.ID, Title: e.Title, Sim: e.Sim})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
+	type info struct {
+		Name         string `json:"name"`
+		Category     string `json:"category"`
+		MemIntensive bool   `json:"mem_intensive"`
+	}
+	var out []info
+	for _, wl := range trace.Workloads {
+		out = append(out, info{Name: wl.Name, Category: string(wl.Category), MemIntensive: wl.MemIntensive})
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handlePrefetchers(w http.ResponseWriter, r *http.Request) {
+	out := make([]string, len(sim.AllPFs))
+	for i, p := range sim.AllPFs {
+		out[i] = string(p)
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func (s *Server) handleCache(w http.ResponseWriter, r *http.Request) {
+	type cacheInfo struct {
+		Enabled bool   `json:"enabled"`
+		Dir     string `json:"dir,omitempty"`
+		Entries int    `json:"entries"`
+		Bytes   int64  `json:"bytes"`
+	}
+	info := cacheInfo{Dir: experiments.CacheDir()}
+	if info.Dir != "" {
+		info.Enabled = true
+		if matches, err := filepath.Glob(filepath.Join(info.Dir, "*.json")); err == nil {
+			info.Entries = len(matches)
+			for _, m := range matches {
+				if st, err := os.Stat(m); err == nil {
+					info.Bytes += st.Size()
+				}
+			}
+		}
+	}
+	writeJSON(w, http.StatusOK, info)
+}
+
+// Health is the /healthz body.
+type Health struct {
+	Status        string `json:"status"` // "ok" or "draining"
+	UptimeSeconds int64  `json:"uptime_seconds"`
+	Queued        int    `json:"queued"`
+	Running       int    `json:"running"`
+	JobWorkers    int    `json:"job_workers"`
+	SimWorkers    int    `json:"sim_workers"`
+	CacheEnabled  bool   `json:"cache_enabled"`
+}
+
+func (s *Server) health() Health {
+	h := Health{
+		Status:        "ok",
+		UptimeSeconds: int64(time.Since(s.start).Seconds()),
+		Running:       int(s.running.Load()),
+		JobWorkers:    s.cfg.JobWorkers,
+		SimWorkers:    s.cfg.SimWorkers,
+		CacheEnabled:  experiments.CacheDir() != "",
+	}
+	s.mu.Lock()
+	if s.draining {
+		h.Status = "draining"
+	}
+	for _, sh := range s.shards {
+		h.Queued += len(sh)
+	}
+	s.mu.Unlock()
+	return h
+}
+
+func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
+	writeJSON(w, http.StatusOK, s.health())
+}
+
+func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	ec := experiments.EngineCounters()
+	refsPerSec := 0.0
+	if ec.SimNanos > 0 {
+		refsPerSec = float64(ec.RefsSimulated) / (float64(ec.SimNanos) / 1e9)
+	}
+	w.Header().Set("Content-Type", "text/plain; version=0.0.4; charset=utf-8")
+	var b bytes.Buffer
+	counter := func(name, help string, v uint64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %d\n", name, help, name, name, v)
+	}
+	counterf := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s counter\n%s %s\n", name, help, name, name,
+			strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	gauge := func(name, help string, v float64) {
+		fmt.Fprintf(&b, "# HELP %s %s\n# TYPE %s gauge\n%s %s\n", name, help, name, name,
+			strconv.FormatFloat(v, 'g', -1, 64))
+	}
+	counter("dspatchd_jobs_submitted_total", "Jobs accepted for execution.", s.submitted.Load())
+	counter("dspatchd_jobs_completed_total", "Jobs finished successfully.", s.completed.Load())
+	counter("dspatchd_jobs_failed_total", "Jobs that ended in error.", s.failed.Load())
+	counter("dspatchd_jobs_canceled_total", "Jobs canceled before or during execution.", s.canceled.Load())
+	counter("dspatchd_jobs_rejected_total", "Submissions rejected (queue full or draining).", s.rejected.Load())
+	gauge("dspatchd_jobs_running", "Jobs executing right now.", float64(h.Running))
+	gauge("dspatchd_jobs_queued", "Jobs waiting in worker queues.", float64(h.Queued))
+	counter("dspatchd_engine_sims_total", "Simulations actually executed by the engine.", ec.Sims)
+	counter("dspatchd_engine_memo_hits_total", "Runs served from the in-process memo.", ec.MemoHits)
+	counter("dspatchd_engine_disk_cache_hits_total", "Runs served from the persistent cache.", ec.DiskHits)
+	counter("dspatchd_engine_refs_simulated_total", "Memory references simulated (cold runs).", ec.RefsSimulated)
+	counterf("dspatchd_engine_sim_seconds_total", "Wall seconds spent simulating.", float64(ec.SimNanos)/1e9)
+	gauge("dspatchd_engine_refs_per_second", "Aggregate simulation throughput.", refsPerSec)
+	gauge("dspatchd_uptime_seconds", "Seconds since daemon start.", float64(h.UptimeSeconds))
+	w.Write(b.Bytes())
+}
+
+// decodeBody strictly decodes a JSON request body into dst. allowEmpty
+// accepts a missing/empty body as the zero value. On failure it writes the
+// 400 and reports false.
+func decodeBody(w http.ResponseWriter, r *http.Request, dst any, allowEmpty bool) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return false
+	}
+	if len(bytes.TrimSpace(body)) == 0 {
+		if allowEmpty {
+			return true
+		}
+		httpError(w, http.StatusBadRequest, "request body required")
+		return false
+	}
+	dec := json.NewDecoder(bytes.NewReader(body))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(dst); err != nil {
+		httpError(w, http.StatusBadRequest, "invalid JSON body: "+err.Error())
+		return false
+	}
+	return true
+}
+
+type apiError struct {
+	Error string `json:"error"`
+}
+
+func httpError(w http.ResponseWriter, code int, msg string) {
+	writeJSON(w, code, apiError{Error: msg})
+}
+
+func writeJSON(w http.ResponseWriter, code int, v any) {
+	data, err := json.Marshal(v)
+	if err != nil {
+		w.Header().Set("Content-Type", "application/json")
+		w.WriteHeader(http.StatusInternalServerError)
+		fmt.Fprintf(w, `{"error":%q}`, "encoding response: "+err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/json")
+	w.WriteHeader(code)
+	w.Write(data)
+	w.Write([]byte("\n"))
+}

@@ -1,0 +1,496 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"net/http"
+	"net/http/httptest"
+	"strings"
+	"testing"
+	"time"
+
+	"dspatch/internal/experiments"
+)
+
+// newTestServer starts a Server with its HTTP front end and returns a client
+// bound to it. The worker pool is drained on cleanup.
+func newTestServer(t *testing.T, cfg Config) (*Server, *Client) {
+	t.Helper()
+	s, err := New(cfg)
+	if err != nil {
+		t.Fatalf("New: %v", err)
+	}
+	hs := httptest.NewServer(s.Handler())
+	t.Cleanup(func() {
+		ctx, cancel := context.WithTimeout(context.Background(), 10*time.Second)
+		defer cancel()
+		s.Drain(ctx)
+		hs.Close()
+	})
+	return s, NewClient(hs.URL)
+}
+
+func ctxT(t *testing.T) context.Context {
+	ctx, cancel := context.WithTimeout(context.Background(), 60*time.Second)
+	t.Cleanup(cancel)
+	return ctx
+}
+
+func TestHealthz(t *testing.T) {
+	_, c := newTestServer(t, Config{JobWorkers: 1})
+	h, err := c.Health(ctxT(t))
+	if err != nil {
+		t.Fatalf("Health: %v", err)
+	}
+	if h.Status != "ok" {
+		t.Errorf("status = %q, want ok", h.Status)
+	}
+	if h.JobWorkers != 1 || h.SimWorkers < 1 {
+		t.Errorf("worker gauges: %+v", h)
+	}
+}
+
+func TestRunJobMatchesLibraryPath(t *testing.T) {
+	_, c := newTestServer(t, Config{JobWorkers: 1, SimWorkers: 1})
+	ctx := ctxT(t)
+	spec := RunSpec{Workloads: []string{"linpack"}, Refs: 900, L2: "spp"}
+	j, err := c.SubmitRun(ctx, spec)
+	if err != nil {
+		t.Fatalf("SubmitRun: %v", err)
+	}
+	if j.Status != StatusQueued && j.Status != StatusRunning && j.Status != StatusDone {
+		t.Fatalf("fresh job status = %q", j.Status)
+	}
+	if j.Run == nil || j.Run.Seed != 1 || j.Run.LLCBytes != 2<<20 {
+		t.Fatalf("normalized spec not echoed: %+v", j.Run)
+	}
+	j, err = c.Wait(ctx, j.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if j.Status != StatusDone {
+		t.Fatalf("status = %q (error %q)", j.Status, j.Error)
+	}
+
+	// The service result must be byte-identical to the library path.
+	norm := spec
+	if err := norm.normalize(); err != nil {
+		t.Fatal(err)
+	}
+	results, err := experiments.RunJobs(context.Background(), []experiments.Job{norm.job()}, 1)
+	if err != nil {
+		t.Fatal(err)
+	}
+	res := results[0]
+	res.Ports = nil
+	want, err := json.Marshal(res)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if string(j.Result) != string(want) {
+		t.Fatalf("service result differs from library result:\n%s\n%s", j.Result, want)
+	}
+	if res.IPC[0] <= 0 {
+		t.Fatal("degenerate run")
+	}
+}
+
+func TestExperimentJobTable1(t *testing.T) {
+	_, c := newTestServer(t, Config{JobWorkers: 1})
+	ctx := ctxT(t)
+	j, err := c.SubmitExperiment(ctx, "table1", ScaleSpec{})
+	if err != nil {
+		t.Fatalf("SubmitExperiment: %v", err)
+	}
+	j, err = c.Wait(ctx, j.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if j.Status != StatusDone {
+		t.Fatalf("status = %q (error %q)", j.Status, j.Error)
+	}
+	var rows []experiments.StorageRow
+	if err := json.Unmarshal(j.Result, &rows); err != nil {
+		t.Fatalf("result is not a storage table: %v\n%s", err, j.Result)
+	}
+	if len(rows) == 0 {
+		t.Fatal("empty storage table")
+	}
+	if !strings.Contains(j.Text, "Table 1") {
+		t.Errorf("rendered text missing title:\n%s", j.Text)
+	}
+}
+
+func TestExperimentJobFig4Tiny(t *testing.T) {
+	_, c := newTestServer(t, Config{JobWorkers: 1, SimWorkers: 2})
+	ctx := ctxT(t)
+	j, err := c.SubmitExperiment(ctx, "fig4", ScaleSpec{Refs: 800, PerCategory: 1})
+	if err != nil {
+		t.Fatalf("SubmitExperiment: %v", err)
+	}
+	j, err = c.Wait(ctx, j.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if j.Status != StatusDone {
+		t.Fatalf("status = %q (error %q)", j.Status, j.Error)
+	}
+	var res struct {
+		Prefetchers []string `json:"Prefetchers"`
+	}
+	if err := json.Unmarshal(j.Result, &res); err != nil {
+		t.Fatalf("result JSON: %v", err)
+	}
+	if len(res.Prefetchers) != 3 {
+		t.Errorf("prefetchers = %v", res.Prefetchers)
+	}
+	if !strings.Contains(j.Text, "GEOMEAN") {
+		t.Errorf("text table missing GEOMEAN:\n%s", j.Text)
+	}
+}
+
+func TestSubmitValidation(t *testing.T) {
+	_, c := newTestServer(t, Config{JobWorkers: 1})
+	ctx := ctxT(t)
+	cases := []struct {
+		name string
+		spec RunSpec
+		want string
+	}{
+		{"no workloads", RunSpec{}, "at least one workload"},
+		{"unknown workload", RunSpec{Workloads: []string{"doom"}}, `unknown workload "doom"`},
+		{"unknown prefetcher", RunSpec{Workloads: []string{"linpack"}, L2: "warp"}, "unknown prefetcher"},
+		{"negative refs", RunSpec{Workloads: []string{"linpack"}, Refs: -5}, "non-negative"},
+		{"huge refs", RunSpec{Workloads: []string{"linpack"}, Refs: maxRefs + 1}, "at most"},
+		{"bad mtps", RunSpec{Workloads: []string{"linpack"}, DRAMMTps: 3200}, "dram_mtps"},
+		{"bad pht", RunSpec{Workloads: []string{"linpack"}, SMSPHTEntries: 7}, "sms_pht_entries"},
+		{"non-pow2 pht", RunSpec{Workloads: []string{"linpack"}, SMSPHTEntries: 48}, "sms_pht_entries"},
+		{"non-pow2 llc", RunSpec{Workloads: []string{"linpack"}, LLCBytes: 100_000}, "llc_bytes"},
+		{"tiny llc", RunSpec{Workloads: []string{"linpack"}, LLCBytes: 512}, "llc_bytes"},
+		{"too many lanes", RunSpec{Workloads: []string{"linpack", "linpack", "linpack", "linpack", "linpack", "linpack", "linpack", "linpack", "linpack"}}, "at most"},
+	}
+	for _, tc := range cases {
+		_, err := c.SubmitRun(ctx, tc.spec)
+		var ae *APIError
+		if err == nil {
+			t.Errorf("%s: accepted", tc.name)
+			continue
+		}
+		if !asAPIError(err, &ae) || ae.StatusCode != http.StatusBadRequest {
+			t.Errorf("%s: err = %v, want 400", tc.name, err)
+			continue
+		}
+		if !strings.Contains(ae.Message, tc.want) {
+			t.Errorf("%s: message %q missing %q", tc.name, ae.Message, tc.want)
+		}
+	}
+
+	if _, err := c.SubmitExperiment(ctx, "fig99", ScaleSpec{}); err == nil {
+		t.Error("unknown experiment accepted")
+	} else if ae := new(APIError); !asAPIError(err, &ae) || ae.StatusCode != http.StatusNotFound {
+		t.Errorf("unknown experiment: err = %v, want 404", err)
+	}
+	if _, err := c.SubmitExperiment(ctx, "fig4", ScaleSpec{Refs: -1}); err == nil {
+		t.Error("negative experiment refs accepted")
+	}
+	if _, err := c.Job(ctx, "j999999"); err == nil {
+		t.Error("unknown job id accepted")
+	}
+}
+
+func asAPIError(err error, target **APIError) bool {
+	ae, ok := err.(*APIError)
+	if ok {
+		*target = ae
+	}
+	return ok
+}
+
+func TestUnknownFieldRejected(t *testing.T) {
+	_, c := newTestServer(t, Config{JobWorkers: 1})
+	resp, err := http.Post(c.BaseURL+"/v1/runs", "application/json",
+		strings.NewReader(`{"workloads":["linpack"],"bogus":1}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	defer resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Fatalf("status = %d, want 400", resp.StatusCode)
+	}
+}
+
+func TestCancelRunningJob(t *testing.T) {
+	_, c := newTestServer(t, Config{JobWorkers: 1, SimWorkers: 1})
+	ctx := ctxT(t)
+	j, err := c.SubmitRun(ctx, RunSpec{Workloads: []string{"linpack"}, Refs: maxRefs})
+	if err != nil {
+		t.Fatalf("SubmitRun: %v", err)
+	}
+	// Let it start, then cancel mid-simulation.
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, err := c.Job(ctx, j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == StatusRunning {
+			break
+		}
+		if v.Status.Terminal() {
+			t.Fatalf("%d-ref job finished before cancel: %q", maxRefs, v.Status)
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	if _, err := c.Cancel(ctx, j.ID); err != nil {
+		t.Fatalf("Cancel: %v", err)
+	}
+	v, err := c.Wait(ctx, j.ID)
+	if err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+	if v.Status != StatusCanceled {
+		t.Fatalf("status = %q, want canceled", v.Status)
+	}
+}
+
+func TestCancelQueuedJob(t *testing.T) {
+	_, c := newTestServer(t, Config{JobWorkers: 1, SimWorkers: 1, QueueDepth: 8})
+	ctx := ctxT(t)
+	blocker, err := c.SubmitRun(ctx, RunSpec{Workloads: []string{"linpack"}, Refs: maxRefs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	queued, err := c.SubmitRun(ctx, RunSpec{Workloads: []string{"tpcc"}, Refs: maxRefs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	v, err := c.Cancel(ctx, queued.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != StatusCanceled {
+		t.Fatalf("queued job cancel: status = %q", v.Status)
+	}
+	if _, err := c.Cancel(ctx, blocker.ID); err != nil {
+		t.Fatal(err)
+	}
+	if v, err := c.Wait(ctx, blocker.ID); err != nil || v.Status != StatusCanceled {
+		t.Fatalf("blocker: %v %q", err, v.Status)
+	}
+}
+
+func TestQueueFullRejects(t *testing.T) {
+	_, c := newTestServer(t, Config{JobWorkers: 1, SimWorkers: 1, QueueDepth: 1})
+	ctx := ctxT(t)
+	// Same spec: everything hashes to the one worker's queue of depth 1.
+	spec := func(name string) RunSpec {
+		return RunSpec{Workloads: []string{name}, Refs: maxRefs}
+	}
+	blocker, err := c.SubmitRun(ctx, spec("linpack"))
+	if err != nil {
+		t.Fatal(err)
+	}
+	var ids []string
+	var rejected bool
+	for i := 0; i < 3; i++ {
+		j, err := c.SubmitRun(ctx, spec("tpcc"))
+		if err != nil {
+			var ae *APIError
+			if asAPIError(err, &ae) && ae.StatusCode == http.StatusServiceUnavailable {
+				rejected = true
+				break
+			}
+			t.Fatalf("unexpected submit error: %v", err)
+		}
+		ids = append(ids, j.ID)
+	}
+	if !rejected {
+		t.Error("queue never filled: no 503")
+	}
+	for _, id := range append(ids, blocker.ID) {
+		if _, err := c.Cancel(ctx, id); err != nil {
+			t.Fatal(err)
+		}
+	}
+}
+
+func TestListJobs(t *testing.T) {
+	_, c := newTestServer(t, Config{JobWorkers: 1})
+	ctx := ctxT(t)
+	j1, err := c.SubmitExperiment(ctx, "table1", ScaleSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, err := c.SubmitExperiment(ctx, "table3", ScaleSpec{})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, j2.ID); err != nil {
+		t.Fatal(err)
+	}
+	list, err := c.Jobs(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(list) < 2 {
+		t.Fatalf("list has %d jobs", len(list))
+	}
+	var seen1, seen2 bool
+	for _, v := range list {
+		seen1 = seen1 || v.ID == j1.ID
+		seen2 = seen2 || v.ID == j2.ID
+		if len(v.Result) != 0 {
+			t.Errorf("list leaked a result for %s", v.ID)
+		}
+	}
+	if !seen1 || !seen2 {
+		t.Errorf("list missing submitted jobs: %v %v", seen1, seen2)
+	}
+}
+
+func TestRosterEndpoints(t *testing.T) {
+	_, c := newTestServer(t, Config{JobWorkers: 1})
+	ctx := ctxT(t)
+	ws, err := c.Workloads(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(ws) != 75 {
+		t.Errorf("roster has %d workloads, want 75", len(ws))
+	}
+	es, err := c.Experiments(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if len(es) != len(experiments.Experiments()) {
+		t.Errorf("experiment list has %d entries, want %d", len(es), len(experiments.Experiments()))
+	}
+	var pfs []string
+	if err := c.do(ctx, http.MethodGet, "/v1/prefetchers", nil, &pfs); err != nil {
+		t.Fatal(err)
+	}
+	if len(pfs) == 0 || pfs[0] != "none" {
+		t.Errorf("prefetcher roster: %v", pfs)
+	}
+}
+
+func TestMetricsEndpoint(t *testing.T) {
+	_, c := newTestServer(t, Config{JobWorkers: 1})
+	ctx := ctxT(t)
+	j, err := c.SubmitRun(ctx, RunSpec{Workloads: []string{"linpack"}, Refs: 700})
+	if err != nil {
+		t.Fatal(err)
+	}
+	if _, err := c.Wait(ctx, j.ID); err != nil {
+		t.Fatal(err)
+	}
+	text, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	for _, want := range []string{
+		"dspatchd_jobs_submitted_total",
+		"dspatchd_jobs_completed_total",
+		"dspatchd_engine_sims_total",
+		"dspatchd_engine_memo_hits_total",
+		"dspatchd_engine_disk_cache_hits_total",
+		"dspatchd_engine_refs_per_second",
+		"dspatchd_jobs_queued",
+	} {
+		if !strings.Contains(text, want) {
+			t.Errorf("metrics missing %s", want)
+		}
+	}
+}
+
+func TestDrainStopsIntakeAndFinishesJobs(t *testing.T) {
+	s, c := newTestServer(t, Config{JobWorkers: 1, SimWorkers: 1})
+	ctx := ctxT(t)
+	j, err := c.SubmitRun(ctx, RunSpec{Workloads: []string{"linpack"}, Refs: 50_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 30*time.Second)
+	defer cancel()
+	s.Drain(drainCtx)
+
+	if _, err := c.SubmitRun(ctx, RunSpec{Workloads: []string{"tpcc"}}); err == nil {
+		t.Error("submission accepted while draining")
+	} else if ae := new(APIError); asAPIError(err, &ae) && ae.StatusCode != http.StatusServiceUnavailable {
+		t.Errorf("draining submit status = %d, want 503", ae.StatusCode)
+	}
+	v, err := c.Job(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != StatusDone {
+		t.Errorf("in-flight job after drain = %q, want done (50k refs fits the drain window)", v.Status)
+	}
+	h, err := c.Health(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if h.Status != "draining" {
+		t.Errorf("health status = %q, want draining", h.Status)
+	}
+}
+
+func TestDrainTimeoutCancelsStragglers(t *testing.T) {
+	s, c := newTestServer(t, Config{JobWorkers: 1, SimWorkers: 1})
+	ctx := ctxT(t)
+	j, err := c.SubmitRun(ctx, RunSpec{Workloads: []string{"linpack"}, Refs: maxRefs})
+	if err != nil {
+		t.Fatal(err)
+	}
+	deadline := time.Now().Add(10 * time.Second)
+	for {
+		v, err := c.Job(ctx, j.ID)
+		if err != nil {
+			t.Fatal(err)
+		}
+		if v.Status == StatusRunning {
+			break
+		}
+		if time.Now().After(deadline) {
+			t.Fatal("job never started")
+		}
+		time.Sleep(5 * time.Millisecond)
+	}
+	drainCtx, cancel := context.WithTimeout(context.Background(), 50*time.Millisecond)
+	defer cancel()
+	start := time.Now()
+	s.Drain(drainCtx)
+	if elapsed := time.Since(start); elapsed > 10*time.Second {
+		t.Fatalf("drain hung for %v", elapsed)
+	}
+	v, err := c.Job(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if v.Status != StatusCanceled {
+		t.Errorf("straggler = %q, want canceled", v.Status)
+	}
+}
+
+func TestLongPollReturnsOnCompletion(t *testing.T) {
+	_, c := newTestServer(t, Config{JobWorkers: 1})
+	ctx := ctxT(t)
+	j, err := c.SubmitRun(ctx, RunSpec{Workloads: []string{"linpack"}, Refs: 2_000})
+	if err != nil {
+		t.Fatal(err)
+	}
+	start := time.Now()
+	var v JobView
+	if err := c.do(ctx, http.MethodGet, "/v1/jobs/"+j.ID+"?wait=45s", nil, &v); err != nil {
+		t.Fatal(err)
+	}
+	if !v.Status.Terminal() {
+		t.Fatalf("long-poll returned non-terminal %q", v.Status)
+	}
+	if elapsed := time.Since(start); elapsed > 30*time.Second {
+		t.Fatalf("long-poll blocked %v despite completion", elapsed)
+	}
+}

@@ -47,6 +47,29 @@ const (
 // AllStandalone lists the standalone prefetchers the paper compares.
 var AllStandalone = []PF{PFBOP, PFSMS, PFSPP, PFDSPatch}
 
+// AllPFs lists every selectable L2 prefetcher configuration, PFNone first.
+var AllPFs = []PF{
+	PFNone, PFBOP, PFEBOP, PFSMS, PFSPP, PFESPP, PFAMPM, PFStreamer,
+	PFDSPatch, PFDSPatchSPP, PFBOPSPP, PFSMS256SPP, PFEBOPSPP, PFTriple,
+	PFDSPatchAlwaysCov, PFDSPatchModCov, PFDSPatchNoCompress, PFDSPatchSingleTrigger,
+}
+
+// KnownPF reports whether p selects a buildable prefetcher configuration
+// ("" is accepted as PFNone). Untrusted inputs — the dspatchd API — must be
+// checked with it before reaching Run, whose factory panics on unknown
+// selections.
+func KnownPF(p PF) bool {
+	if p == "" {
+		return true
+	}
+	for _, q := range AllPFs {
+		if p == q {
+			return true
+		}
+	}
+	return false
+}
+
 // factory builds the per-core constructor for the selected prefetcher.
 func factory(opt Options) func() prefetch.Prefetcher {
 	if opt.L2 == PFNone || opt.L2 == "" {

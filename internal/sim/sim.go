@@ -6,6 +6,8 @@
 package sim
 
 import (
+	"context"
+
 	"dspatch/internal/cpu"
 	"dspatch/internal/dram"
 	"dspatch/internal/memaddr"
@@ -102,12 +104,33 @@ func (m *memAdapter) access(issue uint64) uint64 {
 	return m.port.Access(issue, m.pc, m.line, m.write)
 }
 
+// cancelCheckMask sets how often the run loop polls for cancellation: every
+// (mask+1) references. Coarse enough to stay invisible next to the per-ref
+// simulation work, fine enough that a canceled run stops within microseconds.
+const cancelCheckMask = 8191
+
 // Run simulates one workload per core (1 workload = single-thread, 4 =
 // multi-programmed). Each core receives a disjoint physical address space.
 func Run(ws []trace.Workload, opt Options) Result {
+	res, _ := RunCtx(context.Background(), ws, opt)
+	return res
+}
+
+// RunCtx is Run with a cancellation hook: the run loop polls ctx every
+// cancelCheckMask+1 references and aborts with ctx.Err() when it fires,
+// returning a zero Result whose IPC slice still has one entry per workload so
+// aggregation code indexing per-core fields never sees a short slice.
+// Cancellation never alters the outcome of a run that completes: results are
+// bit-identical to Run's.
+func RunCtx(ctx context.Context, ws []trace.Workload, opt Options) (Result, error) {
 	n := len(ws)
 	if n == 0 {
 		panic("sim: no workloads")
+	}
+	if err := ctx.Err(); err != nil {
+		// Already canceled: skip lane setup (trace materialization alone can
+		// cost seconds at full scale).
+		return Result{IPC: make([]float64, n)}, err
 	}
 	d := dram.New(opt.DRAM)
 	cfg := memsys.DefaultConfig(opt.LLCBytes)
@@ -162,9 +185,19 @@ func Run(ws []trace.Workload, opt Options) Result {
 	// so they contend for the shared LLC and DRAM realistically. A single
 	// lane needs no selection scan — the paper's single-thread machine runs
 	// the tight loop.
+	done := ctx.Done() // nil for context.Background(): no per-ref polling cost
+	var refsDone int
 	var ref trace.Ref
 	single := lanes[0]
 	for {
+		if done != nil && refsDone&cancelCheckMask == cancelCheckMask {
+			select {
+			case <-done:
+				return Result{IPC: make([]float64, n)}, ctx.Err()
+			default:
+			}
+		}
+		refsDone++
 		var l *lane
 		if n == 1 {
 			if single.left == 0 {
@@ -229,7 +262,7 @@ func Run(ws []trace.Workload, opt Options) Result {
 		tracker.Finish()
 		res.Pollution[0], res.Pollution[1], res.Pollution[2] = tracker.Fractions()
 	}
-	return res
+	return res, nil
 }
 
 // RunSingle simulates one workload on the single-thread configuration.
