@@ -1,0 +1,49 @@
+package dspatch
+
+import (
+	"context"
+	"encoding/json"
+	"io"
+
+	"dspatch/internal/sweep"
+)
+
+// Campaign re-exports: the declarative parameter-sweep subsystem
+// (internal/sweep). A campaign names axes over the run-spec vocabulary —
+// workload mixes, prefetchers, DRAM channels/speed, LLC sizes, refs, seeds —
+// and the engine expands it into simulations on the same process-wide
+// experiment engine every other front end uses, so interrupted campaigns
+// resume for free from the memo and persistent run cache.
+type (
+	// CampaignSpec is the declarative sweep description (JSON schema in
+	// internal/sweep's package comment).
+	CampaignSpec = sweep.Campaign
+	// CampaignAxes names the swept dimensions.
+	CampaignAxes = sweep.Axes
+	// CampaignMix is one workloads-axis value (1..8 lanes).
+	CampaignMix = sweep.Mix
+	// CampaignSample selects grid or seeded-random sampling.
+	CampaignSample = sweep.Sample
+	// CampaignPoint is one fully-specified simulation of a campaign — the
+	// same type the daemon's POST /v1/runs accepts.
+	CampaignPoint = sweep.Point
+	// CampaignPointRecord is one "point" NDJSON record.
+	CampaignPointRecord = sweep.PointRecord
+	// CampaignSummary is the final aggregation record.
+	CampaignSummary = sweep.Summary
+)
+
+// RunCampaign expands and executes a campaign, streaming NDJSON records
+// (header, one record per point in canonical order, final summary) to ndjson
+// as points complete; a nil writer discards the stream and only the returned
+// Summary is kept. workers sets the simulation parallelism (0 = GOMAXPROCS).
+// Records are deterministic: the same spec yields byte-identical point
+// records on every run, front end and process.
+func RunCampaign(ctx context.Context, spec CampaignSpec, ndjson io.Writer, workers int) (CampaignSummary, error) {
+	eng := sweep.Engine{Workers: workers}
+	var emit func(json.RawMessage) error
+	if ndjson != nil {
+		emit = sweep.NDJSONEmitter(ndjson)
+	}
+	return eng.Run(ctx, spec, emit)
+}

@@ -46,6 +46,8 @@ func appMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	cacheDir := fs.String("cache-dir", "", "persistent run-cache directory shared with dspatchsim")
 	noCache := fs.Bool("no-cache", false, "ignore -cache-dir (force every simulation to run)")
 	drain := fs.Duration("drain-timeout", 30*time.Second, "how long running jobs may finish after SIGTERM")
+	maxWait := fs.Duration("max-wait", 30*time.Second, "cap on ?wait= long-polls and campaign follow streams")
+	maxCampStreams := fs.Int("max-campaign-streams", 0, "finished campaigns keeping their full NDJSON stream in memory (0 = default 64)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -69,6 +71,10 @@ func appMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return fail(fmt.Sprintf("-max-jobs must be non-negative, got %d", *maxJobs))
 	case *drain <= 0:
 		return fail(fmt.Sprintf("-drain-timeout must be positive, got %s", *drain))
+	case *maxWait <= 0:
+		return fail(fmt.Sprintf("-max-wait must be positive, got %s", *maxWait))
+	case *maxCampStreams < 0:
+		return fail(fmt.Sprintf("-max-campaign-streams must be non-negative, got %d", *maxCampStreams))
 	case *noCache && *cacheDir == "":
 		return fail("-no-cache without -cache-dir has nothing to disable")
 	}
@@ -79,13 +85,15 @@ func appMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	}
 
 	cfg := service.Config{
-		Addr:         *addr,
-		JobWorkers:   *jobWorkers,
-		SimWorkers:   *simWorkers,
-		QueueDepth:   *queue,
-		MaxJobs:      *maxJobs,
-		CacheDir:     activeCacheDir,
-		DrainTimeout: *drain,
+		Addr:               *addr,
+		JobWorkers:         *jobWorkers,
+		SimWorkers:         *simWorkers,
+		QueueDepth:         *queue,
+		MaxJobs:            *maxJobs,
+		CacheDir:           activeCacheDir,
+		DrainTimeout:       *drain,
+		MaxWait:            *maxWait,
+		MaxCampaignStreams: *maxCampStreams,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(stdout, format+"\n", a...)
 		},

@@ -31,6 +31,9 @@ func TestBadFlagsExitNonZero(t *testing.T) {
 		{"zero drain timeout", []string{"-drain-timeout", "0s"}, "-drain-timeout"},
 		{"negative drain timeout", []string{"-drain-timeout", "-5s"}, "-drain-timeout"},
 		{"malformed drain timeout", []string{"-drain-timeout", "soon"}, "invalid value"},
+		{"zero max wait", []string{"-max-wait", "0s"}, "-max-wait"},
+		{"negative max wait", []string{"-max-wait", "-10s"}, "-max-wait"},
+		{"negative campaign streams", []string{"-max-campaign-streams", "-1"}, "-max-campaign-streams"},
 		{"no-cache without cache-dir", []string{"-no-cache"}, "-no-cache"},
 	}
 	for _, tc := range cases {

@@ -90,7 +90,7 @@ func benchNeedsLongerTrace(m *trace.Materialized, refs int) (bool, int) {
 	for _, c := range benchPlan() {
 		for lane, name := range c.ws {
 			// Both bench machines run at Options.Seed 1.
-			if name == m.Name() && m.Seed() == 1+int64(lane)*sim.LaneSeedStride {
+			if name == m.Name() && m.Seed() == sim.LaneSeed(1, lane) {
 				return true, refs
 			}
 		}

@@ -1,6 +1,7 @@
 package main
 
 import (
+	"bytes"
 	"encoding/json"
 	"fmt"
 	"io"
@@ -12,14 +13,21 @@ import (
 // job summary so every PR shows its simulator-throughput delta against the
 // last committed point. It is informational only — callers decide whether
 // any regression gates.
+//
+// An absent or empty OLD file is not an error: fresh clones and CI forks
+// have no committed trajectory yet, so the table degrades to "no baseline"
+// and renders the new point's columns alone.
 func runBenchDiff(oldPath, newPath string, w io.Writer) error {
-	oldFile, err := readBenchFile(oldPath)
+	oldFile, haveOld, err := readBenchFile(oldPath)
 	if err != nil {
 		return err
 	}
-	newFile, err := readBenchFile(newPath)
+	newFile, haveNew, err := readBenchFile(newPath)
 	if err != nil {
 		return err
+	}
+	if !haveNew {
+		return fmt.Errorf("bench-diff: %s: missing or empty (the fresh point must exist)", newPath)
 	}
 
 	oldBy := map[string]BenchConfig{}
@@ -27,7 +35,11 @@ func runBenchDiff(oldPath, newPath string, w io.Writer) error {
 		oldBy[c.Name] = c
 	}
 
-	fmt.Fprintf(w, "### Simulator throughput: %s vs %s\n\n", oldPath, newPath)
+	if !haveOld {
+		fmt.Fprintf(w, "### Simulator throughput: no baseline (%s missing or empty) — %s\n\n", oldPath, newPath)
+	} else {
+		fmt.Fprintf(w, "### Simulator throughput: %s vs %s\n\n", oldPath, newPath)
+	}
 	fmt.Fprintf(w, "| config | old ns/ref | new ns/ref | delta | old allocs/ref | new allocs/ref |\n")
 	fmt.Fprintf(w, "|---|---:|---:|---:|---:|---:|\n")
 	for _, n := range newFile.Configs {
@@ -43,21 +55,35 @@ func runBenchDiff(oldPath, newPath string, w io.Writer) error {
 		fmt.Fprintf(w, "| %s | %.1f | %.1f | %s | %.3f | %.3f |\n",
 			n.Name, o.NsPerRef, n.NsPerRef, delta, o.AllocsPerRef, n.AllocsPerRef)
 	}
+	if !haveOld {
+		fmt.Fprintf(w, "\n(no committed trajectory to diff against; refs/core new %d)\n", refsOf(newFile))
+		return nil
+	}
 	fmt.Fprintf(w, "\n(negative delta = faster; refs/core old %d, new %d; hosts may differ)\n",
 		refsOf(oldFile), refsOf(newFile))
 	return nil
 }
 
-func readBenchFile(path string) (BenchFile, error) {
+// readBenchFile loads a trajectory point. A missing or blank file reports
+// ok=false with a zero BenchFile (no error); malformed JSON is still an
+// error — a corrupt committed point should fail loudly, not be mistaken for
+// an absent one.
+func readBenchFile(path string) (BenchFile, bool, error) {
 	var f BenchFile
 	data, err := os.ReadFile(path)
+	if os.IsNotExist(err) {
+		return f, false, nil
+	}
 	if err != nil {
-		return f, fmt.Errorf("bench-diff: %w", err)
+		return f, false, fmt.Errorf("bench-diff: %w", err)
+	}
+	if len(bytes.TrimSpace(data)) == 0 {
+		return f, false, nil
 	}
 	if err := json.Unmarshal(data, &f); err != nil {
-		return f, fmt.Errorf("bench-diff: %s: %w", path, err)
+		return f, false, fmt.Errorf("bench-diff: %s: %w", path, err)
 	}
-	return f, nil
+	return f, true, nil
 }
 
 func refsOf(f BenchFile) int {

@@ -1,0 +1,164 @@
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/csv"
+	"encoding/json"
+	"fmt"
+	"io"
+	"os"
+	"strconv"
+	"strings"
+
+	"dspatch/internal/sweep"
+)
+
+// runCampaign loads a campaign spec file and streams its NDJSON records to
+// out (stdout unless -campaign-out names a file), optionally mirroring point
+// records into a CSV table. The spec is decoded strictly so a typo'd axis
+// name fails loudly instead of silently sweeping nothing.
+func runCampaign(specPath, outPath, csvPath string, parallel int, stdout, stderr io.Writer) error {
+	data, err := os.ReadFile(specPath)
+	if err != nil {
+		return fmt.Errorf("campaign: %w", err)
+	}
+	var c sweep.Campaign
+	dec := json.NewDecoder(bytes.NewReader(data))
+	dec.DisallowUnknownFields()
+	if err := dec.Decode(&c); err != nil {
+		return fmt.Errorf("campaign: %s: %w", specPath, err)
+	}
+
+	// Output files are closed explicitly so a failed flush or close (disk
+	// full, NFS write-back) surfaces as a non-zero exit instead of leaving a
+	// silently truncated file behind an apparent success.
+	out := stdout
+	var outF, csvF *os.File
+	closeAll := func() {
+		if outF != nil {
+			outF.Close()
+		}
+		if csvF != nil {
+			csvF.Close()
+		}
+	}
+	if outPath != "" {
+		f, err := os.Create(outPath)
+		if err != nil {
+			return fmt.Errorf("campaign-out: %w", err)
+		}
+		outF, out = f, f
+	}
+	var cw *csv.Writer
+	if csvPath != "" {
+		f, err := os.Create(csvPath)
+		if err != nil {
+			closeAll()
+			return fmt.Errorf("campaign-csv: %w", err)
+		}
+		csvF = f
+		cw = csv.NewWriter(f)
+		if err := cw.Write(csvHeader); err != nil {
+			closeAll()
+			return fmt.Errorf("campaign-csv: %w", err)
+		}
+	}
+
+	ndjson := sweep.NDJSONEmitter(out)
+	eng := sweep.Engine{Workers: parallel}
+	sum, err := eng.Run(context.Background(), c, func(line json.RawMessage) error {
+		if err := ndjson(line); err != nil {
+			return err
+		}
+		if cw != nil {
+			if err := csvAppend(cw, line); err != nil {
+				return err
+			}
+		}
+		return nil
+	})
+	if err != nil {
+		closeAll()
+		return fmt.Errorf("campaign: %w", err)
+	}
+	if cw != nil {
+		cw.Flush()
+		if err := cw.Error(); err != nil {
+			closeAll()
+			return fmt.Errorf("campaign-csv: %w", err)
+		}
+	}
+	if csvF != nil {
+		if err := csvF.Close(); err != nil {
+			csvF = nil
+			closeAll()
+			return fmt.Errorf("campaign-csv: %w", err)
+		}
+		csvF = nil
+	}
+	if outF != nil {
+		if err := outF.Close(); err != nil {
+			return fmt.Errorf("campaign-out: %w", err)
+		}
+		outF = nil
+	}
+	fmt.Fprintf(stderr, "campaign %s: %d points (%d baseline, %d ratios dropped), %d simulated / %d memo / %d disk\n",
+		campaignLabel(c, specPath), sum.Points, sum.BaselinePoints, sum.Dropped,
+		sum.Engine.Sims, sum.Engine.MemoHits, sum.Engine.DiskHits)
+	return nil
+}
+
+func campaignLabel(c sweep.Campaign, specPath string) string {
+	if c.Name != "" {
+		return c.Name
+	}
+	return specPath
+}
+
+var csvHeader = []string{
+	"index", "workloads", "l2", "refs", "seed", "llc_bytes", "dram_channels",
+	"dram_mtps", "sms_pht_entries", "baseline", "ipc", "cycles", "coverage",
+	"accuracy", "avg_bw_gbps", "speedup",
+}
+
+// csvAppend mirrors one point record (other record types are skipped) into
+// the CSV table. Multi-lane values are joined with '|'.
+func csvAppend(cw *csv.Writer, line json.RawMessage) error {
+	var rec sweep.PointRecord
+	if err := json.Unmarshal(line, &rec); err != nil || rec.Type != "point" {
+		return nil // header/summary (or future record types): NDJSON-only
+	}
+	p := rec.Point
+	row := []string{
+		strconv.FormatInt(rec.Index, 10),
+		strings.Join(p.Workloads, "|"),
+		p.L2,
+		strconv.Itoa(p.Refs),
+		strconv.FormatInt(p.Seed, 10),
+		strconv.Itoa(p.LLCBytes),
+		strconv.Itoa(p.DRAMChannels),
+		strconv.Itoa(p.DRAMMTps),
+		strconv.Itoa(p.SMSPHTEntries),
+		strconv.FormatBool(rec.Baseline),
+		joinFloats(rec.Metrics.IPC),
+		strconv.FormatUint(rec.Metrics.Cycles, 10),
+		formatFloat(rec.Metrics.Coverage),
+		formatFloat(rec.Metrics.Accuracy),
+		formatFloat(rec.Metrics.AvgBandwidthGBps),
+		joinFloats(rec.Speedup),
+	}
+	return cw.Write(row)
+}
+
+func joinFloats(xs []float64) string {
+	parts := make([]string, len(xs))
+	for i, x := range xs {
+		parts[i] = formatFloat(x)
+	}
+	return strings.Join(parts, "|")
+}
+
+func formatFloat(x float64) string {
+	return strconv.FormatFloat(x, 'g', -1, 64)
+}

@@ -6,6 +6,7 @@
 //	dspatchsim -experiment fig15 -full     # full 75-workload roster
 //	dspatchsim -experiment all -parallel 8 # pin the simulation worker count
 //	dspatchsim -experiment all -cache-dir ~/.cache/dspatchsim  # reuse runs across invocations
+//	dspatchsim -campaign sweep.json -campaign-csv out.csv  # declarative parameter sweep (internal/sweep)
 //	dspatchsim -bench                      # emit a BENCH_<date>.json perf point
 //	dspatchsim -bench-diff OLD.json,NEW.json  # per-config ns/ref delta table
 //	dspatchsim -trace-export tpcc.trace -workload tpcc -refs 50000
@@ -50,6 +51,9 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 	bench := fs.Bool("bench", false, "measure simulator throughput and write a BENCH_<date>.json trajectory point")
 	benchOut := fs.String("bench-out", "", "path for the -bench JSON (default BENCH_<date>.json)")
 	benchDiff := fs.String("bench-diff", "", "OLD.json,NEW.json: print a per-config ns/ref delta table between two bench points")
+	campaign := fs.String("campaign", "", "run a declarative campaign sweep from this JSON spec file (see internal/sweep)")
+	campaignOut := fs.String("campaign-out", "", "write the campaign NDJSON stream to this file (default stdout)")
+	campaignCSV := fs.String("campaign-csv", "", "also mirror campaign point records into this CSV file")
 	cacheDir := fs.String("cache-dir", "", "persistent run-cache directory: completed simulations are reused across process invocations")
 	noCache := fs.Bool("no-cache", false, "ignore -cache-dir (force every simulation to run)")
 	traceExport := fs.String("trace-export", "", "record the -workload reference stream and write it to this file")
@@ -86,6 +90,14 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 		return fail("-no-cache without -cache-dir has nothing to disable")
 	case *benchDiff != "" && (*exp != "" || *bench || *traceExport != "" || *traceImport != ""):
 		return fail("-bench-diff cannot be combined with -experiment, -bench or trace flags")
+	case (*campaignOut != "" || *campaignCSV != "") && *campaign == "":
+		return fail("-campaign-out/-campaign-csv only apply to -campaign")
+	case *campaign != "" && (*exp != "" || *bench || *benchDiff != "" || *traceExport != "" || *traceImport != ""):
+		return fail("-campaign cannot be combined with -experiment, -bench or trace flags")
+	case *campaign != "" && (set["refs"] || set["full"] || set["seed"]):
+		// Campaign scale lives in the spec; a silently-ignored override would
+		// leave the user comparing wrong-scale results.
+		return fail("-refs/-full/-seed do not apply to -campaign (set refs and seeds in the spec)")
 	}
 
 	if *list {
@@ -104,8 +116,9 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
-	if *exp == "" && !*bench && *traceExport == "" && *traceImport == "" {
+	if *exp == "" && !*bench && *traceExport == "" && *traceImport == "" && *campaign == "" {
 		fmt.Fprintln(stderr, "usage: dspatchsim -experiment <id|all> [-full] [-refs N] [-parallel N] [-cache-dir DIR]")
+		fmt.Fprintln(stderr, "       dspatchsim -campaign SPEC.json [-campaign-out FILE.ndjson] [-campaign-csv FILE.csv]")
 		fmt.Fprintln(stderr, "       dspatchsim -bench [-refs N] [-bench-out FILE]")
 		fmt.Fprintln(stderr, "       dspatchsim -bench-diff OLD.json,NEW.json")
 		fmt.Fprintln(stderr, "       dspatchsim -trace-export FILE -workload NAME [-refs N] [-seed N]")
@@ -131,6 +144,14 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 	if err := experiments.SetCacheDir(activeCacheDir); err != nil {
 		fmt.Fprintln(stderr, err)
 		return 1
+	}
+
+	if *campaign != "" {
+		if err := runCampaign(*campaign, *campaignOut, *campaignCSV, *parallel, stdout, stderr); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
 	}
 
 	var imported *trace.Materialized
@@ -226,8 +247,8 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 	// foreign-seed import is never read and must not block the run.
 	if imported != nil && *exp != "" && importedKnown && scale.Refs > imported.Len() {
 		seedReachable := false
-		for lane := int64(0); lane < 4; lane++ {
-			if imported.Seed() == scale.Seed+lane*sim.LaneSeedStride {
+		for lane := 0; lane < 4; lane++ {
+			if imported.Seed() == sim.LaneSeed(scale.Seed, lane) {
 				seedReachable = true
 			}
 		}

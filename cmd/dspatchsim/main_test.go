@@ -48,6 +48,13 @@ func TestBadFlagsExitNonZero(t *testing.T) {
 		{"bench-diff with bench", []string{"-bench-diff", "a.json,b.json", "-bench"}, "-bench-diff"},
 		{"bench-diff single file", []string{"-bench-diff", "only.json"}, "OLD.json,NEW.json"},
 		{"export without workload", []string{"-trace-export", "x.trace"}, "-workload"},
+		{"campaign-out without campaign", []string{"-campaign-out", "x.ndjson", "-experiment", "fig4"}, "-campaign-out"},
+		{"campaign-csv without campaign", []string{"-campaign-csv", "x.csv", "-experiment", "fig4"}, "-campaign-out"},
+		{"campaign with experiment", []string{"-campaign", "spec.json", "-experiment", "fig4"}, "-campaign"},
+		{"campaign with bench", []string{"-campaign", "spec.json", "-bench"}, "-campaign"},
+		{"campaign with refs", []string{"-campaign", "spec.json", "-refs", "5000"}, "in the spec"},
+		{"campaign with full", []string{"-campaign", "spec.json", "-full"}, "in the spec"},
+		{"campaign with seed", []string{"-campaign", "spec.json", "-seed", "2"}, "in the spec"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -255,8 +262,63 @@ func TestBenchDiffTable(t *testing.T) {
 			t.Errorf("bench-diff output missing %q:\n%s", want, out.String())
 		}
 	}
-	if code := appMain([]string{"-bench-diff", "missing.json," + newP}, &out, &errb); code != 1 {
-		t.Fatalf("bench-diff with missing file: exit %d, want 1", code)
+	if code := appMain([]string{"-bench-diff", oldP + ",missing.json"}, &out, &errb); code != 1 {
+		t.Fatalf("bench-diff with missing NEW file: exit %d, want 1", code)
+	}
+}
+
+// TestBenchDiffNoBaseline: an absent or empty committed trajectory (a fresh
+// clone, a CI fork) must degrade to a "no baseline" table with exit 0, so
+// the diff step never fails a build that has nothing to compare against.
+// Only a corrupt baseline — a real problem — stays an error.
+func TestBenchDiffNoBaseline(t *testing.T) {
+	dir := t.TempDir()
+	newP := filepath.Join(dir, "new.json")
+	var out, errb bytes.Buffer
+	if code := appMain([]string{"-bench", "-refs", "400", "-bench-out", newP}, &out, &errb); code != 0 {
+		t.Fatalf("bench exit %d: %s", code, errb.String())
+	}
+
+	empty := filepath.Join(dir, "empty.json")
+	if err := os.WriteFile(empty, nil, 0o644); err != nil {
+		t.Fatal(err)
+	}
+	blank := filepath.Join(dir, "blank.json")
+	if err := os.WriteFile(blank, []byte("  \n\t"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	corrupt := filepath.Join(dir, "corrupt.json")
+	if err := os.WriteFile(corrupt, []byte("{not json"), 0o644); err != nil {
+		t.Fatal(err)
+	}
+
+	cases := []struct {
+		name     string
+		old      string
+		wantCode int
+		wantOut  string
+	}{
+		{"absent old", filepath.Join(dir, "missing.json"), 0, "no baseline"},
+		{"empty old", empty, 0, "no baseline"},
+		{"whitespace old", blank, 0, "no baseline"},
+		{"corrupt old", corrupt, 1, ""},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			var out, errb bytes.Buffer
+			code := appMain([]string{"-bench-diff", tc.old + "," + newP}, &out, &errb)
+			if code != tc.wantCode {
+				t.Fatalf("exit = %d, want %d (stderr: %s)", code, tc.wantCode, errb.String())
+			}
+			if tc.wantCode != 0 {
+				return
+			}
+			for _, want := range []string{tc.wantOut, "| config |", "dspatch+spp-tpcc"} {
+				if !strings.Contains(out.String(), want) {
+					t.Errorf("output missing %q:\n%s", want, out.String())
+				}
+			}
+		})
 	}
 }
 
@@ -329,5 +391,112 @@ func TestTraceImportUnreachableStreamDoesNotBlock(t *testing.T) {
 	errb.Reset()
 	if code := appMain([]string{"-trace-import", path, "-experiment", "fig4", "-refs", "1500", "-parallel", "1"}, &out, &errb); code != 0 {
 		t.Fatalf("foreign-seed import blocked the experiment: exit %d, stderr: %s", code, errb.String())
+	}
+}
+
+// TestCampaignCLI drives a tiny grid campaign end to end: valid NDJSON on
+// stdout (header, one record per point in index order, summary) plus the
+// mirrored CSV table, and a malformed or unknown-field spec exits non-zero.
+func TestCampaignCLI(t *testing.T) {
+	dir := t.TempDir()
+	spec := filepath.Join(dir, "spec.json")
+	if err := os.WriteFile(spec, []byte(`{
+		"name": "cli",
+		"base": {"refs": 700},
+		"axes": {"workloads": ["mcf", "tpcc"], "l2": ["none", "spp"]}
+	}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	outP := filepath.Join(dir, "out.ndjson")
+	csvP := filepath.Join(dir, "out.csv")
+	var out, errb bytes.Buffer
+	if code := appMain([]string{"-campaign", spec, "-campaign-out", outP, "-campaign-csv", csvP}, &out, &errb); code != 0 {
+		t.Fatalf("campaign exit %d: %s", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "campaign cli: 4 points") {
+		t.Errorf("stderr missing completion note: %s", errb.String())
+	}
+
+	data, err := os.ReadFile(outP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	lines := strings.Split(strings.TrimSpace(string(data)), "\n")
+	if len(lines) != 6 { // header + 4 points + summary
+		t.Fatalf("NDJSON lines = %d, want 6:\n%s", len(lines), data)
+	}
+	var types []string
+	for i, line := range lines {
+		var rec map[string]any
+		if err := json.Unmarshal([]byte(line), &rec); err != nil {
+			t.Fatalf("line %d is not JSON: %v\n%s", i, err, line)
+		}
+		types = append(types, rec["type"].(string))
+	}
+	if got := strings.Join(types, ","); got != "campaign,point,point,point,point,summary" {
+		t.Errorf("record types = %s", got)
+	}
+
+	csvData, err := os.ReadFile(csvP)
+	if err != nil {
+		t.Fatal(err)
+	}
+	csvLines := strings.Split(strings.TrimSpace(string(csvData)), "\n")
+	if len(csvLines) != 5 { // header + 4 points
+		t.Fatalf("CSV lines = %d, want 5:\n%s", len(csvLines), csvData)
+	}
+	if !strings.HasPrefix(csvLines[0], "index,workloads,l2,") {
+		t.Errorf("CSV header = %s", csvLines[0])
+	}
+
+	// Stdout NDJSON (no -campaign-out) must carry the same stream — byte
+	// for byte on every point record; only the summary's telemetry fields
+	// (engine cache deltas, elapsed time) may differ between a cold run and
+	// the memoized rerun.
+	out.Reset()
+	if code := appMain([]string{"-campaign", spec}, &out, &errb); code != 0 {
+		t.Fatalf("campaign to stdout exit %d: %s", code, errb.String())
+	}
+	stdoutLines := strings.Split(strings.TrimSpace(out.String()), "\n")
+	if len(stdoutLines) != len(lines) {
+		t.Fatalf("stdout stream has %d lines, -campaign-out had %d", len(stdoutLines), len(lines))
+	}
+	stripTelemetry := func(line string) string {
+		var m map[string]any
+		if err := json.Unmarshal([]byte(line), &m); err != nil {
+			t.Fatalf("summary line: %v", err)
+		}
+		delete(m, "engine")
+		delete(m, "elapsed_ms")
+		b, _ := json.Marshal(m)
+		return string(b)
+	}
+	for i := range lines {
+		a, b := lines[i], stdoutLines[i]
+		if i == len(lines)-1 {
+			a, b = stripTelemetry(a), stripTelemetry(b)
+		}
+		if a != b {
+			t.Errorf("stdout record %d differs from -campaign-out:\n%s\n%s", i, b, a)
+		}
+	}
+
+	// Spec errors exit non-zero with a message.
+	bad := filepath.Join(dir, "bad.json")
+	for name, body := range map[string]string{
+		"malformed":     "{not json",
+		"unknown field": `{"axis": {"workloads": ["mcf"]}}`,
+		"bad value":     `{"axes": {"workloads": ["mcf"], "dram_mtps": [999]}}`,
+	} {
+		if err := os.WriteFile(bad, []byte(body), 0o644); err != nil {
+			t.Fatal(err)
+		}
+		errb.Reset()
+		if code := appMain([]string{"-campaign", bad}, &out, &errb); code != 1 {
+			t.Errorf("%s spec: exit %d, want 1 (stderr: %s)", name, code, errb.String())
+		}
+	}
+	if code := appMain([]string{"-campaign", filepath.Join(dir, "missing.json")}, &out, &errb); code != 1 {
+		t.Error("missing spec file accepted")
 	}
 }

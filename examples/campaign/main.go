@@ -1,0 +1,94 @@
+// Campaign: reproduce paper Fig. 4 as a declarative campaign spec instead
+// of the hand-coded registry experiment, and prove the two byte-identical.
+//
+// The registry's Fig4 function sweeps BOP/SMS/SPP over the quick-scale
+// workload roster on the single-thread machine. The same question phrased as
+// a campaign is one JSON spec: a workloads axis and an l2 axis over the
+// baseline machine. Both paths run on the process-shared experiment engine,
+// so the campaign reuses every simulation the registry run just did — and
+// the rendered table must match byte for byte.
+//
+// Run with: go run ./examples/campaign [-refs N]
+package main
+
+import (
+	"bytes"
+	"context"
+	"encoding/json"
+	"flag"
+	"fmt"
+	"os"
+
+	"dspatch/internal/experiments"
+	"dspatch/internal/sim"
+	"dspatch/internal/sweep"
+)
+
+func main() {
+	refs := flag.Int("refs", 0, "override memory references per run (default: quick scale)")
+	flag.Parse()
+
+	s := experiments.Quick()
+	if *refs > 0 {
+		s.Refs = *refs
+	}
+	ws := s.Workloads()
+	pfs := []sim.PF{sim.PFBOP, sim.PFSMS, sim.PFSPP}
+
+	// Fig. 4 as a campaign: the single-thread machine is the Point default,
+	// so only refs/seed and the two swept axes need naming.
+	mixes := make([]sweep.Mix, len(ws))
+	for i, w := range ws {
+		mixes[i] = sweep.Mix{w.Name}
+	}
+	l2 := []string{string(sim.PFNone)}
+	for _, pf := range pfs {
+		l2 = append(l2, string(pf))
+	}
+	spec := sweep.Campaign{
+		Name: "fig4",
+		Base: sweep.Point{Refs: s.Refs, Seed: s.Seed},
+		Axes: sweep.Axes{Workloads: mixes, L2: l2},
+	}
+	if data, err := json.MarshalIndent(spec, "", "  "); err == nil {
+		fmt.Printf("campaign spec:\n%s\n\n", data)
+	}
+
+	// Run the campaign, folding the point stream into the registry's
+	// CategoryResult shape as records arrive.
+	var recs []sweep.PointRecord
+	eng := sweep.Engine{}
+	sum, err := eng.Run(context.Background(), spec, func(line json.RawMessage) error {
+		var rec sweep.PointRecord
+		if json.Unmarshal(line, &rec) == nil && rec.Type == "point" && !rec.Baseline {
+			recs = append(recs, rec)
+		}
+		return nil
+	})
+	if err != nil {
+		fmt.Fprintln(os.Stderr, "campaign:", err)
+		os.Exit(1)
+	}
+	fmt.Printf("campaign ran %d points (%d simulated, %d memo hits)\n\n",
+		sum.Points, sum.Engine.Sims, sum.Engine.MemoHits)
+
+	var campaignTable bytes.Buffer
+	experiments.FormatCategory(&campaignTable,
+		"Fig 4: BOP/SMS/SPP by category (1ch DDR4-2133)",
+		sweep.CategoryResultFromPoints(ws, pfs, recs))
+
+	// The reference: the registry experiment, exactly as
+	// `dspatchsim -experiment fig4` renders it.
+	var registryTable bytes.Buffer
+	e, _ := experiments.ExperimentByID("fig4")
+	e.Format(&registryTable, e.Run(s))
+
+	fmt.Print(campaignTable.String())
+	if campaignTable.String() == registryTable.String() {
+		fmt.Println("campaign output is byte-identical to `dspatchsim -experiment fig4`")
+		return
+	}
+	fmt.Println("MISMATCH: registry experiment rendered differently:")
+	fmt.Print(registryTable.String())
+	os.Exit(1)
+}

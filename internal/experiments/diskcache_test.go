@@ -5,7 +5,9 @@ import (
 	"os"
 	"path/filepath"
 	"reflect"
+	"sync"
 	"testing"
+	"time"
 
 	"dspatch/internal/sim"
 	"dspatch/internal/trace"
@@ -160,5 +162,70 @@ func TestDiskCacheDisabledIdentical(t *testing.T) {
 	files, _ := filepath.Glob(filepath.Join(t.TempDir(), "*"))
 	if len(files) != 0 {
 		t.Fatalf("disabled cache wrote files: %v", files)
+	}
+}
+
+// TestDiskCacheNoTornReads hammers one cache entry with concurrent
+// rewriters (stand-ins for racing processes, whose cacheStore path — temp
+// file + os.Rename — is exactly what separate processes execute) while
+// readers re-read the entry file directly. Atomic rename means a reader must
+// only ever observe a complete, parseable JSON entry, never a prefix of an
+// in-progress write.
+func TestDiskCacheNoTornReads(t *testing.T) {
+	dir := t.TempDir()
+	job := cacheTestJob(t)
+	key, ok := memoizable(job)
+	if !ok {
+		t.Fatal("cache test job must be memoizable")
+	}
+	path := cachePath(dir, key)
+
+	// Payloads of very different sizes, so a torn read of a long entry after
+	// a short one (or mid-write) cannot parse by accident.
+	mkRes := func(i int) sim.Result {
+		return sim.Result{IPC: make([]float64, 1+(i%7)*40), Cycles: uint64(i)}
+	}
+	cacheStore(dir, key, mkRes(0))
+
+	stop := make(chan struct{})
+	var wg sync.WaitGroup
+	for w := 0; w < 4; w++ {
+		wg.Add(1)
+		go func(w int) {
+			defer wg.Done()
+			for i := w; ; i += 4 {
+				select {
+				case <-stop:
+					return
+				default:
+				}
+				cacheStore(dir, key, mkRes(i))
+			}
+		}(w)
+	}
+
+	deadline := time.Now().Add(300 * time.Millisecond)
+	reads := 0
+	for time.Now().Before(deadline) {
+		data, err := os.ReadFile(path)
+		if err != nil {
+			t.Errorf("read during concurrent writes: %v", err)
+			break
+		}
+		var e cacheEntry
+		if err := json.Unmarshal(data, &e); err != nil {
+			t.Errorf("torn read after %d clean reads: %v\n%.120s", reads, err, data)
+			break
+		}
+		if e.Version != sim.ResultVersion || e.Key != key.keyString() {
+			t.Errorf("entry content corrupt: version=%d key=%q", e.Version, e.Key)
+			break
+		}
+		reads++
+	}
+	close(stop)
+	wg.Wait()
+	if reads == 0 {
+		t.Fatal("reader never observed the entry")
 	}
 }

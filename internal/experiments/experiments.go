@@ -66,6 +66,11 @@ func (s Scale) context() context.Context {
 	return context.Background()
 }
 
+// Workloads returns the evaluation roster at this scale — exported so
+// campaign builders (examples/campaign, the sweep tests) can sweep exactly
+// the workload set a Fig*/Table* function would run.
+func (s Scale) Workloads() []trace.Workload { return s.workloads() }
+
 // workloads returns the evaluation roster at this scale, category-balanced.
 func (s Scale) workloads() []trace.Workload {
 	if s.PerCategory <= 0 {

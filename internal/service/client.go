@@ -1,6 +1,7 @@
 package service
 
 import (
+	"bufio"
 	"bytes"
 	"context"
 	"encoding/json"
@@ -9,6 +10,8 @@ import (
 	"net/http"
 	"strings"
 	"time"
+
+	"dspatch/internal/sweep"
 )
 
 // Client is a minimal Go client for a dspatchd daemon. The zero value is
@@ -148,6 +151,62 @@ func (c *Client) Wait(ctx context.Context, id string) (JobView, error) {
 		case <-time.After(50 * time.Millisecond):
 		}
 	}
+}
+
+// SubmitCampaign submits a declarative parameter sweep (POST /v1/campaigns).
+func (c *Client) SubmitCampaign(ctx context.Context, spec sweep.Campaign) (JobView, error) {
+	var j JobView
+	err := c.do(ctx, http.MethodPost, "/v1/campaigns", spec, &j)
+	return j, err
+}
+
+// CampaignStream opens the campaign's NDJSON record stream. A zero wait
+// returns a snapshot of the records so far; a positive wait follows live
+// appends until the campaign finishes or the window (clamped server-side)
+// elapses. The caller owns the ReadCloser.
+func (c *Client) CampaignStream(ctx context.Context, id string, wait time.Duration) (io.ReadCloser, error) {
+	path := "/v1/campaigns/" + id
+	if wait > 0 {
+		path += "?wait=" + wait.String()
+	}
+	req, err := http.NewRequestWithContext(ctx, http.MethodGet, c.BaseURL+path, nil)
+	if err != nil {
+		return nil, err
+	}
+	resp, err := c.httpClient().Do(req)
+	if err != nil {
+		return nil, err
+	}
+	if resp.StatusCode != http.StatusOK {
+		data, _ := io.ReadAll(resp.Body)
+		resp.Body.Close()
+		var ae apiError
+		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
+			return nil, &APIError{StatusCode: resp.StatusCode, Message: ae.Error}
+		}
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+	}
+	return resp.Body, nil
+}
+
+// CampaignRecords drains one CampaignStream call into parsed NDJSON lines.
+func (c *Client) CampaignRecords(ctx context.Context, id string, wait time.Duration) ([]json.RawMessage, error) {
+	body, err := c.CampaignStream(ctx, id, wait)
+	if err != nil {
+		return nil, err
+	}
+	defer body.Close()
+	var out []json.RawMessage
+	sc := bufio.NewScanner(body)
+	sc.Buffer(make([]byte, 0, 64*1024), 16*1024*1024)
+	for sc.Scan() {
+		line := strings.TrimSpace(sc.Text())
+		if line == "" {
+			continue
+		}
+		out = append(out, json.RawMessage(line))
+	}
+	return out, sc.Err()
 }
 
 // Jobs lists every retained job (no results; fetch individually).

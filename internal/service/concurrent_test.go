@@ -74,10 +74,10 @@ func TestConcurrentClientsShareTheCache(t *testing.T) {
 	// Responses must equal the direct library path byte for byte.
 	for i, spec := range specs {
 		norm := spec
-		if err := norm.normalize(); err != nil {
+		if err := norm.Normalize(); err != nil {
 			t.Fatal(err)
 		}
-		direct, err := experiments.RunJobs(context.Background(), []experiments.Job{norm.job()}, 1)
+		direct, err := experiments.RunJobs(context.Background(), []experiments.Job{norm.Job()}, 1)
 		if err != nil {
 			t.Fatal(err)
 		}

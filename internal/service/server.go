@@ -11,9 +11,11 @@
 //
 //	POST   /v1/runs              submit one simulation (RunSpec) -> JobView
 //	POST   /v1/experiments/{id}  submit a paper table/figure (ScaleSpec) -> JobView
+//	POST   /v1/campaigns         submit a declarative parameter sweep (sweep.Campaign) -> JobView
+//	GET    /v1/campaigns/{id}    stream the campaign's NDJSON records; ?wait=10s follows live
 //	GET    /v1/jobs              list jobs (newest last)
 //	GET    /v1/jobs/{id}         fetch one job; ?wait=10s long-polls until terminal
-//	DELETE /v1/jobs/{id}         cancel a queued or running job
+//	DELETE /v1/jobs/{id}         cancel a queued or running job (campaigns included)
 //	GET    /v1/experiments       the experiment registry
 //	GET    /v1/workloads         the workload roster
 //	GET    /v1/prefetchers       selectable L2 prefetchers
@@ -50,6 +52,7 @@ import (
 
 	"dspatch/internal/experiments"
 	"dspatch/internal/sim"
+	"dspatch/internal/sweep"
 	"dspatch/internal/trace"
 )
 
@@ -75,6 +78,17 @@ type Config struct {
 	// DrainTimeout bounds how long Drain waits for running jobs before
 	// canceling them (default 30s).
 	DrainTimeout time.Duration
+	// MaxWait caps the ?wait= long-poll of GET /v1/jobs/{id} and the live
+	// follow window of GET /v1/campaigns/{id} (default 30s). A request
+	// asking for more is clamped, never rejected, so a handler goroutine is
+	// pinned for at most MaxWait per request.
+	MaxWait time.Duration
+	// MaxCampaignStreams bounds how many finished campaigns keep their full
+	// NDJSON record stream in memory (default 64). Older terminal campaigns'
+	// streams are evicted — GET /v1/campaigns/{id} answers 410 and the
+	// summary stays on the job record — so campaign memory is O(streams
+	// retained), not O(jobs retained).
+	MaxCampaignStreams int
 	// Logf, when set, receives one-line operational messages.
 	Logf func(format string, args ...any)
 }
@@ -101,6 +115,12 @@ func (c Config) withDefaults() Config {
 	if c.DrainTimeout <= 0 {
 		c.DrainTimeout = 30 * time.Second
 	}
+	if c.MaxWait <= 0 {
+		c.MaxWait = 30 * time.Second
+	}
+	if c.MaxCampaignStreams <= 0 {
+		c.MaxCampaignStreams = 64
+	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
 	}
@@ -126,16 +146,67 @@ func (s JobStatus) Terminal() bool {
 const (
 	kindRun        = "run"
 	kindExperiment = "experiment"
+	kindCampaign   = "campaign"
 )
+
+// campaignFeed accumulates a running campaign's NDJSON records and lets
+// streaming readers block for the next append. changed is closed and
+// replaced on every append (a broadcast).
+type campaignFeed struct {
+	mu      sync.Mutex
+	recs    []json.RawMessage
+	changed chan struct{}
+	evicted bool
+}
+
+func newCampaignFeed() *campaignFeed {
+	return &campaignFeed{changed: make(chan struct{})}
+}
+
+func (f *campaignFeed) append(rec json.RawMessage) {
+	f.mu.Lock()
+	f.recs = append(f.recs, rec)
+	close(f.changed)
+	f.changed = make(chan struct{})
+	f.mu.Unlock()
+}
+
+// evict drops the record stream (the retention cap was passed). Readers
+// mid-stream see the feed end; new readers are told the stream is gone.
+func (f *campaignFeed) evict() {
+	f.mu.Lock()
+	f.recs = nil
+	f.evicted = true
+	f.mu.Unlock()
+}
+
+func (f *campaignFeed) isEvicted() bool {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	return f.evicted
+}
+
+// next returns the records past from, plus a channel that closes on the next
+// append (only meaningful when no new records were returned).
+func (f *campaignFeed) next(from int) ([]json.RawMessage, <-chan struct{}) {
+	f.mu.Lock()
+	defer f.mu.Unlock()
+	if from > len(f.recs) {
+		from = len(f.recs)
+	}
+	return f.recs[from:], f.changed
+}
 
 // job is one unit of work and its record. Mutable state is guarded by mu;
 // done closes exactly once when the job reaches a terminal status.
 type job struct {
 	id    string
 	kind  string
-	run   *RunSpec   // kindRun
-	expID string     // kindExperiment
-	scale *ScaleSpec // kindExperiment
+	run   *RunSpec        // kindRun
+	expID string          // kindExperiment
+	scale *ScaleSpec      // kindExperiment
+	camp  *sweep.Campaign // kindCampaign
+	feed  *campaignFeed   // kindCampaign
 
 	mu        sync.Mutex
 	status    JobStatus
@@ -159,6 +230,7 @@ type JobView struct {
 	Experiment string          `json:"experiment,omitempty"`
 	Run        *RunSpec        `json:"run,omitempty"`
 	Scale      *ScaleSpec      `json:"scale,omitempty"`
+	Campaign   *sweep.Campaign `json:"campaign,omitempty"`
 	Error      string          `json:"error,omitempty"`
 	Submitted  time.Time       `json:"submitted_at"`
 	Started    *time.Time      `json:"started_at,omitempty"`
@@ -179,6 +251,7 @@ func (j *job) view(includeResult bool) JobView {
 		Experiment: j.expID,
 		Run:        j.run,
 		Scale:      j.scale,
+		Campaign:   j.camp,
 		Error:      j.errMsg,
 		Submitted:  j.submitted,
 	}
@@ -241,6 +314,7 @@ type Server struct {
 	mu       sync.Mutex
 	jobs     map[string]*job
 	order    []*job // submission order, for listing and eviction
+	campDone []*job // terminal campaigns still holding their record stream
 	seq      int
 	draining bool
 	shards   []chan *job
@@ -287,6 +361,8 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
 	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleSubmitExperiment)
+	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
+	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignStream)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/prefetchers", s.handlePrefetchers)
@@ -387,10 +463,32 @@ func (s *Server) worker(shard chan *job) {
 	}
 }
 
+// retireCampaign enrolls a terminal campaign in the stream-retention window
+// and evicts the oldest streams past Config.MaxCampaignStreams. Job records
+// (and their summary results) are untouched — only the bulky NDJSON record
+// slices are freed.
+func (s *Server) retireCampaign(j *job) {
+	if j.kind != kindCampaign {
+		return
+	}
+	s.mu.Lock()
+	s.campDone = append(s.campDone, j)
+	var evict []*job
+	if n := len(s.campDone) - s.cfg.MaxCampaignStreams; n > 0 {
+		evict = s.campDone[:n:n]
+		s.campDone = append([]*job(nil), s.campDone[n:]...)
+	}
+	s.mu.Unlock()
+	for _, old := range evict {
+		old.feed.evict()
+	}
+}
+
 func (s *Server) runJob(j *job) {
 	if s.isDraining() || j.cancelRequested.Load() {
 		if j.finish(StatusCanceled, nil, "", "canceled before start") {
 			s.canceled.Add(1)
+			s.retireCampaign(j)
 		}
 		return
 	}
@@ -411,14 +509,17 @@ func (s *Server) runJob(j *job) {
 	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
 		if j.finish(StatusCanceled, nil, "", "canceled") {
 			s.canceled.Add(1)
+			s.retireCampaign(j)
 		}
 	case err != nil:
 		if j.finish(StatusFailed, nil, "", err.Error()) {
 			s.failed.Add(1)
+			s.retireCampaign(j)
 		}
 	default:
 		if j.finish(StatusDone, result, text, "") {
 			s.completed.Add(1)
+			s.retireCampaign(j)
 		}
 	}
 }
@@ -434,7 +535,7 @@ func (s *Server) execute(ctx context.Context, j *job) (result json.RawMessage, t
 	}()
 	switch j.kind {
 	case kindRun:
-		results, err := experiments.RunJobs(ctx, []experiments.Job{j.run.job()}, s.cfg.SimWorkers)
+		results, err := experiments.RunJobs(ctx, []experiments.Job{j.run.Job()}, s.cfg.SimWorkers)
 		if err != nil {
 			return nil, "", err
 		}
@@ -442,6 +543,20 @@ func (s *Server) execute(ctx context.Context, j *job) (result json.RawMessage, t
 		res.Ports = nil // live memory-system state is not part of the API
 		raw, err := marshalResult(res)
 		return raw, "", err
+	case kindCampaign:
+		var last json.RawMessage
+		eng := sweep.Engine{Workers: s.cfg.SimWorkers}
+		_, err := eng.Run(ctx, *j.camp, func(line json.RawMessage) error {
+			last = line
+			j.feed.append(line)
+			return nil
+		})
+		if err != nil {
+			return nil, "", err
+		}
+		// The engine's final record is the summary; it doubles as the
+		// JobView result so /v1/jobs/{id} answers without the full stream.
+		return last, "", nil
 	case kindExperiment:
 		e, ok := experiments.ExperimentByID(j.expID)
 		if !ok {
@@ -606,12 +721,98 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 	if !decodeBody(w, r, &spec, false) {
 		return
 	}
-	if err := spec.normalize(); err != nil {
+	if err := spec.Normalize(); err != nil {
 		httpError(w, http.StatusBadRequest, err.Error())
 		return
 	}
 	j := &job{kind: kindRun, run: &spec}
 	s.submit(w, j, shardKey(kindRun, &spec, s.cfg.JobWorkers))
+}
+
+func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
+	var spec sweep.Campaign
+	if !decodeBody(w, r, &spec, false) {
+		return
+	}
+	if err := spec.Validate(); err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	j := &job{kind: kindCampaign, camp: &spec, feed: newCampaignFeed()}
+	s.submit(w, j, shardKey(kindCampaign, &spec, s.cfg.JobWorkers))
+}
+
+// handleCampaignStream writes the campaign's NDJSON records. Without ?wait=
+// it returns a snapshot of the records so far (the complete stream once the
+// job is terminal); with ?wait= it keeps following live appends until the
+// job finishes or the window — clamped to Config.MaxWait — elapses.
+func (s *Server) handleCampaignStream(w http.ResponseWriter, r *http.Request) {
+	s.mu.Lock()
+	j, ok := s.jobs[r.PathValue("id")]
+	s.mu.Unlock()
+	if !ok || j.kind != kindCampaign {
+		httpError(w, http.StatusNotFound, "no such campaign")
+		return
+	}
+	if j.feed.isEvicted() {
+		httpError(w, http.StatusGone,
+			"campaign record stream evicted (retention cap); the summary remains at /v1/jobs/"+j.id)
+		return
+	}
+	wait, err := s.parseWait(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	w.Header().Set("Content-Type", "application/x-ndjson")
+	w.WriteHeader(http.StatusOK)
+	flusher, _ := w.(http.Flusher)
+	deadline := time.Now().Add(wait)
+	var timer *time.Timer
+	if wait > 0 {
+		timer = time.NewTimer(wait)
+		defer timer.Stop()
+	}
+	from := 0
+	for {
+		recs, changed := j.feed.next(from)
+		for _, rec := range recs {
+			w.Write(rec)
+			w.Write([]byte("\n"))
+		}
+		from += len(recs)
+		if len(recs) > 0 {
+			if flusher != nil {
+				flusher.Flush()
+			}
+			continue // drain everything available before blocking
+		}
+		select {
+		case <-j.done:
+			// Terminal: emit any records appended after our last read, then
+			// end the stream.
+			recs, _ := j.feed.next(from)
+			for _, rec := range recs {
+				w.Write(rec)
+				w.Write([]byte("\n"))
+			}
+			return
+		default:
+		}
+		if wait <= 0 || !time.Now().Before(deadline) {
+			return
+		}
+		select {
+		case <-changed:
+		case <-j.done:
+		case <-timer.C:
+			return
+		case <-r.Context().Done():
+			return
+		case <-s.drainCh: // don't hold Shutdown hostage to live follows
+			return
+		}
+	}
 }
 
 func (s *Server) handleSubmitExperiment(w http.ResponseWriter, r *http.Request) {
@@ -652,15 +853,12 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		httpError(w, http.StatusNotFound, "no such job")
 		return
 	}
-	if waitStr := r.URL.Query().Get("wait"); waitStr != "" {
-		d, err := time.ParseDuration(waitStr)
-		if err != nil {
-			httpError(w, http.StatusBadRequest, "wait: "+err.Error())
-			return
-		}
-		if d > time.Minute {
-			d = time.Minute
-		}
+	d, err := s.parseWait(r)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	if d > 0 {
 		t := time.NewTimer(d)
 		defer t.Stop()
 		select {
@@ -673,6 +871,28 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, j.view(true))
 }
 
+// parseWait reads the ?wait= long-poll window: absent means 0 (answer
+// immediately), negative durations are rejected, and anything above
+// Config.MaxWait is clamped so one request can pin a handler goroutine for
+// at most that long.
+func (s *Server) parseWait(r *http.Request) (time.Duration, error) {
+	waitStr := r.URL.Query().Get("wait")
+	if waitStr == "" {
+		return 0, nil
+	}
+	d, err := time.ParseDuration(waitStr)
+	if err != nil {
+		return 0, fmt.Errorf("wait: %v", err)
+	}
+	if d < 0 {
+		return 0, fmt.Errorf("wait: must be non-negative, got %s", d)
+	}
+	if d > s.cfg.MaxWait {
+		d = s.cfg.MaxWait
+	}
+	return d, nil
+}
+
 func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	s.mu.Lock()
 	j, ok := s.jobs[r.PathValue("id")]
@@ -683,6 +903,7 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 	}
 	j.cancelRequested.Store(true)
 	j.mu.Lock()
+	canceledQueued := false
 	switch {
 	case j.status == StatusQueued:
 		j.status = StatusCanceled
@@ -690,10 +911,14 @@ func (s *Server) handleCancelJob(w http.ResponseWriter, r *http.Request) {
 		j.finished = time.Now()
 		close(j.done)
 		s.canceled.Add(1)
+		canceledQueued = true
 	case j.status == StatusRunning && j.cancel != nil:
 		j.cancel()
 	}
 	j.mu.Unlock()
+	if canceledQueued {
+		s.retireCampaign(j)
+	}
 	writeJSON(w, http.StatusOK, j.view(true))
 }
 

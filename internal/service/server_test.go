@@ -74,10 +74,10 @@ func TestRunJobMatchesLibraryPath(t *testing.T) {
 
 	// The service result must be byte-identical to the library path.
 	norm := spec
-	if err := norm.normalize(); err != nil {
+	if err := norm.Normalize(); err != nil {
 		t.Fatal(err)
 	}
-	results, err := experiments.RunJobs(context.Background(), []experiments.Job{norm.job()}, 1)
+	results, err := experiments.RunJobs(context.Background(), []experiments.Job{norm.Job()}, 1)
 	if err != nil {
 		t.Fatal(err)
 	}

@@ -4,141 +4,28 @@ import (
 	"encoding/json"
 	"fmt"
 	"hash/fnv"
-	"math/bits"
 
-	"dspatch/internal/dram"
 	"dspatch/internal/experiments"
-	"dspatch/internal/sim"
-	"dspatch/internal/trace"
+	"dspatch/internal/sweep"
 )
 
-// Guardrails on untrusted request bodies. Generous next to the paper's full
-// scale (200k refs) while keeping a single request from pinning a worker for
-// hours.
+// Guardrails on untrusted request bodies. The per-run limits live with the
+// shared point vocabulary in internal/sweep (campaign axes expand into the
+// same Points this API accepts); the scale limits below are service-only.
 const (
-	maxRunLanes    = 8
-	maxRefs        = 5_000_000
-	minLLCBytes    = 1 << 16
-	maxLLCBytes    = 1 << 30
-	maxDRAMChans   = 4
+	maxRefs        = sweep.MaxRefs
 	maxPerCategory = 16
 	maxMPMixes     = 64
 )
 
 // RunSpec is the body of POST /v1/runs: one simulation of a workload mix.
-// Zero fields take the machine defaults of the paper's single-thread
-// configuration (or the multi-programmed one for multi-lane mixes), exactly
-// as sim.DefaultST/DefaultMP do, so a minimal {"workloads":["mcf"]} request
-// is already meaningful.
-type RunSpec struct {
-	Workloads []string `json:"workloads"`
-	Refs      int      `json:"refs,omitempty"`
-	Seed      int64    `json:"seed,omitempty"`
-	// L2 selects the prefetcher under test ("none" baseline by default);
-	// see GET /v1/prefetchers for the roster.
-	L2             string `json:"l2,omitempty"`
-	LLCBytes       int    `json:"llc_bytes,omitempty"`
-	DRAMChannels   int    `json:"dram_channels,omitempty"`
-	DRAMMTps       int    `json:"dram_mtps,omitempty"`
-	NoL1Stride     bool   `json:"no_l1_stride,omitempty"`
-	SMSPHTEntries  int    `json:"sms_pht_entries,omitempty"`
-	TrackPollution bool   `json:"track_pollution,omitempty"`
-}
-
-// normalize validates sp against the roster and guardrails and fills every
-// defaulted field in place, so the stored spec states the machine it ran on
-// and equal effective configurations share one canonical form.
-func (sp *RunSpec) normalize() error {
-	if len(sp.Workloads) == 0 {
-		return fmt.Errorf("workloads: at least one workload name is required")
-	}
-	if len(sp.Workloads) > maxRunLanes {
-		return fmt.Errorf("workloads: at most %d lanes per run, got %d", maxRunLanes, len(sp.Workloads))
-	}
-	for _, name := range sp.Workloads {
-		if _, ok := trace.ByName(name); !ok {
-			return fmt.Errorf("workloads: unknown workload %q (see GET /v1/workloads)", name)
-		}
-	}
-	if sp.L2 == "" {
-		sp.L2 = string(sim.PFNone)
-	}
-	if !sim.KnownPF(sim.PF(sp.L2)) {
-		return fmt.Errorf("l2: unknown prefetcher %q (see GET /v1/prefetchers)", sp.L2)
-	}
-	switch {
-	case sp.Refs < 0:
-		return fmt.Errorf("refs: must be non-negative, got %d", sp.Refs)
-	case sp.Refs == 0:
-		sp.Refs = 40_000
-	case sp.Refs > maxRefs:
-		return fmt.Errorf("refs: at most %d per run, got %d", maxRefs, sp.Refs)
-	}
-	if sp.Seed == 0 {
-		sp.Seed = 1
-	}
-	multi := len(sp.Workloads) > 1
-	switch {
-	case sp.LLCBytes < 0:
-		return fmt.Errorf("llc_bytes: must be non-negative, got %d", sp.LLCBytes)
-	case sp.LLCBytes == 0:
-		if multi {
-			sp.LLCBytes = 8 << 20
-		} else {
-			sp.LLCBytes = 2 << 20
-		}
-	case sp.LLCBytes < minLLCBytes || sp.LLCBytes > maxLLCBytes || bits.OnesCount(uint(sp.LLCBytes)) != 1:
-		// The 16-way LLC derives its set count as llc_bytes/1024, which the
-		// cache model requires to be a power of two.
-		return fmt.Errorf("llc_bytes: want a power of two in [%d, %d], got %d", minLLCBytes, maxLLCBytes, sp.LLCBytes)
-	}
-	if sp.DRAMChannels == 0 {
-		if multi {
-			sp.DRAMChannels = 2
-		} else {
-			sp.DRAMChannels = 1
-		}
-	}
-	if sp.DRAMChannels < 1 || sp.DRAMChannels > maxDRAMChans {
-		return fmt.Errorf("dram_channels: want 1..%d, got %d", maxDRAMChans, sp.DRAMChannels)
-	}
-	if sp.DRAMMTps == 0 {
-		sp.DRAMMTps = 2133
-	}
-	switch sp.DRAMMTps {
-	case 1600, 2133, 2400:
-	default:
-		return fmt.Errorf("dram_mtps: want 1600, 2133 or 2400, got %d", sp.DRAMMTps)
-	}
-	// The SMS pattern table is 16-way set-associative and its model requires
-	// a power-of-two set count, so entries must be 16 * 2^k.
-	if sp.SMSPHTEntries != 0 &&
-		(sp.SMSPHTEntries < 16 || sp.SMSPHTEntries > 1<<20 || bits.OnesCount(uint(sp.SMSPHTEntries)) != 1) {
-		return fmt.Errorf("sms_pht_entries: want 0 (default) or a power of two in [16, %d], got %d", 1<<20, sp.SMSPHTEntries)
-	}
-	return nil
-}
-
-// job converts a normalized spec into the engine's job form.
-func (sp *RunSpec) job() experiments.Job {
-	ws := make([]trace.Workload, len(sp.Workloads))
-	for i, name := range sp.Workloads {
-		ws[i], _ = trace.ByName(name)
-	}
-	return experiments.Job{
-		Workloads: ws,
-		Opt: sim.Options{
-			DRAM:           dram.DDR4(sp.DRAMChannels, sp.DRAMMTps),
-			LLCBytes:       sp.LLCBytes,
-			Refs:           sp.Refs,
-			Seed:           sp.Seed,
-			L2:             sim.PF(sp.L2),
-			NoL1Stride:     sp.NoL1Stride,
-			SMSPHTEntries:  sp.SMSPHTEntries,
-			TrackPollution: sp.TrackPollution,
-		},
-	}
-}
+// It is the campaign subsystem's point vocabulary (sweep.Point) verbatim, so
+// a /v1/runs body, a campaign axis expansion and a library Simulate call all
+// describe machines in exactly the same terms. Zero fields take the machine
+// defaults of the paper's single-thread configuration (or the
+// multi-programmed one for multi-lane mixes), so a minimal
+// {"workloads":["mcf"]} request is already meaningful.
+type RunSpec = sweep.Point
 
 // ScaleSpec is the body of POST /v1/experiments/{id}: the scale knobs of the
 // experiment engine. The zero value is the laptop-sized quick scale;
@@ -194,7 +81,7 @@ func (sp *ScaleSpec) scale() experiments.Scale {
 // shardKey hashes a normalized spec to a worker shard, so identical
 // submissions land on the same worker and are served back-to-back from the
 // memo instead of simulating twice on two workers. kind disambiguates a run
-// from an experiment that happens to encode identically.
+// from an experiment (or campaign) that happens to encode identically.
 func shardKey(kind string, spec any, shards int) int {
 	h := fnv.New32a()
 	h.Write([]byte(kind))

@@ -52,13 +52,33 @@ type Options struct {
 // algorithms, timing models, Result fields — so persistent caches keyed on
 // simulation inputs (experiments' -cache-dir) discard entries computed by
 // older behaviour instead of serving them as current.
-const ResultVersion = 1
+//
+// Version 2: multi-programmed lane seeds are derived by LaneSeed's bit mixer
+// instead of the old linear Seed + lane*104729 stride, so lanes > 0 of every
+// multi-lane run stream differently than version 1 did.
+const ResultVersion = 2
 
-// LaneSeedStride separates the generator seeds of a multi-programmed run's
-// lanes: lane i streams from Options.Seed + i*LaneSeedStride. Exported so
-// tools reasoning about which (workload, seed) streams a run touches (the
-// CLI's imported-trace guards) use the same derivation.
-const LaneSeedStride = 104729
+// LaneSeed derives the generator seed of lane i of a run whose Options.Seed
+// is base. Lane 0 always streams from base itself, so single-thread results
+// are a pure function of Options.Seed. Higher lanes mix the lane index into
+// the seed with a splitmix64-style finalizer rather than a linear stride:
+// the old derivation base + i*104729 made (base, lane 1) and
+// (base+104729, lane 0) share one (workload, seed) stream, silently aliasing
+// lanes across the base-seed grids campaign sweeps run. Exported so tools
+// reasoning about which (workload, seed) streams a run touches (the CLI's
+// imported-trace guards) use the same derivation.
+func LaneSeed(base int64, lane int) int64 {
+	if lane == 0 {
+		return base
+	}
+	h := uint64(base) ^ uint64(lane)*0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return int64(h)
+}
 
 // DefaultST returns the paper's single-thread configuration: one core, 2MB
 // LLC, one DDR4-2133 channel.
@@ -160,7 +180,7 @@ func RunCtx(ctx context.Context, ws []trace.Workload, opt Options) (Result, erro
 	lanes := make([]*lane, n)
 	for i := 0; i < n; i++ {
 		ad := &memAdapter{port: sys.Port(i)}
-		laneSeed := opt.Seed + int64(i)*LaneSeedStride
+		laneSeed := LaneSeed(opt.Seed, i)
 		var gen trace.Generator
 		if opt.directGeneration {
 			gen = ws[i].Build(laneSeed)

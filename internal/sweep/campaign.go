@@ -1,0 +1,353 @@
+// Package sweep turns the repo's hand-coded figure functions inside out: a
+// declarative campaign names the axes of a parameter sweep and the engine
+// expands it into simulation jobs on the shared experiment engine, so any
+// multi-axis question — speedup across bandwidth levels, storage budgets,
+// core counts, prefetcher pairings — is a JSON spec instead of a new Go
+// function. Every point flows through the experiment engine's worker pool,
+// in-process memo and persistent disk cache, which makes interrupted
+// campaigns resumable for free: re-submitting a half-finished campaign
+// re-simulates only the missing points.
+//
+// # Campaign spec schema
+//
+// A campaign is a single JSON object:
+//
+//	{
+//	  "name": "bandwidth-sweep",            // optional label, echoed in records
+//	  "base": {                             // optional: fixed Point fields applied to every point
+//	    "refs": 40000, "seed": 1
+//	  },
+//	  "axes": {                             // each axis lists the values to sweep; empty/absent
+//	    "workloads": ["mcf", ["a","b"]],    //   axes inherit the base value. workloads entries are
+//	    "seeds": [1, 2, 3],                 //   mixes: a string is a 1-lane mix, an array is a
+//	    "refs": [20000, 40000],             //   multi-programmed mix (up to 8 lanes).
+//	    "llc_bytes": [1048576, 2097152],
+//	    "dram_channels": [1, 2],
+//	    "dram_mtps": [1600, 2133, 2400],
+//	    "sms_pht_entries": [256, 16384],
+//	    "l2": ["none", "bop", "sms", "spp"]
+//	  },
+//	  "sample": {                           // optional; default full grid
+//	    "strategy": "random",               // "grid" (default) or "random"
+//	    "points": 64,                       // random: sample size (required)
+//	    "seed": 7                           // random: sampling seed (default 1, reproducible)
+//	  },
+//	  "baseline_l2": "none",                // default "none": each point's speedup is computed
+//	                                        //   against the same point with l2 = baseline_l2
+//	  "max_points": 1000                    // optional cap; a grid larger than it is an error
+//	}
+//
+// Expansion order is canonical and documented: workloads, seeds, refs,
+// llc_bytes, dram_channels, dram_mtps, sms_pht_entries, l2 — outermost
+// first, l2 fastest — so the same spec always yields the same point indices,
+// and random sampling (a seeded draw of grid indices, emitted in ascending
+// index order) is reproducible byte for byte.
+//
+// # Result stream
+//
+// The engine emits NDJSON records as points complete, never buffering the
+// whole grid: one "campaign" header, one "point" record per point in index
+// order, and a final "summary" record with per-axis marginal geomean
+// speedups and dropped-point accounting. Point records are a pure function
+// of the spec (byte-identical across runs and front ends); only the summary
+// carries timing and cache-hit telemetry.
+package sweep
+
+import (
+	"encoding/json"
+	"fmt"
+	"math"
+	"math/rand"
+	"sort"
+	"strconv"
+	"strings"
+
+	"dspatch/internal/sim"
+)
+
+// HardMaxPoints bounds any campaign's expanded point count, whatever the
+// spec says: the engine materializes sampled points (not the grid), but
+// records and marginal pools are O(points).
+const HardMaxPoints = 1 << 16
+
+// Strategy names for Sample.Strategy.
+const (
+	StrategyGrid   = "grid"
+	StrategyRandom = "random"
+)
+
+// Mix is one workloads-axis value: a workload mix of 1..8 lanes. It
+// unmarshals from either a bare string ("mcf", a 1-lane mix) or an array of
+// names (["a","b","c","d"], the paper's multi-programmed machine).
+type Mix []string
+
+// UnmarshalJSON accepts "name" or ["name", ...].
+func (m *Mix) UnmarshalJSON(data []byte) error {
+	t := strings.TrimSpace(string(data))
+	if strings.HasPrefix(t, `"`) {
+		var s string
+		if err := json.Unmarshal(data, &s); err != nil {
+			return err
+		}
+		*m = Mix{s}
+		return nil
+	}
+	var ws []string
+	if err := json.Unmarshal(data, &ws); err != nil {
+		return err
+	}
+	*m = Mix(ws)
+	return nil
+}
+
+// Axes names the swept dimensions of a campaign. An empty axis is not swept:
+// every point inherits that field from Campaign.Base (or its Normalize
+// default).
+type Axes struct {
+	Workloads     []Mix    `json:"workloads,omitempty"`
+	Seeds         []int64  `json:"seeds,omitempty"`
+	Refs          []int    `json:"refs,omitempty"`
+	LLCBytes      []int    `json:"llc_bytes,omitempty"`
+	DRAMChannels  []int    `json:"dram_channels,omitempty"`
+	DRAMMTps      []int    `json:"dram_mtps,omitempty"`
+	SMSPHTEntries []int    `json:"sms_pht_entries,omitempty"`
+	L2            []string `json:"l2,omitempty"`
+}
+
+// Sample selects how the axis grid is turned into points.
+type Sample struct {
+	// Strategy is "grid" (every combination, the default) or "random" (a
+	// seeded, reproducible draw of Points distinct grid indices).
+	Strategy string `json:"strategy,omitempty"`
+	// Points is the random sample size (ignored for grid).
+	Points int `json:"points,omitempty"`
+	// Seed drives the random draw (default 1). The same spec and seed always
+	// select the same points.
+	Seed int64 `json:"seed,omitempty"`
+}
+
+// Campaign is a declarative parameter sweep; see the package comment for the
+// JSON schema.
+type Campaign struct {
+	Name string `json:"name,omitempty"`
+	// Base supplies the fixed fields of every point. Fields also named by an
+	// axis are overwritten per point.
+	Base Point `json:"base,omitempty"`
+	Axes Axes  `json:"axes"`
+	// Sample defaults to the full grid.
+	Sample Sample `json:"sample,omitempty"`
+	// BaselineL2 designates the prefetcher whose runs serve as each point's
+	// speedup baseline (default "none"). Points whose own l2 equals it are
+	// emitted as baseline records with no speedup field.
+	BaselineL2 string `json:"baseline_l2,omitempty"`
+	// MaxPoints optionally caps the campaign (and bounds a grid strategy:
+	// a larger grid is an error, pointing at random sampling).
+	MaxPoints int `json:"max_points,omitempty"`
+}
+
+// axis is one expansion dimension: n values, applied to a point by index.
+// Axes with n == 1 and no values (unswept) apply nothing.
+type axis struct {
+	name  string
+	n     int
+	set   func(p *Point, i int)
+	label func(i int) string
+}
+
+// axes returns the campaign's dimensions in canonical expansion order,
+// outermost first. Unswept axes appear with n = 1 so the mixed-radix index
+// arithmetic stays uniform.
+func (c *Campaign) axes() []axis {
+	one := func(p *Point, i int) {}
+	mk := func(name string, n int, set func(p *Point, i int), label func(i int) string) axis {
+		if n == 0 {
+			return axis{name: name, n: 1, set: one, label: func(int) string { return "" }}
+		}
+		return axis{name: name, n: n, set: set, label: label}
+	}
+	a := c.Axes
+	return []axis{
+		mk("workloads", len(a.Workloads),
+			func(p *Point, i int) { p.Workloads = append([]string(nil), a.Workloads[i]...) },
+			func(i int) string { return strings.Join(a.Workloads[i], "+") }),
+		mk("seeds", len(a.Seeds),
+			func(p *Point, i int) { p.Seed = a.Seeds[i] },
+			func(i int) string { return strconv.FormatInt(a.Seeds[i], 10) }),
+		mk("refs", len(a.Refs),
+			func(p *Point, i int) { p.Refs = a.Refs[i] },
+			func(i int) string { return strconv.Itoa(a.Refs[i]) }),
+		mk("llc_bytes", len(a.LLCBytes),
+			func(p *Point, i int) { p.LLCBytes = a.LLCBytes[i] },
+			func(i int) string { return strconv.Itoa(a.LLCBytes[i]) }),
+		mk("dram_channels", len(a.DRAMChannels),
+			func(p *Point, i int) { p.DRAMChannels = a.DRAMChannels[i] },
+			func(i int) string { return strconv.Itoa(a.DRAMChannels[i]) }),
+		mk("dram_mtps", len(a.DRAMMTps),
+			func(p *Point, i int) { p.DRAMMTps = a.DRAMMTps[i] },
+			func(i int) string { return strconv.Itoa(a.DRAMMTps[i]) }),
+		mk("sms_pht_entries", len(a.SMSPHTEntries),
+			func(p *Point, i int) { p.SMSPHTEntries = a.SMSPHTEntries[i] },
+			func(i int) string { return strconv.Itoa(a.SMSPHTEntries[i]) }),
+		mk("l2", len(a.L2),
+			func(p *Point, i int) { p.L2 = a.L2[i] },
+			func(i int) string { return a.L2[i] }),
+	}
+}
+
+// GridSize returns the full cross-product size of the axes (1 for an
+// axis-free campaign: the base point alone), saturating at MaxInt64 for
+// grids too large to count — expansion rejects those before any sampling.
+func (c *Campaign) GridSize() int64 {
+	total, err := c.gridSizeChecked()
+	if err != nil {
+		return math.MaxInt64
+	}
+	return total
+}
+
+// gridSizeChecked is GridSize with overflow surfaced: a partial product must
+// never be used as a sampling bound, or random draws would silently exclude
+// the inner axes' combinations.
+func (c *Campaign) gridSizeChecked() (int64, error) {
+	total := int64(1)
+	for _, ax := range c.axes() {
+		n := int64(ax.n)
+		if total > math.MaxInt64/n {
+			return 0, fmt.Errorf("sweep: grid size overflows int64; shrink the axes")
+		}
+		total *= n
+	}
+	return total, nil
+}
+
+// cap returns the campaign's effective point cap.
+func (c *Campaign) cap() int {
+	if c.MaxPoints > 0 && c.MaxPoints < HardMaxPoints {
+		return c.MaxPoints
+	}
+	return HardMaxPoints
+}
+
+// baselineL2 returns the designated baseline prefetcher name.
+func (c *Campaign) baselineL2() string {
+	if c.BaselineL2 != "" {
+		return c.BaselineL2
+	}
+	return string(sim.PFNone)
+}
+
+// point materializes grid index idx into a normalized Point.
+func (c *Campaign) point(idx int64) (Point, error) {
+	p := c.Base
+	p.Workloads = append([]string(nil), c.Base.Workloads...)
+	axes := c.axes()
+	for i := len(axes) - 1; i >= 0; i-- {
+		ax := axes[i]
+		ax.set(&p, int(idx%int64(ax.n)))
+		idx /= int64(ax.n)
+	}
+	if err := p.Normalize(); err != nil {
+		return p, err
+	}
+	return p, nil
+}
+
+// indices returns the sorted grid indices the campaign's sampling strategy
+// selects. Grid returns every index; random draws Sample.Points distinct
+// indices with a seeded generator (Floyd's algorithm, so huge grids are
+// never materialized) and sorts them so emission order is canonical.
+func (c *Campaign) indices() ([]int64, error) {
+	total, err := c.gridSizeChecked()
+	if err != nil {
+		return nil, err
+	}
+	switch c.Sample.Strategy {
+	case "", StrategyGrid:
+		if total > int64(c.cap()) {
+			return nil, fmt.Errorf("sweep: grid has %d points, cap is %d; raise max_points or use random sampling", total, c.cap())
+		}
+		out := make([]int64, total)
+		for i := range out {
+			out[i] = int64(i)
+		}
+		return out, nil
+	case StrategyRandom:
+		k := c.Sample.Points
+		if k <= 0 {
+			return nil, fmt.Errorf("sweep: random sampling requires sample.points > 0")
+		}
+		if k > c.cap() {
+			return nil, fmt.Errorf("sweep: sample.points %d exceeds cap %d", k, c.cap())
+		}
+		if int64(k) >= total {
+			// Sample covers the grid: degenerate to the full grid.
+			out := make([]int64, total)
+			for i := range out {
+				out[i] = int64(i)
+			}
+			return out, nil
+		}
+		seed := c.Sample.Seed
+		if seed == 0 {
+			seed = 1
+		}
+		r := rand.New(rand.NewSource(seed))
+		// Floyd's F2: k distinct values in [0, total) without materializing
+		// the grid; deterministic for a fixed seed.
+		chosen := make(map[int64]struct{}, k)
+		for j := total - int64(k); j < total; j++ {
+			t := r.Int63n(j + 1)
+			if _, ok := chosen[t]; ok {
+				t = j
+			}
+			chosen[t] = struct{}{}
+		}
+		out := make([]int64, 0, k)
+		for idx := range chosen {
+			out = append(out, idx)
+		}
+		sort.Slice(out, func(i, j int) bool { return out[i] < out[j] })
+		return out, nil
+	default:
+		return nil, fmt.Errorf("sweep: unknown sample.strategy %q (want %q or %q)",
+			c.Sample.Strategy, StrategyGrid, StrategyRandom)
+	}
+}
+
+// Expand validates the campaign and materializes its sampled points in
+// canonical order, returning the points alongside their grid indices.
+func (c *Campaign) Expand() ([]int64, []Point, error) {
+	if c.BaselineL2 != "" && !sim.KnownPF(sim.PF(c.BaselineL2)) {
+		return nil, nil, fmt.Errorf("sweep: baseline_l2: unknown prefetcher %q", c.BaselineL2)
+	}
+	if c.MaxPoints < 0 {
+		return nil, nil, fmt.Errorf("sweep: max_points must be non-negative, got %d", c.MaxPoints)
+	}
+	if c.Sample.Points < 0 {
+		return nil, nil, fmt.Errorf("sweep: sample.points must be non-negative, got %d", c.Sample.Points)
+	}
+	idxs, err := c.indices()
+	if err != nil {
+		return nil, nil, err
+	}
+	pts := make([]Point, len(idxs))
+	for i, idx := range idxs {
+		p, err := c.point(idx)
+		if err != nil {
+			return nil, nil, fmt.Errorf("sweep: point %d: %w", idx, err)
+		}
+		if p.TrackPollution {
+			// Pollution-tracking runs bypass the engine memo, which would
+			// break the resume-for-free guarantee; keep them out of campaigns.
+			return nil, nil, fmt.Errorf("sweep: point %d: track_pollution is not supported in campaigns", idx)
+		}
+		pts[i] = p
+	}
+	return idxs, pts, nil
+}
+
+// Validate checks the campaign without keeping the expansion.
+func (c *Campaign) Validate() error {
+	_, _, err := c.Expand()
+	return err
+}

@@ -1,0 +1,303 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"math"
+	"time"
+
+	"dspatch/internal/experiments"
+	"dspatch/internal/sim"
+	"dspatch/internal/stats"
+)
+
+// Header is the first NDJSON record of a campaign stream: the resolved shape
+// of the sweep. It is a pure function of the spec.
+type Header struct {
+	Type       string `json:"type"` // "campaign"
+	Name       string `json:"name,omitempty"`
+	Strategy   string `json:"strategy"`
+	Grid       int64  `json:"grid"`   // full cross-product size
+	Points     int    `json:"points"` // points this campaign will emit
+	BaselineL2 string `json:"baseline_l2"`
+}
+
+// Metrics is the per-point slice of sim.Result a campaign reports (live port
+// state and pollution fractions are not part of the stream).
+type Metrics struct {
+	IPC              []float64 `json:"ipc"`
+	Cycles           uint64    `json:"cycles"`
+	Coverage         float64   `json:"coverage"`
+	MispredRate      float64   `json:"mispred_rate"`
+	Accuracy         float64   `json:"accuracy"`
+	AvgBandwidthGBps float64   `json:"avg_bw_gbps"`
+	PeakBandwidth    float64   `json:"peak_bw_gbps"`
+}
+
+func metricsOf(r sim.Result) Metrics {
+	return Metrics{
+		IPC:              r.IPC,
+		Cycles:           r.Cycles,
+		Coverage:         r.Coverage,
+		MispredRate:      r.MispredRate,
+		Accuracy:         r.Accuracy,
+		AvgBandwidthGBps: r.AvgBandwidthGBps,
+		PeakBandwidth:    r.PeakBandwidth,
+	}
+}
+
+// PointRecord is one completed point. Records are emitted in canonical index
+// order and are byte-identical across runs of the same spec: they carry no
+// timing or cache provenance.
+type PointRecord struct {
+	Type  string `json:"type"` // "point"
+	Index int64  `json:"index"`
+	Point Point  `json:"point"`
+	// Metrics of this point's own run.
+	Metrics Metrics `json:"metrics"`
+	// Speedup holds per-lane IPC ratios against the baseline partner (this
+	// point with l2 = baseline_l2); absent on baseline points.
+	Speedup []float64 `json:"speedup,omitempty"`
+	// Baseline marks points whose own l2 is the designated baseline.
+	Baseline bool `json:"baseline,omitempty"`
+}
+
+// EngineDelta is the experiment-engine work this campaign run caused —
+// the resumability ledger: a fully-cached resubmission shows Sims == 0.
+type EngineDelta struct {
+	Sims     uint64 `json:"sims"`
+	MemoHits uint64 `json:"memo_hits"`
+	DiskHits uint64 `json:"disk_hits"`
+}
+
+// Summary is the final NDJSON record: cross-point aggregation plus run
+// telemetry. Everything except Engine and ElapsedMS is deterministic.
+type Summary struct {
+	Type           string `json:"type"` // "summary"
+	Name           string `json:"name,omitempty"`
+	Points         int    `json:"points"`
+	BaselinePoints int    `json:"baseline_points"`
+	// Dropped counts degenerate lane ratios (zero/non-finite speedups)
+	// excluded from every aggregate below.
+	Dropped int `json:"dropped"`
+	// GeomeanSpeedupPct aggregates every non-baseline lane ratio; absent
+	// when the campaign had none (all-baseline sweeps).
+	GeomeanSpeedupPct *float64 `json:"geomean_speedup_pct,omitempty"`
+	// Marginals[axis][value] is the geomean speedup (%) of the non-baseline
+	// points carrying that axis value — one marginal per swept axis.
+	Marginals map[string]map[string]float64 `json:"marginals,omitempty"`
+	// Engine and ElapsedMS are telemetry, not results: they differ between a
+	// cold run and a resumed one.
+	Engine    EngineDelta `json:"engine"`
+	ElapsedMS int64       `json:"elapsed_ms"`
+}
+
+// Engine executes campaigns on the process-shared experiment engine.
+// The zero value is ready to use.
+type Engine struct {
+	// Workers is the simulation parallelism per batch (0 = GOMAXPROCS).
+	Workers int
+	// BatchSize bounds how many points are in flight per experiments.RunJobs
+	// call — the streaming granularity (0 = a multiple of Workers). Results
+	// are identical at any batch size.
+	BatchSize int
+}
+
+func (e *Engine) batchSize() int {
+	if e.BatchSize > 0 {
+		return e.BatchSize
+	}
+	w := e.Workers
+	if w <= 0 {
+		w = 8
+	}
+	b := 4 * w
+	if b < 16 {
+		b = 16
+	}
+	if b > 256 {
+		b = 256
+	}
+	return b
+}
+
+// Run expands c and simulates every point, calling emit with each marshaled
+// NDJSON record (header, points in index order, summary) as it becomes
+// available. Batches of points flow through experiments.RunJobs, so every
+// point shares the engine's memo and persistent disk cache with every other
+// front end — a resubmitted campaign re-simulates only points the caches
+// have never seen. A non-nil error from emit or ctx aborts the campaign.
+func (e *Engine) Run(ctx context.Context, c Campaign, emit func(json.RawMessage) error) (Summary, error) {
+	start := time.Now()
+	c0 := experiments.EngineCounters()
+	idxs, pts, err := c.Expand()
+	if err != nil {
+		return Summary{}, err
+	}
+	bl := c.baselineL2()
+	if err := emitRec(emit, Header{
+		Type:       "campaign",
+		Name:       c.Name,
+		Strategy:   strategyName(c.Sample.Strategy),
+		Grid:       c.GridSize(),
+		Points:     len(pts),
+		BaselineL2: bl,
+	}); err != nil {
+		return Summary{}, err
+	}
+
+	axes := c.axes()
+	allRatios := make([]float64, 0, len(pts))
+	marginPools := map[string]map[string][]float64{}
+	baselinePoints := 0
+
+	B := e.batchSize()
+	for lo := 0; lo < len(pts); lo += B {
+		hi := lo + B
+		if hi > len(pts) {
+			hi = len(pts)
+		}
+		// One RunJobs batch: each point's own job plus its baseline partner,
+		// deduplicated within the batch. Cross-batch repeats (the same
+		// baseline needed again later) are free memo hits.
+		jobs := make([]experiments.Job, 0, 2*(hi-lo))
+		at := map[string]int{}
+		add := func(p Point) int {
+			k := pointKey(p)
+			if i, ok := at[k]; ok {
+				return i
+			}
+			at[k] = len(jobs)
+			jobs = append(jobs, p.Job())
+			return len(jobs) - 1
+		}
+		type slot struct{ self, base int }
+		slots := make([]slot, hi-lo)
+		for i, p := range pts[lo:hi] {
+			if p.L2 == bl {
+				slots[i] = slot{self: add(p), base: -1}
+				continue
+			}
+			q := p
+			q.L2 = bl
+			slots[i] = slot{base: add(q), self: add(p)}
+		}
+		results, err := experiments.RunJobs(ctx, jobs, e.Workers)
+		if err != nil {
+			return Summary{}, err
+		}
+		for i, p := range pts[lo:hi] {
+			rec := PointRecord{
+				Type:    "point",
+				Index:   idxs[lo+i],
+				Point:   p,
+				Metrics: metricsOf(results[slots[i].self]),
+			}
+			if slots[i].base < 0 {
+				rec.Baseline = true
+				baselinePoints++
+			} else {
+				rec.Speedup = sim.Speedup(results[slots[i].base], results[slots[i].self])
+				allRatios = append(allRatios, rec.Speedup...)
+				coord := idxs[lo+i]
+				for a := len(axes) - 1; a >= 0; a-- {
+					ax := axes[a]
+					vi := int(coord % int64(ax.n))
+					coord /= int64(ax.n)
+					if ax.n < 2 {
+						continue
+					}
+					pool := marginPools[ax.name]
+					if pool == nil {
+						pool = map[string][]float64{}
+						marginPools[ax.name] = pool
+					}
+					pool[ax.label(vi)] = append(pool[ax.label(vi)], rec.Speedup...)
+				}
+			}
+			if err := emitRec(emit, rec); err != nil {
+				return Summary{}, err
+			}
+		}
+	}
+
+	sum := Summary{
+		Type:           "summary",
+		Name:           c.Name,
+		Points:         len(pts),
+		BaselinePoints: baselinePoints,
+	}
+	kept, dropped := stats.FiniteRatios(allRatios)
+	sum.Dropped = dropped
+	if len(kept) > 0 {
+		g := stats.GeomeanSpeedupPct(kept)
+		sum.GeomeanSpeedupPct = &g
+	}
+	for name, pool := range marginPools {
+		for label, ratios := range pool {
+			g := stats.GeomeanSpeedupPct(ratios)
+			if math.IsNaN(g) {
+				continue
+			}
+			if sum.Marginals == nil {
+				sum.Marginals = map[string]map[string]float64{}
+			}
+			if sum.Marginals[name] == nil {
+				sum.Marginals[name] = map[string]float64{}
+			}
+			sum.Marginals[name][label] = g
+		}
+	}
+	c1 := experiments.EngineCounters()
+	sum.Engine = EngineDelta{
+		Sims:     c1.Sims - c0.Sims,
+		MemoHits: c1.MemoHits - c0.MemoHits,
+		DiskHits: c1.DiskHits - c0.DiskHits,
+	}
+	sum.ElapsedMS = time.Since(start).Milliseconds()
+	if err := emitRec(emit, sum); err != nil {
+		return Summary{}, err
+	}
+	return sum, nil
+}
+
+func strategyName(s string) string {
+	if s == "" {
+		return StrategyGrid
+	}
+	return s
+}
+
+// pointKey is the canonical identity of a normalized point within a batch.
+func pointKey(p Point) string {
+	b, err := json.Marshal(p)
+	if err != nil {
+		panic(fmt.Sprintf("sweep: marshal point: %v", err))
+	}
+	return string(b)
+}
+
+func emitRec(emit func(json.RawMessage) error, v any) error {
+	if emit == nil {
+		return nil
+	}
+	line, err := json.Marshal(v)
+	if err != nil {
+		return fmt.Errorf("sweep: marshal record: %w", err)
+	}
+	return emit(line)
+}
+
+// NDJSONEmitter adapts an io.Writer into an emit callback: one record per
+// line, flushed to w as it completes.
+func NDJSONEmitter(w io.Writer) func(json.RawMessage) error {
+	return func(line json.RawMessage) error {
+		if _, err := w.Write(line); err != nil {
+			return err
+		}
+		_, err := w.Write([]byte("\n"))
+		return err
+	}
+}
