@@ -13,8 +13,9 @@ import (
 )
 
 // benchSchema versions the BENCH_*.json layout; bump it when fields change
-// so trajectory tooling can tell files apart.
-const benchSchema = "dspatch-bench/1"
+// so trajectory tooling can tell files apart. /2 added the campaign series
+// (lockstep batching vs serial); `-bench-diff` still reads /1 files.
+const benchSchema = "dspatch-bench/2"
 
 // benchRepeats is how many times each configuration runs; the fastest wall
 // time wins, which is the standard way to shave scheduler noise off
@@ -36,18 +37,33 @@ type BenchConfig struct {
 	BytesPerRef  float64 `json:"bytes_per_ref"`  // heap bytes / total refs
 }
 
+// BenchCampaign measures the same multi-config campaign executed two ways:
+// lockstep-batched over one trace walk (sim.RunBatch) and config-at-a-time
+// (serial sim.Run). The delta is the one-pass scheduling win — same machines,
+// same refs, same results.
+type BenchCampaign struct {
+	Workload        string  `json:"workload"`
+	Configs         int     `json:"configs"`
+	RefsPerConfig   int     `json:"refs_per_config"`
+	NsPerRefBatch   float64 `json:"campaign_ns_per_ref"`        // batched wall / (configs*refs)
+	NsPerRefSerial  float64 `json:"campaign_ns_per_ref_serial"` // serial wall / (configs*refs)
+	BatchSpeedupPct float64 `json:"campaign_batch_speedup_pct"` // 100*(serial-batch)/serial
+}
+
 // BenchFile is the machine-readable perf trajectory point `-bench` emits.
 // Compare two of them with `benchstat` after converting (see README) or
-// simply diff the refs_per_sec columns.
+// simply diff the refs_per_sec columns. Campaign is nil in dspatch-bench/1
+// files.
 type BenchFile struct {
-	Schema     string        `json:"schema"`
-	Date       string        `json:"date"` // RFC 3339, UTC
-	GoVersion  string        `json:"go_version"`
-	GOOS       string        `json:"goos"`
-	GOARCH     string        `json:"goarch"`
-	GOMAXPROCS int           `json:"gomaxprocs"`
-	Repeats    int           `json:"repeats"`
-	Configs    []BenchConfig `json:"configs"`
+	Schema     string         `json:"schema"`
+	Date       string         `json:"date"` // RFC 3339, UTC
+	GoVersion  string         `json:"go_version"`
+	GOOS       string         `json:"goos"`
+	GOARCH     string         `json:"goarch"`
+	GOMAXPROCS int            `json:"gomaxprocs"`
+	Repeats    int            `json:"repeats"`
+	Configs    []BenchConfig  `json:"configs"`
+	Campaign   *BenchCampaign `json:"campaign,omitempty"`
 }
 
 // benchPlan returns the fixed roster of measured configurations: the
@@ -96,6 +112,76 @@ func benchNeedsLongerTrace(m *trace.Materialized, refs int) (bool, int) {
 		}
 	}
 	return false, refs
+}
+
+// benchCampaignRoster is the heterogeneous config set for the campaign
+// series: four prefetchers crossed with two LLC sizes, all sharing one
+// (workload, seed, refs) trace identity so they qualify for lockstep
+// batching.
+func benchCampaignRoster(refs int) []sim.Options {
+	pfs := []sim.PF{sim.PFNone, sim.PFSPP, sim.PFDSPatch, sim.PFDSPatchSPP}
+	llcs := []int{1 << 20, 2 << 20}
+	var opts []sim.Options
+	for _, llc := range llcs {
+		for _, pf := range pfs {
+			o := sim.DefaultST()
+			o.Refs = refs
+			o.L2 = pf
+			o.LLCBytes = llc
+			opts = append(opts, o)
+		}
+	}
+	return opts
+}
+
+// benchCampaign measures the batched-vs-serial campaign delta: the same
+// config roster over the same tpcc trace, once through sim.RunBatch (one
+// trace walk feeds every machine) and once config-at-a-time. The trace is
+// materialized before timing so neither leg pays generation cost.
+func benchCampaign(refs int, stdout io.Writer) (*BenchCampaign, error) {
+	w, ok := trace.ByName("tpcc")
+	if !ok {
+		return nil, fmt.Errorf("bench: unknown workload %q", "tpcc")
+	}
+	ws := []trace.Workload{w}
+	opts := benchCampaignRoster(refs)
+	// Warm the shared recording so the first leg measured does not also pay
+	// the one-time trace generation the second leg would then skip.
+	sim.Run(ws, opts[0])
+
+	total := float64(refs * len(opts))
+	bestBatch, bestSerial := int64(1<<63-1), int64(1<<63-1)
+	for rep := 0; rep < benchRepeats; rep++ {
+		// Collect before each leg so neither schedule is billed for the
+		// other's garbage — the series measures scheduling, not GC cross-talk.
+		runtime.GC()
+		start := time.Now()
+		sim.RunBatch(ws, opts)
+		if ns := time.Since(start).Nanoseconds(); ns < bestBatch {
+			bestBatch = ns
+		}
+		runtime.GC()
+		start = time.Now()
+		for _, o := range opts {
+			sim.Run(ws, o)
+		}
+		if ns := time.Since(start).Nanoseconds(); ns < bestSerial {
+			bestSerial = ns
+		}
+	}
+	c := &BenchCampaign{
+		Workload:       "tpcc",
+		Configs:        len(opts),
+		RefsPerConfig:  refs,
+		NsPerRefBatch:  float64(bestBatch) / total,
+		NsPerRefSerial: float64(bestSerial) / total,
+	}
+	if bestSerial > 0 {
+		c.BatchSpeedupPct = 100 * float64(bestSerial-bestBatch) / float64(bestSerial)
+	}
+	fmt.Fprintf(stdout, "%-22s %8d refs x%d  batch %7.1f ns/ref  serial %7.1f ns/ref  %+.1f%%\n",
+		"campaign-tpcc", refs, len(opts), c.NsPerRefBatch, c.NsPerRefSerial, c.BatchSpeedupPct)
+	return c, nil
 }
 
 // runBench measures the plan and writes the trajectory point to path (or
@@ -164,6 +250,12 @@ func runBench(refs int, path string, stdout io.Writer) (string, error) {
 		fmt.Fprintf(stdout, "%-22s %8d refs x%d  %10.0f refs/s  %7.1f ns/ref  %6.2f allocs/ref\n",
 			c.name, refs, len(ws), best.RefsPerSec, best.NsPerRef, best.AllocsPerRef)
 	}
+
+	campaign, err := benchCampaign(refs, stdout)
+	if err != nil {
+		return "", err
+	}
+	file.Campaign = campaign
 
 	if path == "" {
 		path = "BENCH_" + now.Format("2006-01-02") + ".json"

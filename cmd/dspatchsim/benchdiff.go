@@ -61,7 +61,39 @@ func runBenchDiff(oldPath, newPath string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "\n(negative delta = faster; refs/core old %d, new %d; hosts may differ)\n",
 		refsOf(oldFile), refsOf(newFile))
+	writeCampaignDiff(w, oldFile.Campaign, newFile.Campaign)
 	return nil
+}
+
+// writeCampaignDiff renders the campaign (batched vs serial) series when the
+// new point carries one. dspatch-bench/1 files have no campaign section, so
+// the old side degrades to "—" rather than erroring.
+func writeCampaignDiff(w io.Writer, oldC, newC *BenchCampaign) {
+	if newC == nil {
+		return
+	}
+	fmt.Fprintf(w, "\n### Campaign throughput (batched vs serial, %s ×%d)\n\n", newC.Workload, newC.Configs)
+	fmt.Fprintf(w, "| series | old ns/ref | new ns/ref | delta |\n")
+	fmt.Fprintf(w, "|---|---:|---:|---:|\n")
+	row := func(name string, o, n float64, haveOld bool) {
+		if !haveOld {
+			fmt.Fprintf(w, "| %s | — | %.1f | new |\n", name, n)
+			return
+		}
+		delta := "n/a"
+		if o > 0 {
+			delta = fmt.Sprintf("%+.1f%%", 100*(n-o)/o)
+		}
+		fmt.Fprintf(w, "| %s | %.1f | %.1f | %s |\n", name, o, n, delta)
+	}
+	if oldC == nil {
+		row("campaign batched", 0, newC.NsPerRefBatch, false)
+		row("campaign serial", 0, newC.NsPerRefSerial, false)
+	} else {
+		row("campaign batched", oldC.NsPerRefBatch, newC.NsPerRefBatch, true)
+		row("campaign serial", oldC.NsPerRefSerial, newC.NsPerRefSerial, true)
+	}
+	fmt.Fprintf(w, "\n(batch speedup over serial in the new point: %+.1f%%)\n", newC.BatchSpeedupPct)
 }
 
 // readBenchFile loads a trajectory point. A missing or blank file reports
@@ -82,6 +114,14 @@ func readBenchFile(path string) (BenchFile, bool, error) {
 	}
 	if err := json.Unmarshal(data, &f); err != nil {
 		return f, false, fmt.Errorf("bench-diff: %s: %w", path, err)
+	}
+	// Both committed layouts load: /1 (per-config only) and /2 (adds the
+	// campaign series). An unknown schema is a corrupt or future point and
+	// must fail loudly rather than diff garbage.
+	switch f.Schema {
+	case "", "dspatch-bench/1", "dspatch-bench/2":
+	default:
+		return f, false, fmt.Errorf("bench-diff: %s: unknown schema %q", path, f.Schema)
 	}
 	return f, true, nil
 }

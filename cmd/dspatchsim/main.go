@@ -54,6 +54,7 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 	campaign := fs.String("campaign", "", "run a declarative campaign sweep from this JSON spec file (see internal/sweep)")
 	campaignOut := fs.String("campaign-out", "", "write the campaign NDJSON stream to this file (default stdout)")
 	campaignCSV := fs.String("campaign-csv", "", "also mirror campaign point records into this CSV file")
+	batch := fs.Bool("batch", true, "advance same-trace configs in lockstep over one trace walk")
 	cacheDir := fs.String("cache-dir", "", "persistent run-cache directory: completed simulations are reused across process invocations")
 	noCache := fs.Bool("no-cache", false, "ignore -cache-dir (force every simulation to run)")
 	traceExport := fs.String("trace-export", "", "record the -workload reference stream and write it to this file")
@@ -145,6 +146,9 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, err)
 		return 1
 	}
+	// Like the cache dir, the batching toggle is applied every invocation:
+	// the engine is process-global and must not inherit a stale setting.
+	experiments.SetBatching(*batch)
 
 	if *campaign != "" {
 		if err := runCampaign(*campaign, *campaignOut, *campaignCSV, *parallel, stdout, stderr); err != nil {
@@ -304,13 +308,10 @@ func exportTrace(path, name string, seed int64, refs int) (int, error) {
 // seed replay the imported refs instead of the synthetic generator. The
 // second result reports whether the name was already in the roster (i.e. a
 // generator-backed stream was replaced rather than a new workload added).
+// ImportFile keeps startup O(1): only the header is parsed here; the columns
+// are checksummed and decoded when the first simulation replays them.
 func importTrace(path string) (*trace.Materialized, bool, error) {
-	f, err := os.Open(path)
-	if err != nil {
-		return nil, false, fmt.Errorf("trace-import: %w", err)
-	}
-	defer f.Close()
-	m, err := trace.Import(f)
+	m, err := trace.ImportFile(path)
 	if err != nil {
 		return nil, false, err
 	}

@@ -81,13 +81,16 @@ func memoizable(j Job) (runKey, bool) {
 	}, true
 }
 
-// memoEntry computes its result once under its own guard, so two distinct
-// baselines never serialize on each other and a duplicate submitted
-// concurrently waits for the first instead of re-simulating. A canceled
+// memoEntry computes its result once under the ownership of whichever
+// request installed it, so two distinct baselines never serialize on each
+// other and a duplicate submitted concurrently waits for the first instead of
+// re-simulating. Ownership is decided at insertion (the inserter computes,
+// everyone else waits on done), which lets the batch scheduler claim several
+// entries up front and fill them from one lockstep run. A canceled
 // computation records err; observers drop the entry from the memo so a later
 // request recomputes instead of inheriting the cancellation.
 type memoEntry struct {
-	once     sync.Once
+	done     chan struct{} // closed once res/err/panicked are final
 	res      sim.Result
 	err      error
 	panicked any // recovered panic value; re-raised for every observer
@@ -107,9 +110,14 @@ type Counters struct {
 	DiskHits uint64
 	// RefsSimulated totals memory references of cold runs (refs × lanes).
 	RefsSimulated uint64
-	// SimNanos totals wall time spent inside cold simulations. With
-	// RefsSimulated it yields the engine's aggregate refs/s.
+	// SimNanos totals wall time spent inside cold simulations. A lockstep
+	// batch contributes its wall time once, however many configs it carried,
+	// so with RefsSimulated this yields the engine's aggregate refs/s —
+	// including the batching speedup.
 	SimNanos uint64
+	// Batches counts multi-config lockstep batches executed (each also adds
+	// one Sims per member config).
+	Batches uint64
 }
 
 // Runner fans simulation jobs across a goroutine pool and memoizes every
@@ -123,11 +131,16 @@ type Runner struct {
 	memo     map[runKey]*memoEntry
 	cacheDir string // non-empty: persistent run cache root (diskcache.go)
 
+	// batchOff disables lockstep batching: every job runs serially through
+	// runCtx, the pre-batching behaviour (the -batch=false A/B path).
+	batchOff atomic.Bool
+
 	sims     atomic.Uint64
 	memoHits atomic.Uint64
 	diskHits atomic.Uint64
 	refsSim  atomic.Uint64
 	simNanos atomic.Uint64
+	batches  atomic.Uint64
 }
 
 // NewRunner returns a Runner whose default pool width is workers
@@ -164,6 +177,25 @@ func EngineCounters() Counters {
 	return engine.Counters()
 }
 
+// SetBatching toggles lockstep batch execution on the process-shared engine
+// (see Runner.SetBatching). Front ends expose it as -batch; it defaults on.
+func SetBatching(on bool) { engine.SetBatching(on) }
+
+// BatchingEnabled reports whether the process-shared engine batches
+// same-trace jobs. Schedulers that order work to maximize batching (the
+// campaign engine) consult it.
+func BatchingEnabled() bool { return engine.BatchingEnabled() }
+
+// SetBatching toggles lockstep batching: when on (the default), RunAll groups
+// memoizable jobs sharing one (workload mix, seed, refs) trace identity and
+// advances each group's configs in lockstep over a single trace walk
+// (sim.RunBatch). Results are bit-identical either way; only scheduling and
+// throughput change.
+func (r *Runner) SetBatching(on bool) { r.batchOff.Store(!on) }
+
+// BatchingEnabled reports whether this runner batches same-trace jobs.
+func (r *Runner) BatchingEnabled() bool { return !r.batchOff.Load() }
+
 // Counters snapshots this runner's work ledger.
 func (r *Runner) Counters() Counters {
 	return Counters{
@@ -172,6 +204,7 @@ func (r *Runner) Counters() Counters {
 		DiskHits:      r.diskHits.Load(),
 		RefsSimulated: r.refsSim.Load(),
 		SimNanos:      r.simNanos.Load(),
+		Batches:       r.batches.Load(),
 	}
 }
 
@@ -210,51 +243,14 @@ func (r *Runner) runCtx(ctx context.Context, j Job) (sim.Result, error) {
 		return r.simulate(ctx, j)
 	}
 	for {
-		r.mu.Lock()
-		e := r.memo[key]
-		if e == nil {
-			e = &memoEntry{}
-			r.memo[key] = e
+		e, owner, dir := r.acquire(key)
+		if owner {
+			r.compute(ctx, e, key, j, dir)
+		} else {
+			<-e.done
 		}
-		dir := r.cacheDir
-		r.mu.Unlock()
-		computed := false
-		e.once.Do(func() {
-			computed = true
-			// A panicking simulation must not leave the sync.Once completed
-			// over a zero Result with a nil error — later identical jobs
-			// would be served that zero result as a memo hit. Record the
-			// panic so every observer drops the entry and re-raises it.
-			defer func() {
-				if p := recover(); p != nil {
-					e.panicked = p
-					e.err = fmt.Errorf("simulation panicked: %v", p)
-				}
-			}()
-			if dir != "" {
-				if res, ok := cacheLoad(dir, key); ok {
-					r.diskHits.Add(1)
-					e.res = res
-					return
-				}
-			}
-			res, err := r.simulate(ctx, j)
-			if err != nil {
-				e.err = err
-				return
-			}
-			res.Ports = nil
-			if dir != "" {
-				cacheStore(dir, key, res)
-			}
-			e.res = res
-		})
 		if e.err != nil {
-			r.mu.Lock()
-			if r.memo[key] == e {
-				delete(r.memo, key)
-			}
-			r.mu.Unlock()
+			r.dropEntry(key, e)
 			if e.panicked != nil {
 				// Preserve sim.Run's panic semantics for the computing
 				// caller and waiters alike (dspatchd's execute recovers it
@@ -267,11 +263,70 @@ func (r *Runner) runCtx(ctx context.Context, j Job) (sim.Result, error) {
 			}
 			continue // the computing request was canceled, not this one: retry
 		}
-		if !computed {
+		if !owner {
 			r.memoHits.Add(1)
 		}
 		return e.res, nil
 	}
+}
+
+// acquire looks up (or installs) the memo entry of key. The request that
+// installs the entry owns it — it must fill res/err and close done, through
+// compute or the batch path — and every later request waits on done instead.
+func (r *Runner) acquire(key runKey) (e *memoEntry, owner bool, dir string) {
+	r.mu.Lock()
+	e = r.memo[key]
+	if e == nil {
+		e = &memoEntry{done: make(chan struct{})}
+		r.memo[key] = e
+		owner = true
+	}
+	dir = r.cacheDir
+	r.mu.Unlock()
+	return e, owner, dir
+}
+
+// dropEntry removes a failed entry from the memo (if it is still the resident
+// one) so a later request recomputes instead of inheriting the failure.
+func (r *Runner) dropEntry(key runKey, e *memoEntry) {
+	r.mu.Lock()
+	if r.memo[key] == e {
+		delete(r.memo, key)
+	}
+	r.mu.Unlock()
+}
+
+// compute fills an owned entry serially: disk cache first, then a cold run.
+// The entry is always closed on return, panics included.
+func (r *Runner) compute(ctx context.Context, e *memoEntry, key runKey, j Job, dir string) {
+	defer close(e.done)
+	// A panicking simulation must not leave a closed entry holding a zero
+	// Result with a nil error — later identical jobs would be served that
+	// zero result as a memo hit. Record the panic so every observer drops
+	// the entry and re-raises it.
+	defer func() {
+		if p := recover(); p != nil {
+			e.panicked = p
+			e.err = fmt.Errorf("simulation panicked: %v", p)
+		}
+	}()
+	if dir != "" {
+		if res, ok := cacheLoad(dir, key); ok {
+			r.diskHits.Add(1)
+			e.res = res
+			return
+		}
+	}
+	res, err := r.simulate(ctx, j)
+	if err != nil {
+		e.err = err
+		return
+	}
+	res.Ports = nil
+	if dir != "" {
+		cacheStore(dir, key, res)
+	}
+	e.res = res
 }
 
 // canceledResult is the placeholder for a run aborted by cancellation: zero
@@ -291,6 +346,69 @@ func (r *Runner) RunAll(jobs []Job, workers int) []sim.Result {
 	return results
 }
 
+// maxBatchConfigs bounds how many machine configurations one lockstep batch
+// carries. Beyond this the machines' combined hot state stops fitting in
+// cache and the batch degrades toward serial speed, so larger groups are
+// split into consecutive batches.
+const maxBatchConfigs = 16
+
+// batchKey is the trace identity jobs must share to advance in lockstep over
+// one trace walk: the workload mix, the base seed, and the ref count.
+type batchKey struct {
+	names string
+	refs  int
+	seed  int64
+}
+
+// task is one unit of worker-pool scheduling: a single job index, or a group
+// of job indices sharing one trace identity that run as a lockstep batch.
+type task struct {
+	single int
+	group  []int // nil for single tasks
+}
+
+// plan partitions jobs into tasks. Non-memoizable jobs (pollution tracking,
+// port inspection) always run alone — their results carry state the memo
+// cannot hold, so they bypass batching the same way they bypass the memo.
+// Memoizable jobs group by trace identity in first-appearance order, chunked
+// at maxBatchConfigs; groups of one degrade to plain single tasks.
+func (r *Runner) plan(jobs []Job) []task {
+	if r.batchOff.Load() || len(jobs) < 2 {
+		tasks := make([]task, len(jobs))
+		for i := range jobs {
+			tasks[i] = task{single: i}
+		}
+		return tasks
+	}
+	tasks := make([]task, 0, len(jobs))
+	groups := map[batchKey][]int{}
+	var order []batchKey
+	for i, j := range jobs {
+		key, ok := memoizable(j)
+		if !ok {
+			tasks = append(tasks, task{single: i})
+			continue
+		}
+		bk := batchKey{names: key.names, refs: key.refs, seed: key.seed}
+		if groups[bk] == nil {
+			order = append(order, bk)
+		}
+		groups[bk] = append(groups[bk], i)
+	}
+	for _, bk := range order {
+		idxs := groups[bk]
+		for lo := 0; lo < len(idxs); lo += maxBatchConfigs {
+			hi := min(lo+maxBatchConfigs, len(idxs))
+			if hi-lo == 1 {
+				tasks = append(tasks, task{single: idxs[lo]})
+			} else {
+				tasks = append(tasks, task{group: idxs[lo:hi]})
+			}
+		}
+	}
+	return tasks
+}
+
 // RunAllCtx is RunAll under a context: when ctx fires, in-flight simulations
 // abort at their next cancellation check, every not-yet-run job is filled
 // with canceledResult, and the first context error is returned. Results of
@@ -299,28 +417,36 @@ func (r *Runner) RunAllCtx(ctx context.Context, jobs []Job, workers int) ([]sim.
 	if workers <= 0 {
 		workers = r.workers
 	}
-	if workers > len(jobs) {
-		workers = len(jobs)
+	tasks := r.plan(jobs)
+	if workers > len(tasks) {
+		workers = len(tasks)
 	}
 	results := make([]sim.Result, len(jobs))
 	var errMu sync.Mutex
 	var firstErr error
-	runOne := func(i int) {
-		// runCtx returns canceledResult-shaped placeholders on error, so
-		// results[i] always has one IPC slot per workload.
-		res, err := r.runCtx(ctx, jobs[i])
-		if err != nil {
-			errMu.Lock()
-			if firstErr == nil {
-				firstErr = err
-			}
-			errMu.Unlock()
+	noteErr := func(err error) {
+		errMu.Lock()
+		if firstErr == nil {
+			firstErr = err
 		}
-		results[i] = res
+		errMu.Unlock()
+	}
+	runTask := func(t task) {
+		if t.group == nil {
+			// runCtx returns canceledResult-shaped placeholders on error, so
+			// results[i] always has one IPC slot per workload.
+			res, err := r.runCtx(ctx, jobs[t.single])
+			if err != nil {
+				noteErr(err)
+			}
+			results[t.single] = res
+			return
+		}
+		r.runGroup(ctx, jobs, t.group, results, noteErr)
 	}
 	if workers <= 1 {
-		for i := range jobs {
-			runOne(i)
+		for _, t := range tasks {
+			runTask(t)
 		}
 	} else {
 		var next atomic.Int64
@@ -331,16 +457,121 @@ func (r *Runner) RunAllCtx(ctx context.Context, jobs []Job, workers int) ([]sim.
 				defer wg.Done()
 				for {
 					i := int(next.Add(1)) - 1
-					if i >= len(jobs) {
+					if i >= len(tasks) {
 						return
 					}
-					runOne(i)
+					runTask(tasks[i])
 				}
 			}()
 		}
 		wg.Wait()
 	}
 	return results, firstErr
+}
+
+// runGroup executes a group of memoizable jobs sharing one trace identity.
+// The memo and disk cache are consulted per config first: entries another
+// request already owns, and disk-cached configs, never join the batch. The
+// remaining owned configs advance in lockstep through one sim.RunBatchCtx
+// walk of the shared trace.
+//
+// Failure isolation mirrors the serial path per entry: a canceled batch
+// records the error into every owned entry and drops them all — siblings are
+// never poisoned with a partial result — and a panic is recorded into every
+// owned entry before re-raising, so no waiter hangs on an open entry.
+func (r *Runner) runGroup(ctx context.Context, jobs []Job, idxs []int, results []sim.Result, noteErr func(error)) {
+	type member struct {
+		idx int
+		key runKey
+		e   *memoEntry
+	}
+	var owned []member
+	var rest []int // indices resolved through runCtx after the batch
+	var dir string
+	for _, i := range idxs {
+		key, _ := memoizable(jobs[i])
+		e, owner, d := r.acquire(key)
+		dir = d
+		if !owner {
+			// Someone else (possibly an earlier duplicate in this very group)
+			// is computing this entry; wait for it after the batch runs.
+			rest = append(rest, i)
+			continue
+		}
+		if dir != "" {
+			if res, ok := cacheLoad(dir, key); ok {
+				r.diskHits.Add(1)
+				e.res = res
+				close(e.done)
+				results[i] = res
+				continue
+			}
+		}
+		owned = append(owned, member{idx: i, key: key, e: e})
+	}
+
+	if len(owned) > 0 {
+		ws := jobs[owned[0].idx].Workloads
+		opts := make([]sim.Options, len(owned))
+		for k, mb := range owned {
+			opts[k] = jobs[mb.idx].Opt
+		}
+		func() {
+			start := time.Now()
+			defer func() {
+				if p := recover(); p != nil {
+					for _, mb := range owned {
+						mb.e.panicked = p
+						mb.e.err = fmt.Errorf("simulation panicked: %v", p)
+						close(mb.e.done)
+						r.dropEntry(mb.key, mb.e)
+					}
+					panic(p)
+				}
+			}()
+			batch, err := sim.RunBatchCtx(ctx, ws, opts)
+			if err != nil {
+				for _, mb := range owned {
+					mb.e.err = err
+					close(mb.e.done)
+					r.dropEntry(mb.key, mb.e)
+					results[mb.idx] = canceledResult(jobs[mb.idx])
+				}
+				noteErr(err)
+				return
+			}
+			// One batch is one trace walk: wall time lands once, work
+			// (sims, refs) lands per member config.
+			r.simNanos.Add(uint64(time.Since(start)))
+			if len(owned) > 1 {
+				r.batches.Add(1)
+			}
+			for k, mb := range owned {
+				res := batch[k]
+				res.Ports = nil
+				r.sims.Add(1)
+				r.refsSim.Add(uint64(opts[k].Refs) * uint64(len(ws)))
+				if dir != "" {
+					cacheStore(dir, mb.key, res)
+				}
+				mb.e.res = res
+				close(mb.e.done)
+				results[mb.idx] = res
+			}
+		}()
+	}
+
+	// Entries owned elsewhere resolve through the serial path: by now the
+	// owner has finished or will shortly, so these become memo hits (or
+	// retries, if the owner was canceled). Waiting here is deadlock-free —
+	// this worker holds no open entries anymore.
+	for _, i := range rest {
+		res, err := r.runCtx(ctx, jobs[i])
+		if err != nil {
+			noteErr(err)
+		}
+		results[i] = res
+	}
 }
 
 // RunJobs schedules jobs on the process-shared engine — the programmatic

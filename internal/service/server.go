@@ -75,6 +75,9 @@ type Config struct {
 	MaxJobs int
 	// CacheDir, when non-empty, enables the engine's persistent run cache.
 	CacheDir string
+	// DisableBatch turns off the engine's lockstep batching of same-trace
+	// runs (the -batch=false A/B path). Results are identical either way.
+	DisableBatch bool
 	// DrainTimeout bounds how long Drain waits for running jobs before
 	// canceling them (default 30s).
 	DrainTimeout time.Duration
@@ -341,6 +344,7 @@ func New(cfg Config) (*Server, error) {
 			return nil, err
 		}
 	}
+	experiments.SetBatching(!cfg.DisableBatch)
 	baseCtx, hardStop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
@@ -1044,6 +1048,7 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("dspatchd_engine_memo_hits_total", "Runs served from the in-process memo.", ec.MemoHits)
 	counter("dspatchd_engine_disk_cache_hits_total", "Runs served from the persistent cache.", ec.DiskHits)
 	counter("dspatchd_engine_refs_simulated_total", "Memory references simulated (cold runs).", ec.RefsSimulated)
+	counter("dspatchd_engine_batches_total", "Lockstep multi-config batches executed.", ec.Batches)
 	counterf("dspatchd_engine_sim_seconds_total", "Wall seconds spent simulating.", float64(ec.SimNanos)/1e9)
 	gauge("dspatchd_engine_refs_per_second", "Aggregate simulation throughput.", refsPerSec)
 	gauge("dspatchd_uptime_seconds", "Seconds since daemon start.", float64(h.UptimeSeconds))

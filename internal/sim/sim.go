@@ -152,6 +152,73 @@ func RunCtx(ctx context.Context, ws []trace.Workload, opt Options) (Result, erro
 		// cost seconds at full scale).
 		return Result{IPC: make([]float64, n)}, err
 	}
+	m := newMachine(ws, opt, true)
+
+	// Interleave cores by advancing whichever is earliest in simulated time,
+	// so they contend for the shared LLC and DRAM realistically. A single
+	// lane needs no selection scan — the paper's single-thread machine runs
+	// the tight loop.
+	done := ctx.Done() // nil for context.Background(): no per-ref polling cost
+	var refsDone int
+	var ref trace.Ref
+	single := m.lanes[0]
+	for {
+		if done != nil && refsDone&cancelCheckMask == cancelCheckMask {
+			select {
+			case <-done:
+				return Result{IPC: make([]float64, n)}, ctx.Err()
+			default:
+			}
+		}
+		refsDone++
+		var l *simLane
+		if n == 1 {
+			if single.left == 0 {
+				break
+			}
+			l = single
+		} else {
+			l = m.earliest()
+			if l == nil {
+				break
+			}
+		}
+		l.gen.Next(&ref)
+		m.apply(l, &ref)
+	}
+	return m.finish(), nil
+}
+
+// simLane is one core's stream state within a machine: the core model, its
+// replay position, and the pre-bound memory callback.
+type simLane struct {
+	core *cpu.Core
+	gen  trace.Generator
+	ad   *memAdapter
+	mem  cpu.LoadFunc
+	left int
+	base memaddr.Line
+}
+
+// machine is one fully-wired simulator instance — DRAM, memory system, and
+// one lane per workload — separated from the run loop so a batch can advance
+// several machines in lockstep over one trace stream (see RunBatchCtx) while
+// the serial path keeps its tight loop.
+type machine struct {
+	opt     Options
+	d       *dram.DRAM
+	lanes   []*simLane
+	tracker *memsys.PollutionTracker
+	instr   uint64
+	halted  bool // batch-loop bookkeeping: every lane exhausted
+}
+
+// newMachine wires one simulator for ws under opt. When ownCursors is false
+// the lanes are built without replay cursors: the caller feeds refs directly
+// through apply, sharing one cursor across machines. directGeneration always
+// builds per-lane generators regardless.
+func newMachine(ws []trace.Workload, opt Options, ownCursors bool) *machine {
+	n := len(ws)
 	d := dram.New(opt.DRAM)
 	cfg := memsys.DefaultConfig(opt.LLCBytes)
 	cfg.Reference = opt.referenceMemsys
@@ -163,35 +230,26 @@ func RunCtx(ctx context.Context, ws []trace.Workload, opt Options) (Result, erro
 	l2f := factory(opt)
 	sys := memsys.NewSystem(cfg, d, n, l1f, l2f)
 
-	var instrCount uint64
-	var tracker *memsys.PollutionTracker
+	m := &machine{opt: opt, d: d}
 	if opt.TrackPollution {
-		tracker = sys.EnablePollutionTracking(func() uint64 { return instrCount })
+		m.tracker = sys.EnablePollutionTracking(func() uint64 { return m.instr })
 	}
-
-	type lane struct {
-		core *cpu.Core
-		gen  trace.Generator
-		ad   *memAdapter
-		mem  cpu.LoadFunc
-		left int
-		base memaddr.Line
-	}
-	lanes := make([]*lane, n)
+	m.lanes = make([]*simLane, n)
 	for i := 0; i < n; i++ {
 		ad := &memAdapter{port: sys.Port(i)}
 		laneSeed := LaneSeed(opt.Seed, i)
 		var gen trace.Generator
-		if opt.directGeneration {
+		switch {
+		case opt.directGeneration:
 			gen = ws[i].Build(laneSeed)
-		} else {
+		case ownCursors:
 			// Every run of the same (workload, seed) replays one process-wide
 			// materialized stream: the generator executes once, and every
 			// prefetcher configuration and worker goroutine reads the same
 			// immutable columns.
 			gen = trace.Replay(ws[i], laneSeed, opt.Refs)
 		}
-		lanes[i] = &lane{
+		m.lanes[i] = &simLane{
 			core: cpu.New(cpu.DefaultConfig()),
 			gen:  gen,
 			ad:   ad,
@@ -200,63 +258,69 @@ func RunCtx(ctx context.Context, ws []trace.Workload, opt Options) (Result, erro
 			base: memaddr.Line(uint64(i) << 36), // disjoint address spaces
 		}
 	}
+	return m
+}
 
-	// Interleave cores by advancing whichever is earliest in simulated time,
-	// so they contend for the shared LLC and DRAM realistically. A single
-	// lane needs no selection scan — the paper's single-thread machine runs
-	// the tight loop.
-	done := ctx.Done() // nil for context.Background(): no per-ref polling cost
-	var refsDone int
-	var ref trace.Ref
-	single := lanes[0]
-	for {
-		if done != nil && refsDone&cancelCheckMask == cancelCheckMask {
-			select {
-			case <-done:
-				return Result{IPC: make([]float64, n)}, ctx.Err()
-			default:
-			}
+// earliest returns the unfinished lane furthest behind in simulated time, or
+// nil when every lane has consumed its refs.
+func (m *machine) earliest() *simLane {
+	var l *simLane
+	for _, cand := range m.lanes {
+		if cand.left == 0 {
+			continue
 		}
-		refsDone++
-		var l *lane
-		if n == 1 {
-			if single.left == 0 {
-				break
-			}
-			l = single
-		} else {
-			for _, cand := range lanes {
-				if cand.left == 0 {
-					continue
-				}
-				if l == nil || cand.core.Cycle() < l.core.Cycle() {
-					l = cand
-				}
-			}
-			if l == nil {
-				break
-			}
+		if l == nil || cand.core.Cycle() < l.core.Cycle() {
+			l = cand
 		}
-		l.gen.Next(&ref)
-		l.core.Ops(ref.Gap)
-		l.ad.pc = ref.PC
-		l.ad.line = ref.Line + l.base
-		l.ad.write = ref.Write
-		switch {
-		case ref.Write:
-			l.core.Store(l.mem)
-		case ref.Dep:
-			l.core.LoadAfter(l.mem)
-		default:
-			l.core.Load(l.mem)
-		}
-		instrCount += uint64(ref.Gap) + 1
-		l.left--
 	}
+	return l
+}
 
-	res := Result{PeakBandwidth: opt.DRAM.PeakBandwidthGBps()}
+// step advances the machine by one reference pulled from its own cursors,
+// returning false once every lane is exhausted.
+func (m *machine) step(ref *trace.Ref) bool {
+	var l *simLane
+	if len(m.lanes) == 1 {
+		l = m.lanes[0]
+		if l.left == 0 {
+			return false
+		}
+	} else {
+		l = m.earliest()
+		if l == nil {
+			return false
+		}
+	}
+	l.gen.Next(ref)
+	m.apply(l, ref)
+	return true
+}
+
+// apply feeds one reference to lane l: the exact per-ref sequence of the
+// original run loop, shared verbatim by the serial and batch paths so their
+// results stay bit-identical.
+func (m *machine) apply(l *simLane, ref *trace.Ref) {
+	l.core.Ops(ref.Gap)
+	l.ad.pc = ref.PC
+	l.ad.line = ref.Line + l.base
+	l.ad.write = ref.Write
+	switch {
+	case ref.Write:
+		l.core.Store(l.mem)
+	case ref.Dep:
+		l.core.LoadAfter(l.mem)
+	default:
+		l.core.Load(l.mem)
+	}
+	m.instr += uint64(ref.Gap) + 1
+	l.left--
+}
+
+// finish drains every lane and assembles the Result.
+func (m *machine) finish() Result {
+	res := Result{PeakBandwidth: m.opt.DRAM.PeakBandwidthGBps()}
 	var covered, uncovered, useful, unused uint64
-	for _, l := range lanes {
+	for _, l := range m.lanes {
 		ipc := l.core.IPC()
 		res.IPC = append(res.IPC, ipc)
 		if c := l.core.Drain(); c > res.Cycles {
@@ -277,12 +341,12 @@ func RunCtx(ctx context.Context, ws []trace.Workload, opt Options) (Result, erro
 	if issued := useful + unused; issued > 0 {
 		res.Accuracy = float64(useful) / float64(issued)
 	}
-	res.AvgBandwidthGBps = d.AvgBandwidthGBps(res.Cycles)
-	if tracker != nil {
-		tracker.Finish()
-		res.Pollution[0], res.Pollution[1], res.Pollution[2] = tracker.Fractions()
+	res.AvgBandwidthGBps = m.d.AvgBandwidthGBps(res.Cycles)
+	if m.tracker != nil {
+		m.tracker.Finish()
+		res.Pollution[0], res.Pollution[1], res.Pollution[2] = m.tracker.Fractions()
 	}
-	return res, nil
+	return res
 }
 
 // RunSingle simulates one workload on the single-thread configuration.

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"strings"
 	"time"
 
 	"dspatch/internal/experiments"
@@ -153,11 +154,59 @@ func (e *Engine) Run(ctx context.Context, c Campaign, emit func(json.RawMessage)
 	marginPools := map[string]map[string][]float64{}
 	baselinePoints := 0
 
+	// Scheduling order: canonical index order, or — when the engine batches —
+	// points regrouped by trace identity so configs sharing one (mix, seed,
+	// refs) stream land in the same RunJobs call and advance in lockstep over
+	// a single trace walk. Only scheduling changes: completed records are
+	// buffered and emitted (and every float aggregate accumulated) strictly
+	// in index order, so the NDJSON stream is byte-identical either way.
+	order := make([]int, len(pts))
+	for i := range order {
+		order[i] = i
+	}
+	if experiments.BatchingEnabled() {
+		order = groupedOrder(pts)
+	}
+
+	pending := make([]*PointRecord, len(pts))
+	flushed := 0
+	flush := func() error {
+		for flushed < len(pts) && pending[flushed] != nil {
+			rec := pending[flushed]
+			pending[flushed] = nil
+			if rec.Baseline {
+				baselinePoints++
+			} else {
+				allRatios = append(allRatios, rec.Speedup...)
+				coord := idxs[flushed]
+				for a := len(axes) - 1; a >= 0; a-- {
+					ax := axes[a]
+					vi := int(coord % int64(ax.n))
+					coord /= int64(ax.n)
+					if ax.n < 2 {
+						continue
+					}
+					pool := marginPools[ax.name]
+					if pool == nil {
+						pool = map[string][]float64{}
+						marginPools[ax.name] = pool
+					}
+					pool[ax.label(vi)] = append(pool[ax.label(vi)], rec.Speedup...)
+				}
+			}
+			if err := emitRec(emit, *rec); err != nil {
+				return err
+			}
+			flushed++
+		}
+		return nil
+	}
+
 	B := e.batchSize()
-	for lo := 0; lo < len(pts); lo += B {
+	for lo := 0; lo < len(order); lo += B {
 		hi := lo + B
-		if hi > len(pts) {
-			hi = len(pts)
+		if hi > len(order) {
+			hi = len(order)
 		}
 		// One RunJobs batch: each point's own job plus its baseline partner,
 		// deduplicated within the batch. Cross-batch repeats (the same
@@ -175,7 +224,8 @@ func (e *Engine) Run(ctx context.Context, c Campaign, emit func(json.RawMessage)
 		}
 		type slot struct{ self, base int }
 		slots := make([]slot, hi-lo)
-		for i, p := range pts[lo:hi] {
+		for i, pos := range order[lo:hi] {
+			p := pts[pos]
 			if p.L2 == bl {
 				slots[i] = slot{self: add(p), base: -1}
 				continue
@@ -188,38 +238,22 @@ func (e *Engine) Run(ctx context.Context, c Campaign, emit func(json.RawMessage)
 		if err != nil {
 			return Summary{}, err
 		}
-		for i, p := range pts[lo:hi] {
-			rec := PointRecord{
+		for i, pos := range order[lo:hi] {
+			rec := &PointRecord{
 				Type:    "point",
-				Index:   idxs[lo+i],
-				Point:   p,
+				Index:   idxs[pos],
+				Point:   pts[pos],
 				Metrics: metricsOf(results[slots[i].self]),
 			}
 			if slots[i].base < 0 {
 				rec.Baseline = true
-				baselinePoints++
 			} else {
 				rec.Speedup = sim.Speedup(results[slots[i].base], results[slots[i].self])
-				allRatios = append(allRatios, rec.Speedup...)
-				coord := idxs[lo+i]
-				for a := len(axes) - 1; a >= 0; a-- {
-					ax := axes[a]
-					vi := int(coord % int64(ax.n))
-					coord /= int64(ax.n)
-					if ax.n < 2 {
-						continue
-					}
-					pool := marginPools[ax.name]
-					if pool == nil {
-						pool = map[string][]float64{}
-						marginPools[ax.name] = pool
-					}
-					pool[ax.label(vi)] = append(pool[ax.label(vi)], rec.Speedup...)
-				}
 			}
-			if err := emitRec(emit, rec); err != nil {
-				return Summary{}, err
-			}
+			pending[pos] = rec
+		}
+		if err := flush(); err != nil {
+			return Summary{}, err
 		}
 	}
 
@@ -268,6 +302,27 @@ func strategyName(s string) string {
 		return StrategyGrid
 	}
 	return s
+}
+
+// groupedOrder returns point positions regrouped by trace identity — the
+// (workload mix, refs, seed) triple jobs must share to batch — keeping
+// first-appearance order between groups and index order within each, so the
+// schedule is a pure function of the point list.
+func groupedOrder(pts []Point) []int {
+	groups := map[string][]int{}
+	var order []string
+	for i, p := range pts {
+		k := fmt.Sprintf("%s\x00%d\x00%d", strings.Join(p.Workloads, "\x01"), p.Refs, p.Seed)
+		if groups[k] == nil {
+			order = append(order, k)
+		}
+		groups[k] = append(groups[k], i)
+	}
+	out := make([]int, 0, len(pts))
+	for _, k := range order {
+		out = append(out, groups[k]...)
+	}
+	return out
 }
 
 // pointKey is the canonical identity of a normalized point within a batch.

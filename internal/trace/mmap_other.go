@@ -1,0 +1,12 @@
+//go:build !unix
+
+package trace
+
+import "os"
+
+// mapFile reads path whole on platforms without a memory-mapping fast path.
+// ImportFile stays lazy either way: decoding still waits for first replay.
+func mapFile(path string) ([]byte, func(), error) {
+	data, err := os.ReadFile(path)
+	return data, nil, err
+}

@@ -1,0 +1,37 @@
+//go:build unix
+
+package trace
+
+import (
+	"fmt"
+	"os"
+	"syscall"
+)
+
+// mapFile maps path read-only, returning its bytes and an unmap closure.
+// Mapping failure (exotic filesystems, empty files) falls back to reading
+// the whole file, with a nil closure.
+func mapFile(path string) (data []byte, unmap func(), err error) {
+	f, err := os.Open(path)
+	if err != nil {
+		return nil, nil, err
+	}
+	defer f.Close()
+	st, err := f.Stat()
+	if err != nil {
+		return nil, nil, err
+	}
+	size := st.Size()
+	if size == 0 {
+		return nil, nil, nil
+	}
+	if size != int64(int(size)) {
+		return nil, nil, fmt.Errorf("file too large to map (%d bytes)", size)
+	}
+	data, err = syscall.Mmap(int(f.Fd()), 0, int(size), syscall.PROT_READ, syscall.MAP_PRIVATE)
+	if err != nil {
+		read, rerr := os.ReadFile(path)
+		return read, nil, rerr
+	}
+	return data, func() { syscall.Munmap(data) }, nil
+}

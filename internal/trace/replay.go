@@ -47,6 +47,19 @@ type Materialized struct {
 
 	pcDict []memaddr.PC
 	pcMap  map[memaddr.PC]uint32
+
+	// Lazy-import state (ImportFile): raw holds the undecoded body —
+	// everything between the magic and the CRC tail — of an imported file
+	// whose columns have not been decoded yet, hdrOff how much of it the
+	// header parse consumed, and fileCRC the file's claimed checksum,
+	// verified against raw at first decode so corruption is still rejected
+	// before any ref replays. unmap releases the file mapping once decoding
+	// finishes either way; decodeErr latches a decode failure.
+	raw       []byte
+	hdrOff    int
+	fileCRC   uint32
+	unmap     func()
+	decodeErr error
 }
 
 // Name returns the workload name the trace was recorded from.
@@ -71,10 +84,26 @@ func (m *Materialized) CanExtend() bool {
 	return m.gen != nil
 }
 
+// Validate forces a lazily-imported trace (ImportFile) to verify its
+// checksum and decode its columns now, returning the error replay would
+// otherwise panic with. Eagerly-decoded and generator-backed traces validate
+// trivially.
+func (m *Materialized) Validate() error {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	return m.decodeIfNeededLocked()
+}
+
 // ensure extends the recording to at least n refs. Callers hold no locks.
 func (m *Materialized) ensure(n int) {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	// A lazily-imported trace decodes (and checksums) its columns on the way
+	// to the first cursor: a corrupt file is rejected here, before any ref
+	// replays.
+	if err := m.decodeIfNeededLocked(); err != nil {
+		panic(fmt.Sprintf("trace: imported trace %q rejected before replay: %v", m.name, err))
+	}
 	if m.n >= n {
 		return
 	}

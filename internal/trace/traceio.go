@@ -23,6 +23,9 @@ const traceMagic = "DSPTRC01"
 func (m *Materialized) Export(w io.Writer, n int) error {
 	m.mu.Lock()
 	defer m.mu.Unlock()
+	if err := m.decodeIfNeededLocked(); err != nil {
+		return err
+	}
 	if n <= 0 || n > m.n {
 		n = m.n
 	}
@@ -96,14 +99,52 @@ func (m *Materialized) Export(w io.Writer, n int) error {
 	return bw.Flush()
 }
 
-// Import reads a trace file written by Export. The CRC is verified before
-// any content is trusted; a truncated, corrupted or differently-versioned
-// file returns an error rather than a partially-loaded trace.
+// Import reads a trace file written by Export, eagerly: the whole stream is
+// read, checksummed and decoded before it returns. A truncated, corrupted or
+// differently-versioned file returns an error rather than a partially-loaded
+// trace. For O(1)-startup loading of files on disk, see ImportFile.
 func Import(r io.Reader) (*Materialized, error) {
 	data, err := io.ReadAll(r)
 	if err != nil {
 		return nil, fmt.Errorf("trace: import: %w", err)
 	}
+	m, err := importBytes(data, nil)
+	if err != nil {
+		return nil, err
+	}
+	if err := m.Validate(); err != nil {
+		return nil, err
+	}
+	return m, nil
+}
+
+// ImportFile opens a trace file written by Export with O(1) startup cost:
+// only the header (magic, name, seed, ref count) is parsed up front — the
+// column payload is memory-mapped where the platform supports it and
+// checksummed + decoded on first replay, so importing a huge trace costs
+// almost nothing until a simulation actually pulls refs. Corruption past the
+// header is still rejected before the first ref replays: Validate surfaces
+// the decode error eagerly, and Cursor panics with it otherwise.
+func ImportFile(path string) (*Materialized, error) {
+	data, unmap, err := mapFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: import %s: %w", path, err)
+	}
+	m, err := importBytes(data, unmap)
+	if err != nil {
+		if unmap != nil {
+			unmap()
+		}
+		return nil, err
+	}
+	return m, nil
+}
+
+// importBytes parses only the header of an exported trace — magic, name,
+// seed, ref count — and returns a Materialized whose columns decode lazily
+// from the retained body on first use. unmap, when non-nil, releases data's
+// backing mapping once the columns are decoded (or decoding fails).
+func importBytes(data []byte, unmap func()) (*Materialized, error) {
 	if len(data) < len(traceMagic)+4 {
 		return nil, fmt.Errorf("trace: import: file too short (%d bytes)", len(data))
 	}
@@ -111,28 +152,76 @@ func Import(r io.Reader) (*Materialized, error) {
 		return nil, fmt.Errorf("trace: import: bad magic %q (want %q)", data[:len(traceMagic)], traceMagic)
 	}
 	body, tail := data[len(traceMagic):len(data)-4], data[len(data)-4:]
-	if got, want := crc32.ChecksumIEEE(body), binary.LittleEndian.Uint32(tail); got != want {
-		return nil, fmt.Errorf("trace: import: CRC mismatch (file %08x, computed %08x)", want, got)
-	}
 
 	d := &decoder{b: body}
 	nameLen := d.uvarint()
+	if d.err == nil && nameLen > uint64(len(body)) {
+		return nil, fmt.Errorf("trace: import: implausible name length %d for a %d-byte body", nameLen, len(body))
+	}
 	name := string(d.take(int(nameLen)))
 	seed := unzigzag(d.uvarint())
 	n := int(d.uvarint())
-	// Validate declared counts against the body size before allocating
-	// anything from them: a CRC-consistent but hostile or hand-mangled file
-	// must be rejected, not trusted into a huge or negative make(). Every
-	// ref costs at least 6 bytes across the fixed-width columns, and every
-	// dictionary entry at least one varint byte.
+	if d.err != nil {
+		return nil, fmt.Errorf("trace: import: %w", d.err)
+	}
+	// Validate the declared count against the body size before allocating
+	// anything from it: a hostile or hand-mangled file must be rejected, not
+	// trusted into a huge or negative make(). Every ref costs at least 6
+	// bytes across the fixed-width columns.
 	if n < 0 || n > len(body)/6 {
 		return nil, fmt.Errorf("trace: import: implausible ref count %d for a %d-byte body", n, len(body))
 	}
+	return &Materialized{
+		name:    name,
+		seed:    seed,
+		n:       n,
+		raw:     body,
+		hdrOff:  len(body) - len(d.b),
+		fileCRC: binary.LittleEndian.Uint32(tail),
+		unmap:   unmap,
+	}, nil
+}
 
-	m := &Materialized{name: name, seed: seed, n: n}
+// decodeIfNeededLocked decodes a lazily-imported trace's columns on first
+// use, releasing the raw body (and its file mapping) either way and latching
+// a failure so every later caller sees the same rejection. Fully-decoded and
+// generator-backed traces return nil immediately. Callers hold m.mu.
+func (m *Materialized) decodeIfNeededLocked() error {
+	if m.decodeErr != nil {
+		return m.decodeErr
+	}
+	if m.raw == nil {
+		return nil
+	}
+	err := m.decodeColumnsLocked()
+	m.raw = nil
+	if m.unmap != nil {
+		m.unmap()
+		m.unmap = nil
+	}
+	if err != nil {
+		// A failed decode must leave no partial columns behind.
+		m.lines, m.pcIdx, m.gaps, m.write, m.dep, m.pcDict = nil, nil, nil, nil, nil, nil
+		m.writeCur, m.depCur = 0, 0
+		m.decodeErr = err
+	}
+	return err
+}
+
+// decodeColumnsLocked verifies the body checksum and decodes the five
+// columns into m. The CRC is verified before any content is trusted, exactly
+// as the eager import always did — lazy loading moves the verification to
+// first replay, it never skips it.
+func (m *Materialized) decodeColumnsLocked() error {
+	body := m.raw
+	if got := crc32.ChecksumIEEE(body); got != m.fileCRC {
+		return fmt.Errorf("trace: import: CRC mismatch (file %08x, computed %08x)", m.fileCRC, got)
+	}
+	n := m.n
+	d := &decoder{b: body[m.hdrOff:]}
 	dictLen := int(d.uvarint())
 	if dictLen < 0 || dictLen > len(body) {
-		return nil, fmt.Errorf("trace: import: implausible PC dictionary size %d", dictLen)
+		return fmt.Errorf("trace: import: implausible PC dictionary size %d", dictLen)
 	}
 	m.pcDict = make([]memaddr.PC, dictLen)
 	for i := range m.pcDict {
@@ -146,7 +235,7 @@ func Import(r io.Reader) (*Materialized, error) {
 		for i := 0; i < n; i++ {
 			u, w := binary.Uvarint(deltas)
 			if w <= 0 {
-				return nil, fmt.Errorf("trace: import: truncated delta column at ref %d", i)
+				return fmt.Errorf("trace: import: truncated delta column at ref %d", i)
 			}
 			deltas = deltas[w:]
 			last = memaddr.Line(int64(last) + unzigzag(u))
@@ -178,14 +267,14 @@ func Import(r io.Reader) (*Materialized, error) {
 	m.write, m.writeCur = readFlagColumn()
 	m.dep, m.depCur = readFlagColumn()
 	if d.err != nil {
-		return nil, fmt.Errorf("trace: import: %w", d.err)
+		return fmt.Errorf("trace: import: %w", d.err)
 	}
 	for _, idx := range m.pcIdx {
 		if int(idx) >= dictLen {
-			return nil, fmt.Errorf("trace: import: PC index %d outside dictionary of %d", idx, dictLen)
+			return fmt.Errorf("trace: import: PC index %d outside dictionary of %d", idx, dictLen)
 		}
 	}
-	return m, nil
+	return nil
 }
 
 // decoder walks the import body, latching the first structural error so the
