@@ -8,6 +8,17 @@
 //	dspatchd -job-workers 4 -sim-workers 2 -queue 128
 //	dspatchd -drain-timeout 60s                # SIGTERM grace period
 //
+// Fleet mode (see the README's Fleet section):
+//
+//	dspatchd -coordinator -workers http://w1:8491,http://w2:8491 \
+//	         -store-dir /shared/results -lease-ttl 60s -max-attempts 4
+//
+// A coordinator executes campaigns across the worker daemons: points are
+// dispatched under leases, failures re-dispatch elsewhere with backoff, and
+// the NDJSON stream stays byte-identical to a single-node run. The
+// -chaos-file flag arms a deterministic fault-injection schedule on a
+// worker (test/CI tooling, never production).
+//
 // The daemon drains gracefully on SIGINT/SIGTERM: intake stops, running
 // jobs get -drain-timeout to finish (then are canceled), and the process
 // exits 0.
@@ -18,12 +29,15 @@ import (
 	"flag"
 	"fmt"
 	"io"
+	"net/http"
 	"os"
 	"os/signal"
+	"strings"
 	"syscall"
 	"time"
 
 	"dspatch/internal/service"
+	"dspatch/internal/service/chaos"
 )
 
 func main() {
@@ -49,6 +63,13 @@ func appMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	drain := fs.Duration("drain-timeout", 30*time.Second, "how long running jobs may finish after SIGTERM")
 	maxWait := fs.Duration("max-wait", 30*time.Second, "cap on ?wait= long-polls and campaign follow streams")
 	maxCampStreams := fs.Int("max-campaign-streams", 0, "finished campaigns keeping their full NDJSON stream in memory (0 = default 64)")
+	coordinator := fs.Bool("coordinator", false, "execute campaigns across -workers daemons instead of the local engine")
+	workers := fs.String("workers", "", "comma-separated worker daemon URLs (requires -coordinator)")
+	storeDir := fs.String("store-dir", "", "shared result store directory for fleet dedup (requires -coordinator)")
+	leaseTTL := fs.Duration("lease-ttl", 0, "dispatch lease before a worker is presumed hung (0 = default 60s)")
+	maxAttempts := fs.Int("max-attempts", 0, "dispatches per point before it is dropped with a reason (0 = default 4)")
+	chaosFile := fs.String("chaos-file", "", "fault-injection schedule JSON (test tooling; see internal/service/chaos)")
+	chaosWorker := fs.String("chaos-worker", "", "label matching this daemon in the -chaos-file schedule")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -78,11 +99,58 @@ func appMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return fail(fmt.Sprintf("-max-campaign-streams must be non-negative, got %d", *maxCampStreams))
 	case *noCache && *cacheDir == "":
 		return fail("-no-cache without -cache-dir has nothing to disable")
+	case *coordinator && *workers == "":
+		return fail("-coordinator requires -workers")
+	case !*coordinator && *workers != "":
+		return fail("-workers requires -coordinator")
+	case !*coordinator && *storeDir != "":
+		return fail("-store-dir requires -coordinator")
+	case !*coordinator && (*leaseTTL != 0 || *maxAttempts != 0):
+		return fail("-lease-ttl/-max-attempts require -coordinator")
+	case *leaseTTL < 0:
+		return fail(fmt.Sprintf("-lease-ttl must be non-negative, got %s", *leaseTTL))
+	case *maxAttempts < 0:
+		return fail(fmt.Sprintf("-max-attempts must be non-negative, got %d", *maxAttempts))
+	case *chaosWorker != "" && *chaosFile == "":
+		return fail("-chaos-worker requires -chaos-file")
 	}
 	activeCacheDir := *cacheDir
 	if *noCache {
 		activeCacheDir = ""
 		fmt.Fprintln(stderr, "note: persistent run cache disabled by -no-cache")
+	}
+
+	var fleet *service.FleetConfig
+	if *coordinator {
+		var urls []string
+		for _, u := range strings.Split(*workers, ",") {
+			if u = strings.TrimSpace(u); u != "" {
+				urls = append(urls, strings.TrimRight(u, "/"))
+			}
+		}
+		if len(urls) == 0 {
+			return fail("-workers has no usable URLs")
+		}
+		fleet = &service.FleetConfig{
+			Workers:     urls,
+			StoreDir:    *storeDir,
+			LeaseTTL:    *leaseTTL,
+			MaxAttempts: *maxAttempts,
+		}
+	}
+
+	var middleware func(http.Handler) http.Handler
+	if *chaosFile != "" {
+		sched, err := chaos.Load(*chaosFile)
+		if err != nil {
+			return fail(err.Error())
+		}
+		label := *chaosWorker
+		fmt.Fprintf(stderr, "warning: chaos fault injection armed (%d faults, worker label %q)\n",
+			len(sched.Faults), label)
+		middleware = func(next http.Handler) http.Handler {
+			return chaos.NewInjector(sched, label, next)
+		}
 	}
 
 	cfg := service.Config{
@@ -96,6 +164,8 @@ func appMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		DrainTimeout:       *drain,
 		MaxWait:            *maxWait,
 		MaxCampaignStreams: *maxCampStreams,
+		Fleet:              fleet,
+		Middleware:         middleware,
 		Logf: func(format string, a ...any) {
 			fmt.Fprintf(stdout, format+"\n", a...)
 		},

@@ -6,6 +6,8 @@ import (
 	"encoding/json"
 	"fmt"
 	"net/http"
+	"os"
+	"path/filepath"
 	"regexp"
 	"strings"
 	"sync"
@@ -35,6 +37,16 @@ func TestBadFlagsExitNonZero(t *testing.T) {
 		{"negative max wait", []string{"-max-wait", "-10s"}, "-max-wait"},
 		{"negative campaign streams", []string{"-max-campaign-streams", "-1"}, "-max-campaign-streams"},
 		{"no-cache without cache-dir", []string{"-no-cache"}, "-no-cache"},
+		{"coordinator without workers", []string{"-coordinator"}, "-coordinator requires -workers"},
+		{"workers without coordinator", []string{"-workers", "http://w1:8491"}, "-workers requires -coordinator"},
+		{"store-dir without coordinator", []string{"-store-dir", "/tmp/results"}, "-store-dir requires -coordinator"},
+		{"lease-ttl without coordinator", []string{"-lease-ttl", "10s"}, "require -coordinator"},
+		{"max-attempts without coordinator", []string{"-max-attempts", "2"}, "require -coordinator"},
+		{"negative lease-ttl", []string{"-coordinator", "-workers", "http://w1", "-lease-ttl", "-1s"}, "-lease-ttl"},
+		{"negative max-attempts", []string{"-coordinator", "-workers", "http://w1", "-max-attempts", "-1"}, "-max-attempts"},
+		{"workers all blank", []string{"-coordinator", "-workers", " , ,"}, "no usable URLs"},
+		{"chaos-worker without chaos-file", []string{"-chaos-worker", "w0"}, "-chaos-worker requires -chaos-file"},
+		{"missing chaos file", []string{"-chaos-file", "/nonexistent/chaos.json"}, "chaos"},
 	}
 	for _, tc := range cases {
 		t.Run(tc.name, func(t *testing.T) {
@@ -47,6 +59,40 @@ func TestBadFlagsExitNonZero(t *testing.T) {
 				t.Errorf("stderr %q missing %q", errb.String(), tc.want)
 			}
 		})
+	}
+}
+
+// TestChaosFileArming covers the -chaos-file paths the flag audit can't:
+// a schedule that parses but fails validation exits 2, and a valid schedule
+// arms with a loud warning on stderr.
+func TestChaosFileArming(t *testing.T) {
+	dir := t.TempDir()
+	bad := filepath.Join(dir, "bad.json")
+	if err := os.WriteFile(bad, []byte(`{"faults":[{"kind":"meteor","at":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	var out, errb bytes.Buffer
+	if code := appMain(context.Background(), []string{"-chaos-file", bad}, &out, &errb); code != 2 {
+		t.Fatalf("bad schedule exit = %d, want 2 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "unknown kind") {
+		t.Errorf("stderr %q missing validation error", errb.String())
+	}
+
+	good := filepath.Join(dir, "good.json")
+	if err := os.WriteFile(good, []byte(`{"faults":[{"worker":"w1","kind":"kill","at":1}]}`), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ctx, cancel := context.WithCancel(context.Background())
+	cancel() // boot, arm, drain immediately
+	out.Reset()
+	errb.Reset()
+	code := appMain(ctx, []string{"-addr", "127.0.0.1:0", "-chaos-file", good, "-chaos-worker", "w1"}, &out, &errb)
+	if code != 0 {
+		t.Fatalf("armed daemon exit = %d, want 0 (stderr: %s)", code, errb.String())
+	}
+	if !strings.Contains(errb.String(), "chaos fault injection armed") {
+		t.Errorf("stderr %q missing arming warning", errb.String())
 	}
 }
 

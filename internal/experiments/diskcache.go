@@ -1,32 +1,34 @@
 package experiments
 
 import (
-	"crypto/sha256"
-	"encoding/hex"
-	"encoding/json"
 	"fmt"
-	"os"
-	"path/filepath"
+	"log"
 
 	"dspatch/internal/sim"
 )
 
 // The persistent run cache extends the in-process memo across processes:
-// every memoizable simulation result is written to a content-addressed file
-// under the cache directory, and later invocations — a second CLI run of the
-// same figure, a CI job, a notebook — load it instead of re-simulating.
+// every memoizable simulation result is written to a ResultStore — by
+// default a DirStore of content-addressed files under the cache directory —
+// and later invocations (a second CLI run of the same figure, a CI job, a
+// notebook, another fleet worker) load it instead of re-simulating.
 //
 // Correctness rules:
 //
 //   - The address is a SHA-256 over every runKey field, so any change to the
 //     requested configuration is a different file.
-//   - Each file embeds sim.ResultVersion; entries stamped by an older (or
+//   - Each entry embeds sim.ResultVersion; entries stamped by an older (or
 //     newer) simulator behaviour are ignored and overwritten. Bump
 //     sim.ResultVersion on any behavioral change.
-//   - A corrupt or unreadable file is treated as a miss: the run simulates
-//     and rewrites the entry. The cache can be deleted at any time.
+//   - A corrupt or torn entry is treated as a miss: the run simulates and
+//     rewrites it. The cache can be deleted at any time.
 //   - Writes are atomic (temp file + rename), so concurrent processes racing
 //     on one entry at worst both simulate; neither observes a torn file.
+//   - A failing backend (disk full, permissions, read-only mount) degrades
+//     gracefully: the first write error is logged, further writes are
+//     disabled for the process, and simulation continues with the read path
+//     untouched. The cache is an accelerator, never a correctness
+//     dependency.
 
 // cacheEntry is the on-disk layout. Key is stored for debuggability: the
 // filename is its hash.
@@ -37,53 +39,37 @@ type cacheEntry struct {
 }
 
 // keyString renders every runKey field in a stable, self-describing form.
+// It is the ResultStore key; DirStore hashes it into the content address.
 func (k runKey) keyString() string {
 	return fmt.Sprintf("names=%q dram=%+v llc=%d refs=%d seed=%d l2=%s nol1=%t smspht=%d",
 		k.names, k.dram, k.llcBytes, k.refs, k.seed, k.l2, k.noL1Stride, k.smsPHT)
 }
 
-// cachePath is the content address of k under dir.
-func cachePath(dir string, k runKey) string {
-	sum := sha256.Sum256([]byte(k.keyString()))
-	return filepath.Join(dir, hex.EncodeToString(sum[:16])+".json")
-}
+// logWarnf receives the engine's rare operational warnings (one line when
+// cache writes are disabled). Tests swap it to observe the log.
+var logWarnf func(format string, args ...any) = log.Printf
 
-// cacheLoad returns the persisted result for k, if a valid, version-matched
-// entry exists under dir.
-func cacheLoad(dir string, k runKey) (sim.Result, bool) {
-	data, err := os.ReadFile(cachePath(dir, k))
-	if err != nil {
+// cacheGet consults the configured store, counting nothing: callers account
+// for hits themselves.
+func (r *Runner) cacheGet(st ResultStore, key runKey) (sim.Result, bool) {
+	if st == nil {
 		return sim.Result{}, false
 	}
-	var e cacheEntry
-	if err := json.Unmarshal(data, &e); err != nil {
-		return sim.Result{}, false // corrupt: simulate and rewrite
-	}
-	if e.Version != sim.ResultVersion {
-		return sim.Result{}, false // stale behaviour stamp: recompute
-	}
-	return e.Result, true
+	return st.Get(key.keyString())
 }
 
-// cacheStore persists res for k under dir. Failures are silent: the cache is
-// an accelerator, never a correctness dependency.
-func cacheStore(dir string, k runKey, res sim.Result) {
-	data, err := json.Marshal(cacheEntry{Version: sim.ResultVersion, Key: k.keyString(), Result: res})
-	if err != nil {
+// cachePut persists res, degrading gracefully on a failing backend: the
+// first write error (ENOSPC, EACCES, a vanished directory) is logged once,
+// further writes are disabled for this Runner, and simulation continues —
+// the read path is unaffected.
+func (r *Runner) cachePut(st ResultStore, key runKey, res sim.Result) {
+	if st == nil || r.cacheWriteOff.Load() {
 		return
 	}
-	tmp, err := os.CreateTemp(dir, "run-*.tmp")
-	if err != nil {
-		return
-	}
-	_, werr := tmp.Write(data)
-	cerr := tmp.Close()
-	if werr != nil || cerr != nil {
-		os.Remove(tmp.Name())
-		return
-	}
-	if err := os.Rename(tmp.Name(), cachePath(dir, k)); err != nil {
-		os.Remove(tmp.Name())
+	if err := st.Put(key.keyString(), res); err != nil {
+		if r.cacheWriteOff.CompareAndSwap(false, true) {
+			logWarnf("experiments: run-cache write failed (%v); disabling further cache writes, simulation continues", err)
+		}
 	}
 }
 
@@ -94,8 +80,17 @@ func SetCacheDir(dir string) error {
 	return engine.SetCacheDir(dir)
 }
 
+// SetResultStore points the process-wide engine's persistent cache at an
+// arbitrary ResultStore backend (nil disables it). Front ends use
+// SetCacheDir; fleet deployments that share results through something other
+// than a directory plug in here.
+func SetResultStore(s ResultStore) {
+	engine.SetResultStore(s)
+}
+
 // CacheDir reports the process-wide engine's persistent cache directory
-// (empty when the disk cache is disabled).
+// (empty when the disk cache is disabled or backed by a non-directory
+// store).
 func CacheDir() string {
 	engine.mu.Lock()
 	defer engine.mu.Unlock()
@@ -104,13 +99,35 @@ func CacheDir() string {
 
 // SetCacheDir enables the persistent run cache on this runner.
 func (r *Runner) SetCacheDir(dir string) error {
-	if dir != "" {
-		if err := os.MkdirAll(dir, 0o755); err != nil {
-			return fmt.Errorf("experiments: cache dir: %w", err)
-		}
+	if dir == "" {
+		r.SetResultStore(nil)
+		return nil
+	}
+	st, err := NewDirStore(dir)
+	if err != nil {
+		return err
+	}
+	r.SetResultStore(st)
+	return nil
+}
+
+// SetResultStore replaces this runner's persistent store (nil disables it)
+// and re-arms cache writes: a backend disabled by write failures stays
+// disabled only until a new store is configured.
+func (r *Runner) SetResultStore(s ResultStore) {
+	dir := ""
+	if ds, ok := s.(*DirStore); ok {
+		dir = ds.Dir()
 	}
 	r.mu.Lock()
+	r.store = s
 	r.cacheDir = dir
 	r.mu.Unlock()
-	return nil
+	r.cacheWriteOff.Store(false)
+}
+
+// CacheWritesDisabled reports whether a write failure has disabled this
+// runner's cache writes (reads continue regardless).
+func (r *Runner) CacheWritesDisabled() bool {
+	return r.cacheWriteOff.Load()
 }

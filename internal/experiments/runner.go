@@ -129,7 +129,13 @@ type Runner struct {
 
 	mu       sync.Mutex
 	memo     map[runKey]*memoEntry
-	cacheDir string // non-empty: persistent run cache root (diskcache.go)
+	store    ResultStore // non-nil: persistent run cache backend (diskcache.go)
+	cacheDir string      // directory label when store is a DirStore
+
+	// cacheWriteOff latches after the first failed store write: the backend
+	// is degraded (disk full, permissions), so further writes are skipped
+	// while reads and simulation continue.
+	cacheWriteOff atomic.Bool
 
 	// batchOff disables lockstep batching: every job runs serially through
 	// runCtx, the pre-batching behaviour (the -batch=false A/B path).
@@ -243,9 +249,9 @@ func (r *Runner) runCtx(ctx context.Context, j Job) (sim.Result, error) {
 		return r.simulate(ctx, j)
 	}
 	for {
-		e, owner, dir := r.acquire(key)
+		e, owner, st := r.acquire(key)
 		if owner {
-			r.compute(ctx, e, key, j, dir)
+			r.compute(ctx, e, key, j, st)
 		} else {
 			<-e.done
 		}
@@ -273,7 +279,7 @@ func (r *Runner) runCtx(ctx context.Context, j Job) (sim.Result, error) {
 // acquire looks up (or installs) the memo entry of key. The request that
 // installs the entry owns it — it must fill res/err and close done, through
 // compute or the batch path — and every later request waits on done instead.
-func (r *Runner) acquire(key runKey) (e *memoEntry, owner bool, dir string) {
+func (r *Runner) acquire(key runKey) (e *memoEntry, owner bool, st ResultStore) {
 	r.mu.Lock()
 	e = r.memo[key]
 	if e == nil {
@@ -281,9 +287,9 @@ func (r *Runner) acquire(key runKey) (e *memoEntry, owner bool, dir string) {
 		r.memo[key] = e
 		owner = true
 	}
-	dir = r.cacheDir
+	st = r.store
 	r.mu.Unlock()
-	return e, owner, dir
+	return e, owner, st
 }
 
 // dropEntry removes a failed entry from the memo (if it is still the resident
@@ -298,7 +304,7 @@ func (r *Runner) dropEntry(key runKey, e *memoEntry) {
 
 // compute fills an owned entry serially: disk cache first, then a cold run.
 // The entry is always closed on return, panics included.
-func (r *Runner) compute(ctx context.Context, e *memoEntry, key runKey, j Job, dir string) {
+func (r *Runner) compute(ctx context.Context, e *memoEntry, key runKey, j Job, st ResultStore) {
 	defer close(e.done)
 	// A panicking simulation must not leave a closed entry holding a zero
 	// Result with a nil error — later identical jobs would be served that
@@ -310,12 +316,10 @@ func (r *Runner) compute(ctx context.Context, e *memoEntry, key runKey, j Job, d
 			e.err = fmt.Errorf("simulation panicked: %v", p)
 		}
 	}()
-	if dir != "" {
-		if res, ok := cacheLoad(dir, key); ok {
-			r.diskHits.Add(1)
-			e.res = res
-			return
-		}
+	if res, ok := r.cacheGet(st, key); ok {
+		r.diskHits.Add(1)
+		e.res = res
+		return
 	}
 	res, err := r.simulate(ctx, j)
 	if err != nil {
@@ -323,9 +327,7 @@ func (r *Runner) compute(ctx context.Context, e *memoEntry, key runKey, j Job, d
 		return
 	}
 	res.Ports = nil
-	if dir != "" {
-		cacheStore(dir, key, res)
-	}
+	r.cachePut(st, key, res)
 	e.res = res
 }
 
@@ -487,25 +489,23 @@ func (r *Runner) runGroup(ctx context.Context, jobs []Job, idxs []int, results [
 	}
 	var owned []member
 	var rest []int // indices resolved through runCtx after the batch
-	var dir string
+	var st ResultStore
 	for _, i := range idxs {
 		key, _ := memoizable(jobs[i])
-		e, owner, d := r.acquire(key)
-		dir = d
+		e, owner, s := r.acquire(key)
+		st = s
 		if !owner {
 			// Someone else (possibly an earlier duplicate in this very group)
 			// is computing this entry; wait for it after the batch runs.
 			rest = append(rest, i)
 			continue
 		}
-		if dir != "" {
-			if res, ok := cacheLoad(dir, key); ok {
-				r.diskHits.Add(1)
-				e.res = res
-				close(e.done)
-				results[i] = res
-				continue
-			}
+		if res, ok := r.cacheGet(st, key); ok {
+			r.diskHits.Add(1)
+			e.res = res
+			close(e.done)
+			results[i] = res
+			continue
 		}
 		owned = append(owned, member{idx: i, key: key, e: e})
 	}
@@ -551,9 +551,7 @@ func (r *Runner) runGroup(ctx context.Context, jobs []Job, idxs []int, results [
 				res.Ports = nil
 				r.sims.Add(1)
 				r.refsSim.Add(uint64(opts[k].Refs) * uint64(len(ws)))
-				if dir != "" {
-					cacheStore(dir, mb.key, res)
-				}
+				r.cachePut(st, mb.key, res)
 				mb.e.res = res
 				close(mb.e.done)
 				results[mb.idx] = res

@@ -5,9 +5,12 @@ import (
 	"bytes"
 	"context"
 	"encoding/json"
+	"errors"
 	"fmt"
+	"hash/fnv"
 	"io"
 	"net/http"
+	"strconv"
 	"strings"
 	"time"
 
@@ -21,6 +24,67 @@ type Client struct {
 	BaseURL string
 	// HTTPClient defaults to http.DefaultClient.
 	HTTPClient *http.Client
+	// Retry governs how JSON API calls handle 503 load-shedding responses.
+	// Nil disables retries: every 503 surfaces as an *APIError, which is
+	// what a fleet coordinator wants — its dispatcher owns the retry
+	// accounting. Interactive and batch clients set a policy (see
+	// DefaultRetryPolicy) and ride out shed bursts transparently.
+	Retry *RetryPolicy
+}
+
+// RetryPolicy is capped exponential backoff with deterministic jitter for
+// 503 responses. The daemon's Retry-After header, when present, sets the
+// floor for that attempt's delay. Retries never outlive the request
+// context: a deadline on ctx bounds the whole retried call.
+type RetryPolicy struct {
+	// MaxAttempts is the total number of tries (default 4).
+	MaxAttempts int
+	// BaseDelay seeds the backoff: delay n is BaseDelay*2^(n-1), capped at
+	// MaxDelay and jittered ±25% (defaults 100ms, 2s).
+	BaseDelay time.Duration
+	MaxDelay  time.Duration
+	// Seed perturbs the jitter (deterministic per path+attempt otherwise).
+	Seed uint64
+}
+
+func (p RetryPolicy) withDefaults() RetryPolicy {
+	if p.MaxAttempts <= 0 {
+		p.MaxAttempts = 4
+	}
+	if p.BaseDelay <= 0 {
+		p.BaseDelay = 100 * time.Millisecond
+	}
+	if p.MaxDelay <= 0 {
+		p.MaxDelay = 2 * time.Second
+	}
+	return p
+}
+
+// DefaultRetryPolicy is the recommended policy for interactive clients:
+// 4 attempts, 100ms base delay doubling to a 2s cap.
+func DefaultRetryPolicy() *RetryPolicy {
+	p := RetryPolicy{}.withDefaults()
+	return &p
+}
+
+// delay computes the wait before retrying attempt (1-based), honoring the
+// server's Retry-After as a floor. Jitter is derived from (path, attempt,
+// seed), not a clock, so a retry schedule is reproducible.
+func (p RetryPolicy) delay(path string, attempt int, retryAfter time.Duration) time.Duration {
+	d := p.BaseDelay
+	for i := 1; i < attempt && d < p.MaxDelay; i++ {
+		d *= 2
+	}
+	if d > p.MaxDelay {
+		d = p.MaxDelay
+	}
+	h := fnv.New64a()
+	fmt.Fprintf(h, "%s|%d|%d", path, attempt, p.Seed)
+	d = time.Duration(float64(d) * (0.75 + 0.5*float64(h.Sum64()%1000)/1000.0))
+	if retryAfter > d {
+		d = retryAfter
+	}
+	return d
 }
 
 // NewClient returns a Client for the daemon at baseURL.
@@ -39,22 +103,61 @@ func (c *Client) httpClient() *http.Client {
 type APIError struct {
 	StatusCode int
 	Message    string
+	// RetryAfter is the server's Retry-After hint (zero when absent).
+	RetryAfter time.Duration
 }
 
 func (e *APIError) Error() string {
 	return fmt.Sprintf("dspatchd: %d: %s", e.StatusCode, e.Message)
 }
 
-// do issues one request and decodes the JSON response into out (skipped when
-// out is nil).
+// do issues a request and decodes the JSON response into out (skipped when
+// out is nil). With a Retry policy set, 503 responses — the daemon shedding
+// load (full queue, draining) — are retried with capped exponential backoff
+// and jitter, honoring Retry-After, until the policy or ctx runs out. A 503
+// means the request was rejected before any job was enqueued, so the retry
+// can never double-submit.
 func (c *Client) do(ctx context.Context, method, path string, body, out any) error {
-	var rd io.Reader
+	var data []byte
 	if body != nil {
-		data, err := json.Marshal(body)
-		if err != nil {
+		var err error
+		if data, err = json.Marshal(body); err != nil {
 			return err
 		}
-		rd = bytes.NewReader(data)
+	}
+	attempts := 1
+	var policy RetryPolicy
+	if c.Retry != nil {
+		policy = c.Retry.withDefaults()
+		attempts = policy.MaxAttempts
+	}
+	var lastErr error
+	for attempt := 1; attempt <= attempts; attempt++ {
+		err := c.doOnce(ctx, method, path, data, out)
+		if err == nil {
+			return nil
+		}
+		lastErr = err
+		var ae *APIError
+		if !errors.As(err, &ae) || ae.StatusCode != http.StatusServiceUnavailable || attempt == attempts {
+			return err
+		}
+		t := time.NewTimer(policy.delay(path, attempt, ae.RetryAfter))
+		select {
+		case <-t.C:
+		case <-ctx.Done():
+			t.Stop()
+			return ctx.Err()
+		}
+	}
+	return lastErr
+}
+
+// doOnce issues exactly one request.
+func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, out any) error {
+	var rd io.Reader
+	if body != nil {
+		rd = bytes.NewReader(body)
 	}
 	req, err := http.NewRequestWithContext(ctx, method, c.BaseURL+path, rd)
 	if err != nil {
@@ -73,11 +176,17 @@ func (c *Client) do(ctx context.Context, method, path string, body, out any) err
 		return err
 	}
 	if resp.StatusCode/100 != 2 {
+		retryAfter := time.Duration(0)
+		if ra := resp.Header.Get("Retry-After"); ra != "" {
+			if secs, err := strconv.Atoi(ra); err == nil && secs >= 0 {
+				retryAfter = time.Duration(secs) * time.Second
+			}
+		}
 		var ae apiError
 		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
-			return &APIError{StatusCode: resp.StatusCode, Message: ae.Error}
+			return &APIError{StatusCode: resp.StatusCode, Message: ae.Error, RetryAfter: retryAfter}
 		}
-		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+		return &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data)), RetryAfter: retryAfter}
 	}
 	if out == nil {
 		return nil

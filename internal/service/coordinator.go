@@ -1,0 +1,397 @@
+package service
+
+import (
+	"context"
+	"encoding/json"
+	"errors"
+	"fmt"
+	"net/http"
+	"time"
+
+	"dspatch/internal/experiments"
+	"dspatch/internal/sim"
+	"dspatch/internal/sweep"
+)
+
+// The coordinator executes a campaign across a fleet of worker daemons.
+// Execution is organized around three invariants:
+//
+//  1. Stream bytes are a pure function of the spec. All results — whatever
+//     worker produced them, in whatever order, after however many retries —
+//     flow through the same sweep.Recorder a local run uses, which emits in
+//     canonical index order. A fleet run is byte-identical to -batch=true on
+//     one machine.
+//  2. One failure path. Worker HTTP errors, 503 sheds, lease expiries and
+//     dead workers all funnel into sweep.Dispatcher.Fail: the run returns to
+//     the pending set behind a backoff gate and is re-dispatched elsewhere,
+//     until MaxAttempts is exhausted and the point is dropped WITH a reason
+//     into the summary. Nothing is lost silently, and nothing wedges.
+//  3. The dispatch unit is the deduplicated simulation run, not the point:
+//     a baseline shared by thirty points is dispatched once, and the shared
+//     result store (FleetConfig.StoreDir) extends that dedup across
+//     campaigns and coordinator restarts.
+
+// dispatch failure classes — the reasons recorded against retries/drops.
+const (
+	classLeaseExpired = "lease expired"
+	classShed         = "worker shed (503)"
+)
+
+// fleetRun is one deduplicated simulation the fleet must produce, and the
+// point positions waiting on it.
+type fleetRun struct {
+	key     string
+	spec    sweep.Point
+	res     *sim.Result
+	waiters []runWaiter
+}
+
+type runWaiter struct {
+	pos  int
+	base bool
+}
+
+type dispatchEvent struct {
+	dpos   int // dispatcher position
+	worker *fleetWorker
+	res    *sim.Result
+	class  string // empty on success; else the failure class/reason
+	fault  bool   // count the failure against the worker's health
+}
+
+// runFleetCampaign executes camp across s.fleet's workers, emitting the
+// canonical NDJSON stream through emit.
+func (s *Server) runFleetCampaign(ctx context.Context, camp sweep.Campaign, emit func(json.RawMessage) error) (sweep.Summary, error) {
+	cfg := *s.fleet
+	rec, err := sweep.NewRecorder(camp, emit)
+	if err != nil {
+		return sweep.Summary{}, err
+	}
+
+	// Deduplicate the campaign into runs: every point's own simulation plus
+	// its baseline partner, keyed by the canonical run key.
+	var runs []*fleetRun
+	runAt := map[string]int{}
+	posSelf := make([]int, rec.Len())
+	posBase := make([]int, rec.Len())
+	addRun := func(p sweep.Point, pos int, base bool) int {
+		key, ok := experiments.JobKey(p.Job())
+		if !ok {
+			// Campaign validation rejects non-memoizable points; belt and
+			// braces with a structural key.
+			b, _ := json.Marshal(p)
+			key = "raw:" + string(b)
+		}
+		id, seen := runAt[key]
+		if !seen {
+			id = len(runs)
+			runAt[key] = id
+			runs = append(runs, &fleetRun{key: key, spec: p})
+		}
+		runs[id].waiters = append(runs[id].waiters, runWaiter{pos: pos, base: base})
+		return id
+	}
+	posNeed := make([]int, rec.Len())
+	for pos := 0; pos < rec.Len(); pos++ {
+		self, base, hasBase := rec.Pair(pos)
+		posSelf[pos] = addRun(self, pos, false)
+		posBase[pos] = -1
+		posNeed[pos] = 1
+		if hasBase {
+			posBase[pos] = addRun(base, pos, true)
+			if posBase[pos] != posSelf[pos] {
+				posNeed[pos] = 2
+			}
+		}
+	}
+
+	posDropped := make([]bool, rec.Len())
+	remaining := rec.Len()
+
+	// completeRun delivers a run's result to every waiting position and
+	// emits the records that become flushable.
+	completeRun := func(r *fleetRun, res *sim.Result) error {
+		r.res = res
+		for _, wt := range r.waiters {
+			if posDropped[wt.pos] {
+				continue
+			}
+			posNeed[wt.pos]--
+			if posNeed[wt.pos] > 0 {
+				continue
+			}
+			var basep *sim.Result
+			if posBase[wt.pos] >= 0 && posBase[wt.pos] != posSelf[wt.pos] {
+				basep = runs[posBase[wt.pos]].res
+			}
+			if err := rec.Complete(wt.pos, *runs[posSelf[wt.pos]].res, basep); err != nil {
+				return err
+			}
+			remaining--
+		}
+		return nil
+	}
+	// dropRun abandons every position waiting on the run, with a reason.
+	dropRun := func(r *fleetRun, reason string) error {
+		for _, wt := range r.waiters {
+			if posDropped[wt.pos] {
+				continue
+			}
+			posDropped[wt.pos] = true
+			if err := rec.Drop(wt.pos, reason); err != nil {
+				return err
+			}
+			remaining--
+		}
+		return nil
+	}
+
+	// Shared result store pre-pass: runs already present are resolved
+	// without a dispatch. A torn or corrupt entry reads as a miss and the
+	// run is simulated again — the store is never trusted blindly.
+	var store experiments.ResultStore
+	var storeHits uint64
+	if cfg.StoreDir != "" {
+		ds, err := experiments.NewDirStore(cfg.StoreDir)
+		if err != nil {
+			return sweep.Summary{}, fmt.Errorf("fleet store: %w", err)
+		}
+		store = ds
+	}
+	var pendingRuns []int // run ids needing dispatch
+	for id, r := range runs {
+		if store != nil {
+			if res, ok := store.Get(r.key); ok {
+				storeHits++
+				resCopy := res
+				if err := completeRun(r, &resCopy); err != nil {
+					return sweep.Summary{}, err
+				}
+				continue
+			}
+		}
+		pendingRuns = append(pendingRuns, id)
+	}
+
+	keys := make([]string, len(pendingRuns))
+	for i, id := range pendingRuns {
+		keys[i] = runs[id].key
+	}
+	disp := sweep.NewDispatcher(keys, sweep.DispatchConfig{
+		MaxAttempts: cfg.MaxAttempts,
+		LeaseTTL:    cfg.LeaseTTL,
+		Seed:        cfg.DispatchSeed,
+	})
+
+	pool := newWorkerPool(cfg)
+	onEject := func(url string) {
+		s.workersEjected.Add(1)
+		s.cfg.Logf("fleet: worker %s ejected from rotation", url)
+	}
+
+	var leases, sheds uint64
+	// Every dispatch goroutine sends exactly one event; capacity covers the
+	// maximum concurrency so a send never blocks a goroutine past campaign
+	// abort.
+	events := make(chan dispatchEvent, len(cfg.Workers)*cfg.MaxInflight+1)
+	probeTick := time.NewTicker(cfg.ProbeInterval)
+	defer probeTick.Stop()
+	probeDone := make(chan struct{}, 1)
+	probing := false
+	var noWorkerSince time.Time
+
+	// tryDispatch drains the ready set into available workers, returning the
+	// earliest backoff wake-up (zero if none).
+	tryDispatch := func(now time.Time) (time.Time, error) {
+		for {
+			dpos, ok, wake := disp.Next(now)
+			if !ok {
+				return wake, nil
+			}
+			r := runs[pendingRuns[dpos]]
+			w := pool.pick(disp.LastWorker(dpos))
+			if w == nil {
+				// No worker has capacity. If the whole fleet is ejected past
+				// the grace window, burn an attempt so the campaign degrades
+				// to dropped points instead of wedging forever.
+				if pool.healthyCount() > 0 {
+					noWorkerSince = time.Time{}
+					return wake, nil
+				}
+				if noWorkerSince.IsZero() {
+					noWorkerSince = now
+					return wake, nil
+				}
+				if now.Sub(noWorkerSince) < cfg.NoWorkerGrace {
+					return wake, nil
+				}
+				disp.Lease(dpos, "(no worker)", now)
+				if disp.Fail(dpos, "no healthy workers", now) {
+					s.pointsRedispatched.Add(1)
+					continue
+				}
+				reason := fmt.Sprintf("max attempts (%d) exhausted: no healthy workers", cfg.MaxAttempts)
+				if err := dropRun(r, reason); err != nil {
+					return wake, err
+				}
+				continue
+			}
+			noWorkerSince = time.Time{}
+			deadline := disp.Lease(dpos, w.url, now)
+			go dispatchRun(ctx, deadline, w, r.spec, dpos, events)
+		}
+	}
+
+	for remaining > 0 {
+		if err := ctx.Err(); err != nil {
+			return sweep.Summary{}, err
+		}
+		wake, err := tryDispatch(time.Now())
+		if err != nil {
+			return sweep.Summary{}, err
+		}
+		var wakeC <-chan time.Time
+		if !wake.IsZero() {
+			d := time.Until(wake)
+			if d < time.Millisecond {
+				d = time.Millisecond
+			}
+			wakeC = time.After(d)
+		}
+		select {
+		case ev := <-events:
+			pool.release(ev.worker)
+			now := time.Now()
+			if ev.class == "" {
+				pool.reportSuccess(ev.worker)
+				if disp.Complete(ev.dpos) {
+					r := runs[pendingRuns[ev.dpos]]
+					if err := completeRun(r, ev.res); err != nil {
+						return sweep.Summary{}, err
+					}
+					if store != nil {
+						// Best-effort: a failed store write degrades the
+						// next campaign's dedup, never this one's results.
+						_ = store.Put(r.key, *ev.res)
+					}
+				}
+				continue
+			}
+			switch ev.class {
+			case classLeaseExpired:
+				leases++
+				s.leasesExpired.Add(1)
+			case classShed:
+				sheds++
+			}
+			if ev.fault {
+				if pool.reportFailure(ev.worker, now) {
+					onEject(ev.worker.url)
+				}
+			}
+			if disp.Fail(ev.dpos, ev.class, now) {
+				s.pointsRedispatched.Add(1)
+				s.cfg.Logf("fleet: re-dispatching %s after %q (attempt %d)",
+					shortKey(runs[pendingRuns[ev.dpos]].key), ev.class, disp.Attempts(ev.dpos))
+				continue
+			}
+			r := runs[pendingRuns[ev.dpos]]
+			reason := fmt.Sprintf("max attempts (%d) exhausted: %s", cfg.MaxAttempts, ev.class)
+			s.cfg.Logf("fleet: dropping %s: %s", shortKey(r.key), reason)
+			if err := dropRun(r, reason); err != nil {
+				return sweep.Summary{}, err
+			}
+		case <-probeTick.C:
+			if !probing {
+				probing = true
+				go func() {
+					pool.probe(ctx, time.Now(), onEject)
+					probeDone <- struct{}{}
+				}()
+			}
+		case <-probeDone:
+			probing = false
+		case <-wakeC:
+		case <-ctx.Done():
+			return sweep.Summary{}, ctx.Err()
+		}
+	}
+
+	dc := disp.Counters()
+	return rec.Finish(&sweep.FleetSummary{
+		Workers:        len(cfg.Workers),
+		Dispatches:     dc.Dispatches,
+		Redispatches:   dc.Redispatches,
+		LeasesExpired:  leases,
+		ShedRejections: sheds,
+		WorkersEjected: pool.ejectedTotal(),
+		StoreHits:      storeHits,
+	})
+}
+
+// dispatchRun executes one leased run on one worker under the lease
+// deadline, classifying the outcome into the unified failure taxonomy. It
+// sends exactly one event.
+func dispatchRun(parent context.Context, deadline time.Time, w *fleetWorker, spec sweep.Point, dpos int, events chan<- dispatchEvent) {
+	ctx, cancel := context.WithDeadline(parent, deadline)
+	defer cancel()
+	res, err := runOnWorker(ctx, w.client, spec)
+	ev := dispatchEvent{dpos: dpos, worker: w}
+	switch {
+	case err == nil:
+		ev.res = res
+	case parent.Err() != nil:
+		ev.class = "campaign aborted"
+	case errors.Is(ctx.Err(), context.DeadlineExceeded):
+		// The dispatch outlived its lease: the goroutine itself reports the
+		// expiry — no separate lease scanner, no double accounting.
+		ev.class = classLeaseExpired
+		ev.fault = true
+	default:
+		var ae *APIError
+		if errors.As(err, &ae) && ae.StatusCode == http.StatusServiceUnavailable {
+			// Load shedding is deliberate back-pressure, not sickness: the
+			// run goes elsewhere but the worker's health is untouched.
+			ev.class = classShed
+		} else {
+			ev.class = "worker error: " + err.Error()
+			ev.fault = true
+		}
+	}
+	events <- ev
+}
+
+// runOnWorker submits spec to the worker and waits for the terminal job,
+// returning the simulation result.
+func runOnWorker(ctx context.Context, c *Client, spec sweep.Point) (*sim.Result, error) {
+	jv, err := c.SubmitRun(ctx, spec)
+	if err != nil {
+		return nil, err
+	}
+	jv, err = c.Wait(ctx, jv.ID)
+	if err != nil {
+		return nil, err
+	}
+	switch jv.Status {
+	case StatusDone:
+	case StatusFailed:
+		return nil, fmt.Errorf("worker job failed: %s", jv.Error)
+	default:
+		return nil, fmt.Errorf("worker job ended %s", jv.Status)
+	}
+	var res sim.Result
+	// Go's shortest-round-trip float encoding makes this lossless: the
+	// decoded result is bit-identical to the worker's, so fleet streams
+	// match local ones byte for byte.
+	if err := json.Unmarshal(jv.Result, &res); err != nil {
+		return nil, fmt.Errorf("worker result: %w", err)
+	}
+	return &res, nil
+}
+
+func shortKey(key string) string {
+	if len(key) > 48 {
+		return key[:48] + "…"
+	}
+	return key
+}

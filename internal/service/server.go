@@ -21,6 +21,8 @@
 //	GET    /v1/prefetchers       selectable L2 prefetchers
 //	GET    /v1/cache             persistent run-cache location and size
 //	GET    /healthz              liveness + job/queue gauges
+//	GET    /livez                process liveness (always 200 while serving)
+//	GET    /readyz               readiness: 503 the moment draining begins
 //	GET    /metrics              Prometheus text format counters
 //
 // Jobs flow through a sharded worker pool: submissions hash to one of
@@ -29,6 +31,12 @@
 // under its own context; DELETE cancels it mid-simulation, and draining the
 // server (SIGTERM in dspatchd) stops intake, lets running jobs finish within
 // the drain timeout, then cancels stragglers.
+//
+// With Config.Fleet set the daemon is a campaign coordinator: campaign
+// points are deduplicated into runs, dispatched across worker daemons under
+// leases, retried elsewhere on any failure (worker error, 503 shed, lease
+// expiry, dead worker), and merged into the same byte-identical NDJSON
+// stream a single-node run emits. See coordinator.go and FleetConfig.
 package service
 
 import (
@@ -92,6 +100,13 @@ type Config struct {
 	// summary stays on the job record — so campaign memory is O(streams
 	// retained), not O(jobs retained).
 	MaxCampaignStreams int
+	// Fleet, when non-nil, makes this daemon a coordinator: campaigns
+	// execute across the configured worker daemons instead of the local
+	// engine. Runs and experiments still execute locally.
+	Fleet *FleetConfig
+	// Middleware, when set, wraps the daemon's handler in ListenAndServe
+	// (fault injection, auth, logging). Handler() returns the bare mux.
+	Middleware func(http.Handler) http.Handler
 	// Logf, when set, receives one-line operational messages.
 	Logf func(format string, args ...any)
 }
@@ -308,8 +323,9 @@ func (j *job) finish(st JobStatus, result json.RawMessage, text, errMsg string) 
 // Server is the daemon: an HTTP handler plus the worker pool behind it.
 // Create with New, serve via Handler or ListenAndServe, stop with Drain.
 type Server struct {
-	cfg Config
-	mux *http.ServeMux
+	cfg   Config
+	fleet *FleetConfig // normalized Config.Fleet; nil on non-coordinators
+	mux   *http.ServeMux
 
 	baseCtx  context.Context // canceled to hard-stop running jobs
 	hardStop context.CancelFunc
@@ -332,6 +348,11 @@ type Server struct {
 	canceled  atomic.Uint64
 	rejected  atomic.Uint64
 	running   atomic.Int64
+
+	// Fleet telemetry (zero on non-coordinators).
+	pointsRedispatched atomic.Uint64
+	workersEjected     atomic.Uint64
+	leasesExpired      atomic.Uint64
 }
 
 // New builds a Server and starts its worker pool (no listener yet: mount
@@ -345,9 +366,18 @@ func New(cfg Config) (*Server, error) {
 		}
 	}
 	experiments.SetBatching(!cfg.DisableBatch)
+	var fleet *FleetConfig
+	if cfg.Fleet != nil {
+		if len(cfg.Fleet.Workers) == 0 {
+			return nil, fmt.Errorf("service: fleet config needs at least one worker URL")
+		}
+		fc := cfg.Fleet.withDefaults()
+		fleet = &fc
+	}
 	baseCtx, hardStop := context.WithCancel(context.Background())
 	s := &Server{
 		cfg:      cfg,
+		fleet:    fleet,
 		baseCtx:  baseCtx,
 		hardStop: hardStop,
 		jobs:     map[string]*job{},
@@ -362,6 +392,8 @@ func New(cfg Config) (*Server, error) {
 	}
 	s.mux = http.NewServeMux()
 	s.mux.HandleFunc("GET /healthz", s.handleHealthz)
+	s.mux.HandleFunc("GET /livez", s.handleLivez)
+	s.mux.HandleFunc("GET /readyz", s.handleReadyz)
 	s.mux.HandleFunc("GET /metrics", s.handleMetrics)
 	s.mux.HandleFunc("POST /v1/runs", s.handleSubmitRun)
 	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleSubmitExperiment)
@@ -427,7 +459,11 @@ func ListenAndServe(ctx context.Context, cfg Config) error {
 		s.Drain(context.Background())
 		return err
 	}
-	hs := &http.Server{Handler: s.Handler()}
+	handler := s.Handler()
+	if cfg.Middleware != nil {
+		handler = cfg.Middleware(handler)
+	}
+	hs := &http.Server{Handler: handler}
 	errc := make(chan error, 1)
 	go func() { errc <- hs.Serve(ln) }()
 	cfg.Logf("dspatchd listening on %s (workers=%d sim-workers=%d queue=%d cache=%s)",
@@ -549,12 +585,20 @@ func (s *Server) execute(ctx context.Context, j *job) (result json.RawMessage, t
 		return raw, "", err
 	case kindCampaign:
 		var last json.RawMessage
-		eng := sweep.Engine{Workers: s.cfg.SimWorkers}
-		_, err := eng.Run(ctx, *j.camp, func(line json.RawMessage) error {
+		emit := func(line json.RawMessage) error {
 			last = line
 			j.feed.append(line)
 			return nil
-		})
+		}
+		if s.fleet != nil {
+			_, err := s.runFleetCampaign(ctx, *j.camp, emit)
+			if err != nil {
+				return nil, "", err
+			}
+			return last, "", nil
+		}
+		eng := sweep.Engine{Workers: s.cfg.SimWorkers}
+		_, err := eng.Run(ctx, *j.camp, emit)
 		if err != nil {
 			return nil, "", err
 		}
@@ -1017,6 +1061,27 @@ func (s *Server) handleHealthz(w http.ResponseWriter, r *http.Request) {
 	writeJSON(w, http.StatusOK, s.health())
 }
 
+// handleLivez is pure process liveness: if the handler answers at all, the
+// daemon is alive — draining included. Restart policies key off this.
+func (s *Server) handleLivez(w http.ResponseWriter, r *http.Request) {
+	w.Header().Set("Content-Type", "text/plain; charset=utf-8")
+	w.WriteHeader(http.StatusOK)
+	w.Write([]byte("ok\n"))
+}
+
+// handleReadyz is readiness to accept work: it flips to 503 the moment a
+// drain begins, so load balancers and fleet coordinators stop routing new
+// dispatches here while in-flight jobs finish. Health probes and worker
+// selection key off this.
+func (s *Server) handleReadyz(w http.ResponseWriter, r *http.Request) {
+	h := s.health()
+	if h.Status != "ok" {
+		writeJSON(w, http.StatusServiceUnavailable, h)
+		return
+	}
+	writeJSON(w, http.StatusOK, h)
+}
+
 func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	h := s.health()
 	ec := experiments.EngineCounters()
@@ -1049,6 +1114,9 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("dspatchd_engine_disk_cache_hits_total", "Runs served from the persistent cache.", ec.DiskHits)
 	counter("dspatchd_engine_refs_simulated_total", "Memory references simulated (cold runs).", ec.RefsSimulated)
 	counter("dspatchd_engine_batches_total", "Lockstep multi-config batches executed.", ec.Batches)
+	counter("dspatchd_points_redispatched_total", "Campaign runs returned to the pending set and dispatched again.", s.pointsRedispatched.Load())
+	counter("dspatchd_workers_ejected_total", "Fleet workers ejected from the rotation after consecutive failures.", s.workersEjected.Load())
+	counter("dspatchd_leases_expired_total", "Dispatch leases that expired before the worker answered.", s.leasesExpired.Load())
 	counterf("dspatchd_engine_sim_seconds_total", "Wall seconds spent simulating.", float64(ec.SimNanos)/1e9)
 	gauge("dspatchd_engine_refs_per_second", "Aggregate simulation throughput.", refsPerSec)
 	gauge("dspatchd_uptime_seconds", "Seconds since daemon start.", float64(h.UptimeSeconds))

@@ -6,6 +6,7 @@ import (
 	"fmt"
 	"io"
 	"math"
+	"sort"
 	"strings"
 	"time"
 
@@ -73,8 +74,32 @@ type EngineDelta struct {
 	DiskHits uint64 `json:"disk_hits"`
 }
 
+// DroppedPoint records a point a fleet run abandoned after exhausting its
+// dispatch retries: the point's record is missing from the stream, and this
+// entry says why. Local runs never drop points.
+type DroppedPoint struct {
+	Index  int64  `json:"index"`
+	Point  Point  `json:"point"`
+	Reason string `json:"reason"`
+}
+
+// FleetSummary is coordinator telemetry attached to a fleet-executed
+// campaign's Summary. Like Engine and ElapsedMS it is not deterministic:
+// two runs of one spec through different failure weather report different
+// dispatch counts while emitting byte-identical point records.
+type FleetSummary struct {
+	Workers        int    `json:"workers"`
+	Dispatches     uint64 `json:"dispatches"`
+	Redispatches   uint64 `json:"redispatches"`
+	LeasesExpired  uint64 `json:"leases_expired"`
+	ShedRejections uint64 `json:"shed_rejections"`
+	WorkersEjected uint64 `json:"workers_ejected"`
+	StoreHits      uint64 `json:"store_hits"`
+}
+
 // Summary is the final NDJSON record: cross-point aggregation plus run
-// telemetry. Everything except Engine and ElapsedMS is deterministic.
+// telemetry. Everything except DroppedPoints, Fleet, Engine and ElapsedMS
+// is deterministic.
 type Summary struct {
 	Type           string `json:"type"` // "summary"
 	Name           string `json:"name,omitempty"`
@@ -89,10 +114,235 @@ type Summary struct {
 	// Marginals[axis][value] is the geomean speedup (%) of the non-baseline
 	// points carrying that axis value — one marginal per swept axis.
 	Marginals map[string]map[string]float64 `json:"marginals,omitempty"`
+	// DroppedPoints lists points a fleet run abandoned, with reasons, in
+	// index order; absent on local runs and clean fleet runs. Every point
+	// record missing from the stream is accounted for here — nothing is
+	// lost silently.
+	DroppedPoints []DroppedPoint `json:"dropped_points,omitempty"`
+	// Fleet is coordinator telemetry; absent on local runs.
+	Fleet *FleetSummary `json:"fleet,omitempty"`
 	// Engine and ElapsedMS are telemetry, not results: they differ between a
 	// cold run and a resumed one.
 	Engine    EngineDelta `json:"engine"`
 	ElapsedMS int64       `json:"elapsed_ms"`
+}
+
+// Recorder turns completed point results into the campaign's canonical
+// NDJSON stream. It is the single authority on stream bytes: the local
+// engine and the fleet coordinator both feed results through a Recorder (in
+// whatever order execution happens to finish them), and the Recorder
+// buffers, aggregates and emits strictly in canonical index order — which
+// is why a campaign run through a flaky fleet is byte-identical to a local
+// run. Methods must be called from one goroutine at a time.
+type Recorder struct {
+	c    Campaign
+	emit func(json.RawMessage) error
+	idxs []int64
+	pts  []Point
+	bl   string
+	axes []axis
+
+	pending   []*PointRecord
+	droppedAt []string // non-empty: drop reason; flush skips the position
+	flushed   int
+
+	allRatios      []float64
+	marginPools    map[string]map[string][]float64
+	baselinePoints int
+	droppedPoints  []DroppedPoint
+
+	start time.Time
+	c0    experiments.Counters
+}
+
+// NewRecorder validates and expands c, emits the campaign header, and
+// returns a Recorder ready to receive completions for positions
+// 0..Len()-1.
+func NewRecorder(c Campaign, emit func(json.RawMessage) error) (*Recorder, error) {
+	start := time.Now()
+	c0 := experiments.EngineCounters()
+	idxs, pts, err := c.Expand()
+	if err != nil {
+		return nil, err
+	}
+	r := &Recorder{
+		c:           c,
+		emit:        emit,
+		idxs:        idxs,
+		pts:         pts,
+		bl:          c.baselineL2(),
+		axes:        c.axes(),
+		pending:     make([]*PointRecord, len(pts)),
+		droppedAt:   make([]string, len(pts)),
+		marginPools: map[string]map[string][]float64{},
+		start:       start,
+		c0:          c0,
+	}
+	if err := emitRec(emit, Header{
+		Type:       "campaign",
+		Name:       c.Name,
+		Strategy:   strategyName(c.Sample.Strategy),
+		Grid:       c.GridSize(),
+		Points:     len(pts),
+		BaselineL2: r.bl,
+	}); err != nil {
+		return nil, err
+	}
+	return r, nil
+}
+
+// Len is the number of points the campaign will emit.
+func (r *Recorder) Len() int { return len(r.pts) }
+
+// Points exposes the expanded points in canonical position order.
+func (r *Recorder) Points() []Point { return r.pts }
+
+// BaselineL2 is the designated baseline prefetcher.
+func (r *Recorder) BaselineL2() string { return r.bl }
+
+// Pair returns position pos's own point and, for non-baseline points, the
+// baseline partner whose result its speedup is computed against.
+func (r *Recorder) Pair(pos int) (self, base Point, hasBase bool) {
+	self = r.pts[pos]
+	if self.L2 == r.bl {
+		return self, Point{}, false
+	}
+	base = self
+	base.L2 = r.bl
+	return self, base, true
+}
+
+// Complete records position pos's results (base nil for baseline points)
+// and flushes every record the completion unblocked.
+func (r *Recorder) Complete(pos int, self sim.Result, base *sim.Result) error {
+	rec := &PointRecord{
+		Type:    "point",
+		Index:   r.idxs[pos],
+		Point:   r.pts[pos],
+		Metrics: metricsOf(self),
+	}
+	if base == nil {
+		rec.Baseline = true
+	} else {
+		rec.Speedup = sim.Speedup(*base, self)
+	}
+	r.pending[pos] = rec
+	return r.flush()
+}
+
+// Drop abandons position pos with a reason: no point record is emitted, the
+// stream continues past it, and the summary accounts for it under
+// dropped_points.
+func (r *Recorder) Drop(pos int, reason string) error {
+	if r.droppedAt[pos] != "" || r.pending[pos] != nil {
+		return nil // already resolved; first resolution wins
+	}
+	r.droppedAt[pos] = reason
+	r.droppedPoints = append(r.droppedPoints, DroppedPoint{
+		Index: r.idxs[pos], Point: r.pts[pos], Reason: reason,
+	})
+	return r.flush()
+}
+
+// flush emits (and aggregates) buffered records strictly in index order,
+// stopping at the first unresolved position. Aggregation happens here — in
+// flush order, never completion order — so every float accumulation is a
+// pure function of the spec.
+func (r *Recorder) flush() error {
+	for r.flushed < len(r.pts) {
+		if r.droppedAt[r.flushed] != "" {
+			r.flushed++
+			continue
+		}
+		rec := r.pending[r.flushed]
+		if rec == nil {
+			return nil
+		}
+		r.pending[r.flushed] = nil
+		if rec.Baseline {
+			r.baselinePoints++
+		} else {
+			r.allRatios = append(r.allRatios, rec.Speedup...)
+			coord := r.idxs[r.flushed]
+			for a := len(r.axes) - 1; a >= 0; a-- {
+				ax := r.axes[a]
+				vi := int(coord % int64(ax.n))
+				coord /= int64(ax.n)
+				if ax.n < 2 {
+					continue
+				}
+				pool := r.marginPools[ax.name]
+				if pool == nil {
+					pool = map[string][]float64{}
+					r.marginPools[ax.name] = pool
+				}
+				pool[ax.label(vi)] = append(pool[ax.label(vi)], rec.Speedup...)
+			}
+		}
+		if err := emitRec(r.emit, *rec); err != nil {
+			return err
+		}
+		r.flushed++
+	}
+	return nil
+}
+
+// Finish emits the summary record and returns it. Every position must have
+// been completed or dropped. fleet, when non-nil, is attached as
+// coordinator telemetry.
+func (r *Recorder) Finish(fleet *FleetSummary) (Summary, error) {
+	if err := r.flush(); err != nil {
+		return Summary{}, err
+	}
+	if r.flushed != len(r.pts) {
+		return Summary{}, fmt.Errorf("sweep: campaign finished with %d of %d points unresolved",
+			len(r.pts)-r.flushed, len(r.pts))
+	}
+	sum := Summary{
+		Type:           "summary",
+		Name:           r.c.Name,
+		Points:         len(r.pts),
+		BaselinePoints: r.baselinePoints,
+	}
+	kept, dropped := stats.FiniteRatios(r.allRatios)
+	sum.Dropped = dropped
+	if len(kept) > 0 {
+		g := stats.GeomeanSpeedupPct(kept)
+		sum.GeomeanSpeedupPct = &g
+	}
+	for name, pool := range r.marginPools {
+		for label, ratios := range pool {
+			g := stats.GeomeanSpeedupPct(ratios)
+			if math.IsNaN(g) {
+				continue
+			}
+			if sum.Marginals == nil {
+				sum.Marginals = map[string]map[string]float64{}
+			}
+			if sum.Marginals[name] == nil {
+				sum.Marginals[name] = map[string]float64{}
+			}
+			sum.Marginals[name][label] = g
+		}
+	}
+	if len(r.droppedPoints) > 0 {
+		sort.Slice(r.droppedPoints, func(i, j int) bool {
+			return r.droppedPoints[i].Index < r.droppedPoints[j].Index
+		})
+		sum.DroppedPoints = r.droppedPoints
+	}
+	sum.Fleet = fleet
+	c1 := experiments.EngineCounters()
+	sum.Engine = EngineDelta{
+		Sims:     c1.Sims - r.c0.Sims,
+		MemoHits: c1.MemoHits - r.c0.MemoHits,
+		DiskHits: c1.DiskHits - r.c0.DiskHits,
+	}
+	sum.ElapsedMS = time.Since(r.start).Milliseconds()
+	if err := emitRec(r.emit, sum); err != nil {
+		return Summary{}, err
+	}
+	return sum, nil
 }
 
 // Engine executes campaigns on the process-shared experiment engine.
@@ -131,75 +381,24 @@ func (e *Engine) batchSize() int {
 // front end — a resubmitted campaign re-simulates only points the caches
 // have never seen. A non-nil error from emit or ctx aborts the campaign.
 func (e *Engine) Run(ctx context.Context, c Campaign, emit func(json.RawMessage) error) (Summary, error) {
-	start := time.Now()
-	c0 := experiments.EngineCounters()
-	idxs, pts, err := c.Expand()
+	rec, err := NewRecorder(c, emit)
 	if err != nil {
 		return Summary{}, err
 	}
-	bl := c.baselineL2()
-	if err := emitRec(emit, Header{
-		Type:       "campaign",
-		Name:       c.Name,
-		Strategy:   strategyName(c.Sample.Strategy),
-		Grid:       c.GridSize(),
-		Points:     len(pts),
-		BaselineL2: bl,
-	}); err != nil {
-		return Summary{}, err
-	}
-
-	axes := c.axes()
-	allRatios := make([]float64, 0, len(pts))
-	marginPools := map[string]map[string][]float64{}
-	baselinePoints := 0
+	pts := rec.Points()
 
 	// Scheduling order: canonical index order, or — when the engine batches —
 	// points regrouped by trace identity so configs sharing one (mix, seed,
 	// refs) stream land in the same RunJobs call and advance in lockstep over
-	// a single trace walk. Only scheduling changes: completed records are
-	// buffered and emitted (and every float aggregate accumulated) strictly
-	// in index order, so the NDJSON stream is byte-identical either way.
+	// a single trace walk. Only scheduling changes: the Recorder emits (and
+	// accumulates every float aggregate) strictly in index order, so the
+	// NDJSON stream is byte-identical either way.
 	order := make([]int, len(pts))
 	for i := range order {
 		order[i] = i
 	}
 	if experiments.BatchingEnabled() {
 		order = groupedOrder(pts)
-	}
-
-	pending := make([]*PointRecord, len(pts))
-	flushed := 0
-	flush := func() error {
-		for flushed < len(pts) && pending[flushed] != nil {
-			rec := pending[flushed]
-			pending[flushed] = nil
-			if rec.Baseline {
-				baselinePoints++
-			} else {
-				allRatios = append(allRatios, rec.Speedup...)
-				coord := idxs[flushed]
-				for a := len(axes) - 1; a >= 0; a-- {
-					ax := axes[a]
-					vi := int(coord % int64(ax.n))
-					coord /= int64(ax.n)
-					if ax.n < 2 {
-						continue
-					}
-					pool := marginPools[ax.name]
-					if pool == nil {
-						pool = map[string][]float64{}
-						marginPools[ax.name] = pool
-					}
-					pool[ax.label(vi)] = append(pool[ax.label(vi)], rec.Speedup...)
-				}
-			}
-			if err := emitRec(emit, *rec); err != nil {
-				return err
-			}
-			flushed++
-		}
-		return nil
 	}
 
 	B := e.batchSize()
@@ -225,76 +424,28 @@ func (e *Engine) Run(ctx context.Context, c Campaign, emit func(json.RawMessage)
 		type slot struct{ self, base int }
 		slots := make([]slot, hi-lo)
 		for i, pos := range order[lo:hi] {
-			p := pts[pos]
-			if p.L2 == bl {
-				slots[i] = slot{self: add(p), base: -1}
+			self, base, hasBase := rec.Pair(pos)
+			if !hasBase {
+				slots[i] = slot{self: add(self), base: -1}
 				continue
 			}
-			q := p
-			q.L2 = bl
-			slots[i] = slot{base: add(q), self: add(p)}
+			slots[i] = slot{base: add(base), self: add(self)}
 		}
 		results, err := experiments.RunJobs(ctx, jobs, e.Workers)
 		if err != nil {
 			return Summary{}, err
 		}
 		for i, pos := range order[lo:hi] {
-			rec := &PointRecord{
-				Type:    "point",
-				Index:   idxs[pos],
-				Point:   pts[pos],
-				Metrics: metricsOf(results[slots[i].self]),
+			var base *sim.Result
+			if slots[i].base >= 0 {
+				base = &results[slots[i].base]
 			}
-			if slots[i].base < 0 {
-				rec.Baseline = true
-			} else {
-				rec.Speedup = sim.Speedup(results[slots[i].base], results[slots[i].self])
+			if err := rec.Complete(pos, results[slots[i].self], base); err != nil {
+				return Summary{}, err
 			}
-			pending[pos] = rec
-		}
-		if err := flush(); err != nil {
-			return Summary{}, err
 		}
 	}
-
-	sum := Summary{
-		Type:           "summary",
-		Name:           c.Name,
-		Points:         len(pts),
-		BaselinePoints: baselinePoints,
-	}
-	kept, dropped := stats.FiniteRatios(allRatios)
-	sum.Dropped = dropped
-	if len(kept) > 0 {
-		g := stats.GeomeanSpeedupPct(kept)
-		sum.GeomeanSpeedupPct = &g
-	}
-	for name, pool := range marginPools {
-		for label, ratios := range pool {
-			g := stats.GeomeanSpeedupPct(ratios)
-			if math.IsNaN(g) {
-				continue
-			}
-			if sum.Marginals == nil {
-				sum.Marginals = map[string]map[string]float64{}
-			}
-			if sum.Marginals[name] == nil {
-				sum.Marginals[name] = map[string]float64{}
-			}
-			sum.Marginals[name][label] = g
-		}
-	}
-	c1 := experiments.EngineCounters()
-	sum.Engine = EngineDelta{
-		Sims:     c1.Sims - c0.Sims,
-		MemoHits: c1.MemoHits - c0.MemoHits,
-		DiskHits: c1.DiskHits - c0.DiskHits,
-	}
-	sum.ElapsedMS = time.Since(start).Milliseconds()
-	if err := emitRec(emit, sum); err != nil {
-		return Summary{}, err
-	}
-	return sum, nil
+	return rec.Finish(nil)
 }
 
 func strategyName(s string) string {

@@ -1,0 +1,161 @@
+package sweep
+
+import (
+	"context"
+	"encoding/json"
+	"strings"
+	"testing"
+
+	"dspatch/internal/experiments"
+	"dspatch/internal/sim"
+)
+
+// recorderCampaign is a distinct spec (refs=659) so memo cross-talk with
+// other tests can't mask a simulation.
+func recorderCampaign() Campaign {
+	return Campaign{
+		Name: "rec",
+		Base: Point{Refs: 659},
+		Axes: Axes{
+			Workloads: []Mix{{"mcf"}, {"tpcc"}},
+			L2:        []string{"none", "spp"},
+		},
+	}
+}
+
+// runPoint simulates one point through the shared engine.
+func runPoint(t *testing.T, p Point) sim.Result {
+	t.Helper()
+	res, err := experiments.RunJobs(context.Background(), []experiments.Job{p.Job()}, 1)
+	if err != nil {
+		t.Fatalf("RunJobs: %v", err)
+	}
+	return res[0]
+}
+
+// TestRecorderOutOfOrderMatchesEngine feeds completions in reverse position
+// order — the worst case a fleet can produce — and requires the stream to be
+// byte-identical to Engine.Run's. This is the invariant the coordinator
+// leans on: stream bytes are a pure function of the spec, not of scheduling.
+func TestRecorderOutOfOrderMatchesEngine(t *testing.T) {
+	c := recorderCampaign()
+	want := collect(t, Engine{Workers: 2}, c)
+
+	var got []string
+	rec, err := NewRecorder(c, func(line json.RawMessage) error {
+		got = append(got, string(line))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	for pos := rec.Len() - 1; pos >= 0; pos-- {
+		self, base, hasBase := rec.Pair(pos)
+		var basep *sim.Result
+		if hasBase {
+			r := runPoint(t, base)
+			basep = &r
+		}
+		if err := rec.Complete(pos, runPoint(t, self), basep); err != nil {
+			t.Fatalf("Complete(%d): %v", pos, err)
+		}
+	}
+	if _, err := rec.Finish(nil); err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+
+	if len(got) != len(want) {
+		t.Fatalf("recorder emitted %d records, engine %d", len(got), len(want))
+	}
+	for k := range want {
+		a, b := want[k], got[k]
+		if k == len(want)-1 {
+			a, b = stripSummaryTelemetry(t, a), stripSummaryTelemetry(t, b)
+		}
+		if a != b {
+			t.Errorf("record %d differs:\nengine:   %s\nrecorder: %s", k, a, b)
+		}
+	}
+}
+
+// TestRecorderDropAccounting drops one position mid-stream: the stream must
+// continue past it, the summary must list it under dropped_points with its
+// reason, and nothing else about the surviving records may change.
+func TestRecorderDropAccounting(t *testing.T) {
+	c := recorderCampaign()
+	var lines []string
+	rec, err := NewRecorder(c, func(line json.RawMessage) error {
+		lines = append(lines, string(line))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	n := rec.Len()
+	if n < 3 {
+		t.Fatalf("campaign too small: %d points", n)
+	}
+	dropPos := 1
+	for pos := 0; pos < n; pos++ {
+		if pos == dropPos {
+			if err := rec.Drop(pos, "max attempts (4) exhausted: worker error"); err != nil {
+				t.Fatalf("Drop: %v", err)
+			}
+			// A late completion for a dropped position must be ignored.
+			if err := rec.Drop(pos, "other reason"); err != nil {
+				t.Fatalf("second Drop: %v", err)
+			}
+			continue
+		}
+		self, base, hasBase := rec.Pair(pos)
+		var basep *sim.Result
+		if hasBase {
+			r := runPoint(t, base)
+			basep = &r
+		}
+		if err := rec.Complete(pos, runPoint(t, self), basep); err != nil {
+			t.Fatalf("Complete(%d): %v", pos, err)
+		}
+	}
+	sum, err := rec.Finish(&FleetSummary{Workers: 3, Dispatches: 7, Redispatches: 3})
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+
+	// Header + (n-1) points + summary.
+	if len(lines) != 1+(n-1)+1 {
+		t.Fatalf("records = %d, want %d", len(lines), n+1)
+	}
+	for _, line := range lines[1 : len(lines)-1] {
+		if strings.Contains(line, `"index":1,`) {
+			t.Fatalf("dropped point leaked into the stream: %s", line)
+		}
+	}
+	if len(sum.DroppedPoints) != 1 {
+		t.Fatalf("DroppedPoints = %+v", sum.DroppedPoints)
+	}
+	dp := sum.DroppedPoints[0]
+	if dp.Index != 1 || dp.Reason != "max attempts (4) exhausted: worker error" {
+		t.Fatalf("dropped point = %+v", dp)
+	}
+	if sum.Fleet == nil || sum.Fleet.Workers != 3 || sum.Fleet.Redispatches != 3 {
+		t.Fatalf("Fleet = %+v", sum.Fleet)
+	}
+	// The marshaled summary line carries both.
+	last := lines[len(lines)-1]
+	if !strings.Contains(last, `"dropped_points":[`) || !strings.Contains(last, `"fleet":{`) {
+		t.Fatalf("summary line missing fleet fields: %s", last)
+	}
+}
+
+// TestRecorderFinishRefusesUnresolved ensures a wedged run can't silently
+// lose points: Finish fails loudly while positions are unaccounted for.
+func TestRecorderFinishRefusesUnresolved(t *testing.T) {
+	rec, err := NewRecorder(recorderCampaign(), nil)
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	if _, err := rec.Finish(nil); err == nil {
+		t.Fatal("Finish succeeded with every position unresolved")
+	}
+}

@@ -26,6 +26,13 @@ type (
 	ServiceJobStatus = service.JobStatus
 	// ServiceHealth is the /healthz body.
 	ServiceHealth = service.Health
+	// ServiceFleetConfig makes Serve a campaign coordinator over worker
+	// daemons (dspatchd -coordinator): lease-based dispatch, retry and
+	// re-dispatch on failure, byte-identical streams.
+	ServiceFleetConfig = service.FleetConfig
+	// ServiceRetryPolicy governs client-side 503 retries: capped exponential
+	// backoff with jitter, honoring Retry-After.
+	ServiceRetryPolicy = service.RetryPolicy
 )
 
 // Job lifecycle states.
@@ -46,7 +53,13 @@ func Serve(ctx context.Context, cfg ServiceConfig) error {
 }
 
 // NewServiceClient returns a client for the daemon at baseURL
-// (e.g. "http://127.0.0.1:8491").
+// (e.g. "http://127.0.0.1:8491") with the default retry policy: transient
+// 503 load-shedding answers (full queue, drain in progress) are retried
+// with capped exponential backoff and jitter, honoring the daemon's
+// Retry-After hint, bounded by the request context. Set Retry to nil (or a
+// custom ServiceRetryPolicy) to change that.
 func NewServiceClient(baseURL string) *ServiceClient {
-	return service.NewClient(baseURL)
+	c := service.NewClient(baseURL)
+	c.Retry = service.DefaultRetryPolicy()
+	return c
 }
