@@ -12,12 +12,24 @@
 //
 //	dspatchd -coordinator -workers http://w1:8491,http://w2:8491 \
 //	         -store-dir /shared/results -lease-ttl 60s -max-attempts 4
+//	dspatchd -coordinator -workers-file /etc/dspatch/workers.txt  # dynamic roster
 //
 // A coordinator executes campaigns across the worker daemons: points are
 // dispatched under leases, failures re-dispatch elsewhere with backoff, and
 // the NDJSON stream stays byte-identical to a single-node run. The
 // -chaos-file flag arms a deterministic fault-injection schedule on a
 // worker (test/CI tooling, never production).
+//
+// Durability and self-protection (see the README's Durability section):
+//
+//	dspatchd -store-dir /var/lib/dspatchd            # crash-recoverable campaigns
+//	dspatchd -store-dir /var/lib/dspatchd -store pack
+//	dspatchd -quota-rate 2 -quota-burst 10 -campaign-high 16
+//
+// With -store-dir every campaign appends terminal point events to a
+// write-ahead journal; a crashed or restarted daemon resumes unsealed
+// campaigns under their original job IDs, re-running only unfinished
+// points while the NDJSON stream stays byte-identical.
 //
 // The daemon drains gracefully on SIGINT/SIGTERM: intake stops, running
 // jobs get -drain-timeout to finish (then are canceled), and the process
@@ -65,9 +77,16 @@ func appMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	maxCampStreams := fs.Int("max-campaign-streams", 0, "finished campaigns keeping their full NDJSON stream in memory (0 = default 64)")
 	coordinator := fs.Bool("coordinator", false, "execute campaigns across -workers daemons instead of the local engine")
 	workers := fs.String("workers", "", "comma-separated worker daemon URLs (requires -coordinator)")
-	storeDir := fs.String("store-dir", "", "shared result store directory for fleet dedup (requires -coordinator)")
+	workersFile := fs.String("workers-file", "", "worker roster file, one URL per line, reloaded periodically (requires -coordinator; joins admit via /readyz)")
+	workersReload := fs.Duration("workers-reload", 0, "roster reload period for -workers-file (0 = default 5s)")
+	storeDir := fs.String("store-dir", "", "durable result store + campaign journal directory (crash resume; fleet dedup)")
+	storeBackend := fs.String("store", "", "result store backend under -store-dir: dir (default) or pack")
 	leaseTTL := fs.Duration("lease-ttl", 0, "dispatch lease before a worker is presumed hung (0 = default 60s)")
 	maxAttempts := fs.Int("max-attempts", 0, "dispatches per point before it is dropped with a reason (0 = default 4)")
+	quotaRate := fs.Float64("quota-rate", 0, "per-client submission tokens per second (0 = quotas off; keyed by X-Dspatch-Client)")
+	quotaBurst := fs.Int("quota-burst", 0, "per-client token-bucket capacity (0 = default 8; requires -quota-rate)")
+	campHigh := fs.Int("campaign-high", 0, "active-campaign count that sheds new campaigns with 503 (0 = off)")
+	campLow := fs.Int("campaign-low", 0, "active-campaign count that re-opens admission after a shed (0 = default campaign-high/2)")
 	chaosFile := fs.String("chaos-file", "", "fault-injection schedule JSON (test tooling; see internal/service/chaos)")
 	chaosWorker := fs.String("chaos-worker", "", "label matching this daemon in the -chaos-file schedule")
 	if err := fs.Parse(args); err != nil {
@@ -99,18 +118,42 @@ func appMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		return fail(fmt.Sprintf("-max-campaign-streams must be non-negative, got %d", *maxCampStreams))
 	case *noCache && *cacheDir == "":
 		return fail("-no-cache without -cache-dir has nothing to disable")
-	case *coordinator && *workers == "":
-		return fail("-coordinator requires -workers")
+	case *coordinator && *workers == "" && *workersFile == "":
+		return fail("-coordinator requires -workers or -workers-file")
+	case *workers != "" && *workersFile != "":
+		return fail("-workers and -workers-file are mutually exclusive")
 	case !*coordinator && *workers != "":
 		return fail("-workers requires -coordinator")
-	case !*coordinator && *storeDir != "":
-		return fail("-store-dir requires -coordinator")
+	case !*coordinator && *workersFile != "":
+		return fail("-workers-file requires -coordinator")
+	case !*coordinator && *workersReload != 0:
+		return fail("-workers-reload requires -coordinator")
+	case *workersReload < 0:
+		return fail(fmt.Sprintf("-workers-reload must be non-negative, got %s", *workersReload))
+	case *storeBackend != "" && *storeBackend != "dir" && *storeBackend != "pack":
+		return fail(fmt.Sprintf("-store must be dir or pack, got %q", *storeBackend))
+	case *storeBackend != "" && *storeDir == "":
+		return fail("-store requires -store-dir")
 	case !*coordinator && (*leaseTTL != 0 || *maxAttempts != 0):
 		return fail("-lease-ttl/-max-attempts require -coordinator")
 	case *leaseTTL < 0:
 		return fail(fmt.Sprintf("-lease-ttl must be non-negative, got %s", *leaseTTL))
 	case *maxAttempts < 0:
 		return fail(fmt.Sprintf("-max-attempts must be non-negative, got %d", *maxAttempts))
+	case *quotaRate < 0:
+		return fail(fmt.Sprintf("-quota-rate must be non-negative, got %g", *quotaRate))
+	case *quotaBurst < 0:
+		return fail(fmt.Sprintf("-quota-burst must be non-negative, got %d", *quotaBurst))
+	case *quotaBurst > 0 && *quotaRate == 0:
+		return fail("-quota-burst requires -quota-rate")
+	case *campHigh < 0:
+		return fail(fmt.Sprintf("-campaign-high must be non-negative, got %d", *campHigh))
+	case *campLow < 0:
+		return fail(fmt.Sprintf("-campaign-low must be non-negative, got %d", *campLow))
+	case *campLow > 0 && *campHigh == 0:
+		return fail("-campaign-low requires -campaign-high")
+	case *campHigh > 0 && *campLow >= *campHigh:
+		return fail(fmt.Sprintf("-campaign-low (%d) must be below -campaign-high (%d)", *campLow, *campHigh))
 	case *chaosWorker != "" && *chaosFile == "":
 		return fail("-chaos-worker requires -chaos-file")
 	}
@@ -128,18 +171,21 @@ func appMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 				urls = append(urls, strings.TrimRight(u, "/"))
 			}
 		}
-		if len(urls) == 0 {
+		if len(urls) == 0 && *workersFile == "" {
 			return fail("-workers has no usable URLs")
 		}
 		fleet = &service.FleetConfig{
-			Workers:     urls,
-			StoreDir:    *storeDir,
-			LeaseTTL:    *leaseTTL,
-			MaxAttempts: *maxAttempts,
+			Workers:       urls,
+			WorkersFile:   *workersFile,
+			WorkersReload: *workersReload,
+			StoreDir:      *storeDir,
+			LeaseTTL:      *leaseTTL,
+			MaxAttempts:   *maxAttempts,
 		}
 	}
 
 	var middleware func(http.Handler) http.Handler
+	crashAfterPoints := 0
 	if *chaosFile != "" {
 		sched, err := chaos.Load(*chaosFile)
 		if err != nil {
@@ -151,6 +197,8 @@ func appMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		middleware = func(next http.Handler) http.Handler {
 			return chaos.NewInjector(sched, label, next)
 		}
+		// Point-triggered crashes fire inside the daemon, not the HTTP layer.
+		crashAfterPoints = sched.PointCrash(label)
 	}
 
 	cfg := service.Config{
@@ -164,6 +212,13 @@ func appMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 		DrainTimeout:       *drain,
 		MaxWait:            *maxWait,
 		MaxCampaignStreams: *maxCampStreams,
+		StoreDir:           *storeDir,
+		StoreBackend:       *storeBackend,
+		QuotaRate:          *quotaRate,
+		QuotaBurst:         *quotaBurst,
+		CampaignHighWater:  *campHigh,
+		CampaignLowWater:   *campLow,
+		CrashAfterPoints:   crashAfterPoints,
 		Fleet:              fleet,
 		Middleware:         middleware,
 		Logf: func(format string, a ...any) {

@@ -39,7 +39,19 @@ func TestBadFlagsExitNonZero(t *testing.T) {
 		{"no-cache without cache-dir", []string{"-no-cache"}, "-no-cache"},
 		{"coordinator without workers", []string{"-coordinator"}, "-coordinator requires -workers"},
 		{"workers without coordinator", []string{"-workers", "http://w1:8491"}, "-workers requires -coordinator"},
-		{"store-dir without coordinator", []string{"-store-dir", "/tmp/results"}, "-store-dir requires -coordinator"},
+		{"workers-file without coordinator", []string{"-workers-file", "/tmp/workers.txt"}, "-workers-file requires -coordinator"},
+		{"workers and workers-file", []string{"-coordinator", "-workers", "http://w1", "-workers-file", "/tmp/w.txt"}, "mutually exclusive"},
+		{"workers-reload without coordinator", []string{"-workers-reload", "10s"}, "-workers-reload requires -coordinator"},
+		{"negative workers-reload", []string{"-coordinator", "-workers-file", "/tmp/w.txt", "-workers-reload", "-1s"}, "-workers-reload"},
+		{"unknown store backend", []string{"-store-dir", "/tmp/results", "-store", "sqlite"}, "-store must be dir or pack"},
+		{"store without store-dir", []string{"-store", "pack"}, "-store requires -store-dir"},
+		{"negative quota-rate", []string{"-quota-rate", "-1"}, "-quota-rate"},
+		{"negative quota-burst", []string{"-quota-burst", "-1"}, "-quota-burst"},
+		{"quota-burst without quota-rate", []string{"-quota-burst", "5"}, "-quota-burst requires -quota-rate"},
+		{"negative campaign-high", []string{"-campaign-high", "-1"}, "-campaign-high"},
+		{"negative campaign-low", []string{"-campaign-low", "-1"}, "-campaign-low"},
+		{"campaign-low without campaign-high", []string{"-campaign-low", "2"}, "-campaign-low requires -campaign-high"},
+		{"campaign-low above high", []string{"-campaign-high", "2", "-campaign-low", "3"}, "below -campaign-high"},
 		{"lease-ttl without coordinator", []string{"-lease-ttl", "10s"}, "require -coordinator"},
 		{"max-attempts without coordinator", []string{"-max-attempts", "2"}, "require -coordinator"},
 		{"negative lease-ttl", []string{"-coordinator", "-workers", "http://w1", "-lease-ttl", "-1s"}, "-lease-ttl"},

@@ -3,6 +3,7 @@ package service
 import (
 	"bytes"
 	"encoding/json"
+	"errors"
 	"net/http"
 	"strings"
 	"testing"
@@ -189,8 +190,9 @@ func TestWaitValidationAndClamp(t *testing.T) {
 }
 
 // TestCampaignStreamRetentionCap: only the newest MaxCampaignStreams
-// terminal campaigns keep their NDJSON streams; older ones answer 410 while
-// their summary stays on the job record.
+// terminal campaigns keep their NDJSON streams; older ones answer 410 —
+// surfaced by the client as *CampaignEvictedError — while their summary
+// stays on the job record.
 func TestCampaignStreamRetentionCap(t *testing.T) {
 	_, c := newTestServer(t, Config{JobWorkers: 1, SimWorkers: 2, MaxCampaignStreams: 1})
 	ctx := ctxT(t)
@@ -210,9 +212,9 @@ func TestCampaignStreamRetentionCap(t *testing.T) {
 		t.Fatal(err)
 	}
 
-	var ae *APIError
-	if _, err := c.CampaignRecords(ctx, first.ID, 0); !asAPIError(err, &ae) || ae.StatusCode != http.StatusGone {
-		t.Fatalf("evicted stream: got %v, want 410", err)
+	var ev *CampaignEvictedError
+	if _, err := c.CampaignRecords(ctx, first.ID, 0); !errors.As(err, &ev) || ev.ID != first.ID {
+		t.Fatalf("evicted stream: got %v, want *CampaignEvictedError for %s", err, first.ID)
 	}
 	// The job record — summary included — survives the stream eviction.
 	j, err := c.Job(ctx, first.ID)

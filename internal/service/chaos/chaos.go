@@ -37,6 +37,26 @@ const (
 	KindShed = "shed"
 	// KindError answers the triggering request with a 500.
 	KindError = "error"
+	// KindCrash hard-exits the whole process at the trigger (exit code 137,
+	// what a SIGKILLed process reports) — unlike KindKill, which only plays
+	// dead at the HTTP layer, this is a real crash the daemon's write-ahead
+	// journal must survive. With On="point" the trigger is the Nth campaign
+	// point record the daemon emits (armed via dspatchd, not this
+	// middleware): the coordinator crash-kill scenario.
+	KindCrash = "crash"
+)
+
+// Fault trigger events (the On field).
+const (
+	// OnDispatch (the default) counts POST /v1/runs requests on the wrapped
+	// worker.
+	OnDispatch = "dispatch"
+	// OnPoint counts campaign point records emitted by the daemon itself.
+	// Only valid with KindCrash; the daemon arms it outside the middleware
+	// (see dspatchd -chaos-file and service.Config.CrashAfterPoints), so the
+	// crash lands at a deterministic depth into the campaign stream — after
+	// the point was journaled, the worst instant a real crash could pick.
+	OnPoint = "point"
 )
 
 // Fault is one scheduled misbehavior.
@@ -46,11 +66,14 @@ type Fault struct {
 	Worker string `json:"worker,omitempty"`
 	// Kind is one of the Kind* constants.
 	Kind string `json:"kind"`
-	// At is the 1-based dispatch ordinal (POST /v1/runs count on this
-	// worker) that triggers the fault.
+	// At is the 1-based ordinal of the trigger event (dispatch count by
+	// default; campaign point count with On="point") that fires the fault.
 	At int `json:"at"`
 	// Count extends KindShed to a burst of consecutive 503s (default 1).
 	Count int `json:"count,omitempty"`
+	// On selects the trigger event: OnDispatch (default) or OnPoint
+	// (KindCrash only).
+	On string `json:"on,omitempty"`
 }
 
 // Schedule is a set of faults, typically loaded from a -chaos-file.
@@ -62,9 +85,18 @@ type Schedule struct {
 func (s *Schedule) Validate() error {
 	for i, f := range s.Faults {
 		switch f.Kind {
-		case KindKill, KindTimeout, KindShed, KindError:
+		case KindKill, KindTimeout, KindShed, KindError, KindCrash:
 		default:
 			return fmt.Errorf("chaos: fault %d: unknown kind %q", i, f.Kind)
+		}
+		switch f.On {
+		case "", OnDispatch:
+		case OnPoint:
+			if f.Kind != KindCrash {
+				return fmt.Errorf("chaos: fault %d: on=%q is only valid with kind %q", i, OnPoint, KindCrash)
+			}
+		default:
+			return fmt.Errorf("chaos: fault %d: unknown trigger %q", i, f.On)
 		}
 		if f.At <= 0 {
 			return fmt.Errorf("chaos: fault %d: at must be >= 1, got %d", i, f.At)
@@ -74,6 +106,18 @@ func (s *Schedule) Validate() error {
 		}
 	}
 	return nil
+}
+
+// PointCrash returns the At ordinal of the first point-triggered crash
+// fault matching worker (0 when there is none) — the value a daemon feeds
+// into its CrashAfterPoints hook.
+func (s *Schedule) PointCrash(worker string) int {
+	for _, f := range s.Faults {
+		if f.Kind == KindCrash && f.On == OnPoint && (f.Worker == "" || f.Worker == worker) {
+			return f.At
+		}
+	}
+	return 0
 }
 
 // Load reads a schedule from a JSON file.
@@ -98,6 +142,10 @@ type Injector struct {
 	worker string
 	next   http.Handler
 
+	// ExitFn is what a dispatch-triggered KindCrash calls (default
+	// os.Exit(137)); tests override it.
+	ExitFn func()
+
 	mu        sync.Mutex
 	faults    []Fault
 	dispatch  int  // POST /v1/runs ordinal
@@ -107,11 +155,13 @@ type Injector struct {
 }
 
 // NewInjector builds the middleware for a worker labeled worker, applying
-// the schedule's matching faults around next.
+// the schedule's matching faults around next. Point-triggered faults are
+// skipped: they are armed inside the daemon (see Schedule.PointCrash), not
+// at the HTTP layer.
 func NewInjector(s *Schedule, worker string, next http.Handler) *Injector {
-	inj := &Injector{worker: worker, next: next}
+	inj := &Injector{worker: worker, next: next, ExitFn: func() { os.Exit(137) }}
 	for _, f := range s.Faults {
-		if f.Worker == "" || f.Worker == worker {
+		if (f.Worker == "" || f.Worker == worker) && f.On != OnPoint {
 			inj.faults = append(inj.faults, f)
 		}
 	}
@@ -163,6 +213,16 @@ func (inj *Injector) ServeHTTP(w http.ResponseWriter, r *http.Request) {
 			case KindError:
 				inj.mu.Unlock()
 				http.Error(w, `{"error":"chaos: injected worker error"}`, http.StatusInternalServerError)
+				return
+			case KindCrash:
+				inj.mu.Unlock()
+				inj.ExitFn()
+				// Tests override ExitFn with a non-exiting stub; behave like
+				// a kill from here on so the harness still sees a dead worker.
+				inj.mu.Lock()
+				inj.killed = true
+				inj.mu.Unlock()
+				blackhole(w)
 				return
 			}
 			break

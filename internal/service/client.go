@@ -30,6 +30,10 @@ type Client struct {
 	// accounting. Interactive and batch clients set a policy (see
 	// DefaultRetryPolicy) and ride out shed bursts transparently.
 	Retry *RetryPolicy
+	// ClientID, when non-empty, is sent as the X-Dspatch-Client header on
+	// every request — the key the daemon's per-client quota buckets charge
+	// against. Unidentified clients share one anonymous bucket.
+	ClientID string
 }
 
 // RetryPolicy is capped exponential backoff with deterministic jitter for
@@ -166,6 +170,9 @@ func (c *Client) doOnce(ctx context.Context, method, path string, body []byte, o
 	if body != nil {
 		req.Header.Set("Content-Type", "application/json")
 	}
+	if c.ClientID != "" {
+		req.Header.Set(clientIDHeader, c.ClientID)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return err
@@ -269,10 +276,31 @@ func (c *Client) SubmitCampaign(ctx context.Context, spec sweep.Campaign) (JobVi
 	return j, err
 }
 
+// CampaignEvictedError is the typed form of 410 Gone from GET
+// /v1/campaigns/{id}: the campaign's full record stream was evicted by the
+// -max-campaign-streams retention cap, but the job record — summary
+// included — remains. Summary carries that retained summary when the client
+// could fetch it, so callers keep the aggregate without the stream.
+type CampaignEvictedError struct {
+	// ID is the campaign's job ID.
+	ID string
+	// Message is the daemon's explanation.
+	Message string
+	// Summary is the campaign's summary record retained on the job (nil if
+	// the follow-up job fetch failed).
+	Summary json.RawMessage
+}
+
+func (e *CampaignEvictedError) Error() string {
+	return fmt.Sprintf("dspatchd: campaign %s stream evicted: %s", e.ID, e.Message)
+}
+
 // CampaignStream opens the campaign's NDJSON record stream. A zero wait
 // returns a snapshot of the records so far; a positive wait follows live
 // appends until the campaign finishes or the window (clamped server-side)
-// elapses. The caller owns the ReadCloser.
+// elapses. The caller owns the ReadCloser. A 410 Gone — the stream fell out
+// of the retention window — is returned as a *CampaignEvictedError carrying
+// the summary retained on the job record.
 func (c *Client) CampaignStream(ctx context.Context, id string, wait time.Duration) (io.ReadCloser, error) {
 	path := "/v1/campaigns/" + id
 	if wait > 0 {
@@ -282,6 +310,9 @@ func (c *Client) CampaignStream(ctx context.Context, id string, wait time.Durati
 	if err != nil {
 		return nil, err
 	}
+	if c.ClientID != "" {
+		req.Header.Set(clientIDHeader, c.ClientID)
+	}
 	resp, err := c.httpClient().Do(req)
 	if err != nil {
 		return nil, err
@@ -289,11 +320,22 @@ func (c *Client) CampaignStream(ctx context.Context, id string, wait time.Durati
 	if resp.StatusCode != http.StatusOK {
 		data, _ := io.ReadAll(resp.Body)
 		resp.Body.Close()
+		msg := strings.TrimSpace(string(data))
 		var ae apiError
 		if json.Unmarshal(data, &ae) == nil && ae.Error != "" {
-			return nil, &APIError{StatusCode: resp.StatusCode, Message: ae.Error}
+			msg = ae.Error
 		}
-		return nil, &APIError{StatusCode: resp.StatusCode, Message: strings.TrimSpace(string(data))}
+		if resp.StatusCode == http.StatusGone {
+			ev := &CampaignEvictedError{ID: id, Message: msg}
+			// Best-effort: the job record outlives the stream and holds the
+			// summary; losing this race (job table eviction) just leaves
+			// Summary nil.
+			if jv, err := c.Job(ctx, id); err == nil {
+				ev.Summary = jv.Result
+			}
+			return nil, ev
+		}
+		return nil, &APIError{StatusCode: resp.StatusCode, Message: msg}
 	}
 	return resp.Body, nil
 }

@@ -44,6 +44,10 @@ type fleetRun struct {
 	spec    sweep.Point
 	res     *sim.Result
 	waiters []runWaiter
+	// durable marks the result as present in the shared store (pre-pass hit
+	// or successful Put) — the precondition for journaling a completion
+	// that references it.
+	durable bool
 }
 
 type runWaiter struct {
@@ -60,8 +64,13 @@ type dispatchEvent struct {
 }
 
 // runFleetCampaign executes camp across s.fleet's workers, emitting the
-// canonical NDJSON stream through emit.
-func (s *Server) runFleetCampaign(ctx context.Context, camp sweep.Campaign, emit func(json.RawMessage) error) (sweep.Summary, error) {
+// canonical NDJSON stream through emit. jl, when non-nil, receives the
+// write-ahead record of every terminal point event (after its results are
+// durable in the shared store) plus the sealed summary; resume, when
+// non-nil, is a recovered journal's state — journaled completions replay
+// from the store with zero dispatches and only unfinished points enter the
+// dispatcher.
+func (s *Server) runFleetCampaign(ctx context.Context, camp sweep.Campaign, emit func(json.RawMessage) error, jl *sweep.Journal, resume *sweep.JournalState) (sweep.Summary, error) {
 	cfg := *s.fleet
 	rec, err := sweep.NewRecorder(camp, emit)
 	if err != nil {
@@ -106,14 +115,42 @@ func (s *Server) runFleetCampaign(ctx context.Context, camp sweep.Campaign, emit
 	}
 
 	posDropped := make([]bool, rec.Len())
+	posResolved := make([]bool, rec.Len()) // settled by journal replay; never touched again
 	remaining := rec.Len()
+
+	// journalDone appends a point's terminal frame, degrading on the first
+	// append error: the campaign keeps running, it just stops being
+	// resumable past that event. The journal only claims results the store
+	// durably holds (both runs' durable flags), so a replay either finds
+	// them or safely re-runs the point.
+	journalDone := func(pos int) {
+		if jl == nil {
+			return
+		}
+		selfRun := runs[posSelf[pos]]
+		baseKey := ""
+		if posBase[pos] >= 0 && posBase[pos] != posSelf[pos] {
+			baseRun := runs[posBase[pos]]
+			if !baseRun.durable {
+				return
+			}
+			baseKey = baseRun.key
+		}
+		if !selfRun.durable {
+			return
+		}
+		if err := jl.Done(pos, selfRun.key, baseKey); err != nil {
+			s.cfg.Logf("fleet: campaign journal degraded, run no longer resumable: %v", err)
+			jl = nil
+		}
+	}
 
 	// completeRun delivers a run's result to every waiting position and
 	// emits the records that become flushable.
 	completeRun := func(r *fleetRun, res *sim.Result) error {
 		r.res = res
 		for _, wt := range r.waiters {
-			if posDropped[wt.pos] {
+			if posDropped[wt.pos] || posResolved[wt.pos] {
 				continue
 			}
 			posNeed[wt.pos]--
@@ -127,6 +164,7 @@ func (s *Server) runFleetCampaign(ctx context.Context, camp sweep.Campaign, emit
 			if err := rec.Complete(wt.pos, *runs[posSelf[wt.pos]].res, basep); err != nil {
 				return err
 			}
+			journalDone(wt.pos)
 			remaining--
 		}
 		return nil
@@ -134,35 +172,66 @@ func (s *Server) runFleetCampaign(ctx context.Context, camp sweep.Campaign, emit
 	// dropRun abandons every position waiting on the run, with a reason.
 	dropRun := func(r *fleetRun, reason string) error {
 		for _, wt := range r.waiters {
-			if posDropped[wt.pos] {
+			if posDropped[wt.pos] || posResolved[wt.pos] {
 				continue
 			}
 			posDropped[wt.pos] = true
 			if err := rec.Drop(wt.pos, reason); err != nil {
 				return err
 			}
+			if jl != nil {
+				if err := jl.Drop(wt.pos, reason); err != nil {
+					s.cfg.Logf("fleet: campaign journal degraded, run no longer resumable: %v", err)
+					jl = nil
+				}
+			}
 			remaining--
 		}
 		return nil
 	}
 
+	// The shared result store: the server's durable store (Config.StoreDir,
+	// adopted from FleetConfig.StoreDir when only that is set).
+	store := s.store
+
+	// Journal replay: terminal events from a pre-crash incarnation settle
+	// their positions straight from the store — zero dispatches, zero
+	// simulations — before anything is deduplicated into the pending set.
+	if resume != nil && store != nil {
+		replayed, err := resume.Replay(rec, store)
+		if err != nil {
+			return sweep.Summary{}, err
+		}
+		for pos, ok := range replayed {
+			if ok {
+				posResolved[pos] = true
+				remaining--
+			}
+		}
+	}
+
 	// Shared result store pre-pass: runs already present are resolved
 	// without a dispatch. A torn or corrupt entry reads as a miss and the
-	// run is simulated again — the store is never trusted blindly.
-	var store experiments.ResultStore
+	// run is simulated again — the store is never trusted blindly. Runs
+	// every waiter of which was settled by the journal replay are skipped
+	// outright.
 	var storeHits uint64
-	if cfg.StoreDir != "" {
-		ds, err := experiments.NewDirStore(cfg.StoreDir)
-		if err != nil {
-			return sweep.Summary{}, fmt.Errorf("fleet store: %w", err)
-		}
-		store = ds
-	}
 	var pendingRuns []int // run ids needing dispatch
 	for id, r := range runs {
+		needed := false
+		for _, wt := range r.waiters {
+			if !posResolved[wt.pos] && !posDropped[wt.pos] {
+				needed = true
+				break
+			}
+		}
+		if !needed {
+			continue
+		}
 		if store != nil {
 			if res, ok := store.Get(r.key); ok {
 				storeHits++
+				r.durable = true
 				resCopy := res
 				if err := completeRun(r, &resCopy); err != nil {
 					return sweep.Summary{}, err
@@ -189,13 +258,48 @@ func (s *Server) runFleetCampaign(ctx context.Context, camp sweep.Campaign, emit
 		s.cfg.Logf("fleet: worker %s ejected from rotation", url)
 	}
 
+	// Health-gated membership: with a workers file the roster is reloaded
+	// periodically — joiners enter pending (admitted by the next /readyz
+	// probe, through the same machinery that re-admits ejected workers),
+	// removals drain their in-flight leases and leave. A static -workers
+	// list behaves exactly as before.
+	reloadMembership := func(now time.Time) {
+		urls, err := LoadWorkersFile(cfg.WorkersFile)
+		if err != nil {
+			s.cfg.Logf("fleet: workers file: %v (membership unchanged)", err)
+			return
+		}
+		added, removed := pool.setMembership(urls, now)
+		if added > 0 || removed > 0 {
+			s.cfg.Logf("fleet: membership reload: %d joined (pending probe), %d draining", added, removed)
+		}
+	}
+	if cfg.WorkersFile != "" {
+		reloadMembership(time.Now())
+		// Joiners admit through a probe; run one synchronously so a fresh
+		// coordinator doesn't idle a whole probe interval before its first
+		// dispatch.
+		pool.probe(ctx, time.Now(), onEject)
+	}
+
 	var leases, sheds uint64
 	// Every dispatch goroutine sends exactly one event; capacity covers the
 	// maximum concurrency so a send never blocks a goroutine past campaign
-	// abort.
-	events := make(chan dispatchEvent, len(cfg.Workers)*cfg.MaxInflight+1)
+	// abort. With a workers file the roster can grow mid-campaign, so the
+	// buffer is padded generously.
+	eventCap := len(cfg.Workers)*cfg.MaxInflight + 1
+	if cfg.WorkersFile != "" {
+		eventCap += 4096
+	}
+	events := make(chan dispatchEvent, eventCap)
 	probeTick := time.NewTicker(cfg.ProbeInterval)
 	defer probeTick.Stop()
+	var reloadC <-chan time.Time
+	if cfg.WorkersFile != "" {
+		reloadTick := time.NewTicker(cfg.WorkersReload)
+		defer reloadTick.Stop()
+		reloadC = reloadTick.C
+	}
 	probeDone := make(chan struct{}, 1)
 	probing := false
 	var noWorkerSince time.Time
@@ -266,13 +370,15 @@ func (s *Server) runFleetCampaign(ctx context.Context, camp sweep.Campaign, emit
 				pool.reportSuccess(ev.worker)
 				if disp.Complete(ev.dpos) {
 					r := runs[pendingRuns[ev.dpos]]
+					if store != nil {
+						// Best-effort — a failed store write degrades the next
+						// campaign's dedup, never this one's results — but it
+						// must happen before completeRun: the journal frame
+						// written there may only reference durable results.
+						r.durable = store.Put(r.key, *ev.res) == nil
+					}
 					if err := completeRun(r, ev.res); err != nil {
 						return sweep.Summary{}, err
-					}
-					if store != nil {
-						// Best-effort: a failed store write degrades the
-						// next campaign's dedup, never this one's results.
-						_ = store.Put(r.key, *ev.res)
 					}
 				}
 				continue
@@ -311,6 +417,8 @@ func (s *Server) runFleetCampaign(ctx context.Context, camp sweep.Campaign, emit
 			}
 		case <-probeDone:
 			probing = false
+		case <-reloadC:
+			reloadMembership(time.Now())
 		case <-wakeC:
 		case <-ctx.Done():
 			return sweep.Summary{}, ctx.Err()
@@ -318,8 +426,8 @@ func (s *Server) runFleetCampaign(ctx context.Context, camp sweep.Campaign, emit
 	}
 
 	dc := disp.Counters()
-	return rec.Finish(&sweep.FleetSummary{
-		Workers:        len(cfg.Workers),
+	sum, err := rec.Finish(&sweep.FleetSummary{
+		Workers:        pool.memberCount(),
 		Dispatches:     dc.Dispatches,
 		Redispatches:   dc.Redispatches,
 		LeasesExpired:  leases,
@@ -327,6 +435,17 @@ func (s *Server) runFleetCampaign(ctx context.Context, camp sweep.Campaign, emit
 		WorkersEjected: pool.ejectedTotal(),
 		StoreHits:      storeHits,
 	})
+	if err != nil {
+		return sweep.Summary{}, err
+	}
+	if jl != nil {
+		if b, merr := json.Marshal(sum); merr == nil {
+			if err := jl.Seal(b); err != nil {
+				s.cfg.Logf("fleet: campaign journal seal failed: %v", err)
+			}
+		}
+	}
+	return sum, nil
 }
 
 // dispatchRun executes one leased run on one worker under the lease

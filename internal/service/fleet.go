@@ -3,6 +3,8 @@ package service
 import (
 	"context"
 	"net/http"
+	"os"
+	"strings"
 	"sync"
 	"time"
 )
@@ -13,8 +15,19 @@ import (
 // the same byte-identical NDJSON stream a local run produces.
 type FleetConfig struct {
 	// Workers are the base URLs of the worker daemons, e.g.
-	// ["http://10.0.0.1:8491", "http://10.0.0.2:8491"].
+	// ["http://10.0.0.1:8491", "http://10.0.0.2:8491"]. Static members are
+	// trusted immediately (they start healthy).
 	Workers []string
+	// WorkersFile, when non-empty, is a roster file (one worker URL per
+	// line, #-comments allowed) reloaded every WorkersReload during a
+	// campaign: membership becomes dynamic. Unlike static Workers, a worker
+	// joining via the file starts unhealthy-pending and is admitted to the
+	// rotation only once a /readyz probe succeeds — the same machinery that
+	// re-admits ejected workers — and a worker removed from the file drains
+	// its in-flight dispatches gracefully before leaving the pool.
+	WorkersFile string
+	// WorkersReload is the roster reload period (default 5s).
+	WorkersReload time.Duration
 	// StoreDir, when non-empty, is a shared result store (the same
 	// content-addressed layout as -cache-dir): the coordinator consults it
 	// before dispatching and records every worker result into it, so a
@@ -69,7 +82,33 @@ func (c FleetConfig) withDefaults() FleetConfig {
 	if c.NoWorkerGrace <= 0 {
 		c.NoWorkerGrace = 30 * time.Second
 	}
+	if c.WorkersReload <= 0 {
+		c.WorkersReload = 5 * time.Second
+	}
 	return c
+}
+
+// LoadWorkersFile reads a worker roster: one base URL per line, blank lines
+// and #-comments ignored.
+func LoadWorkersFile(path string) ([]string, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, err
+	}
+	var urls []string
+	seen := map[string]bool{}
+	for _, line := range strings.Split(string(data), "\n") {
+		if i := strings.IndexByte(line, '#'); i >= 0 {
+			line = line[:i]
+		}
+		line = strings.TrimSpace(line)
+		if line == "" || seen[line] {
+			continue
+		}
+		seen[line] = true
+		urls = append(urls, line)
+	}
+	return urls, nil
 }
 
 // fleetWorker is one worker daemon's standing in the rotation. Guarded by
@@ -83,6 +122,11 @@ type fleetWorker struct {
 	ejections  int       // lifetime ejections; scales the readmit backoff
 	readmitAt  time.Time // ejected until then; a probe may readmit after
 	inflight   int
+	// draining marks a worker removed from the roster: it takes no new
+	// dispatches and is skipped by probes; release() deletes it from the
+	// pool once its in-flight count reaches zero, so removal never strands
+	// a lease.
+	draining bool
 }
 
 // workerPool tracks worker health for the coordinator: least-loaded healthy
@@ -119,7 +163,7 @@ func (p *workerPool) pick(notURL string) *fleetWorker {
 	var best *fleetWorker
 	for pass := 0; pass < 2; pass++ {
 		for _, w := range p.workers {
-			if !w.healthy || w.inflight >= p.cfg.MaxInflight {
+			if !w.healthy || w.draining || w.inflight >= p.cfg.MaxInflight {
 				continue
 			}
 			if pass == 0 && w.url == notURL {
@@ -143,7 +187,82 @@ func (p *workerPool) pick(notURL string) *fleetWorker {
 func (p *workerPool) release(w *fleetWorker) {
 	p.mu.Lock()
 	w.inflight--
+	if w.draining && w.inflight <= 0 {
+		p.removeLocked(w)
+	}
 	p.mu.Unlock()
+}
+
+func (p *workerPool) removeLocked(w *fleetWorker) {
+	for i, pw := range p.workers {
+		if pw == w {
+			p.workers = append(p.workers[:i:i], p.workers[i+1:]...)
+			return
+		}
+	}
+}
+
+// setMembership reconciles the pool against a freshly loaded roster:
+// unknown URLs join as unhealthy-pending (a probe must admit them), known
+// URLs absent from the roster start draining (re-listing a draining worker
+// reinstates it). It reports how many workers joined and how many were set
+// draining or removed.
+func (p *workerPool) setMembership(urls []string, now time.Time) (added, removed int) {
+	want := make(map[string]bool, len(urls))
+	for _, u := range urls {
+		want[u] = true
+	}
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	have := map[string]*fleetWorker{}
+	for _, w := range p.workers {
+		have[w.url] = w
+	}
+	for _, w := range p.workers {
+		if want[w.url] {
+			if w.draining {
+				w.draining = false
+			}
+			continue
+		}
+		if w.draining {
+			continue
+		}
+		w.draining = true
+		removed++
+	}
+	// Drained idle workers leave immediately; busy ones leave in release().
+	for _, w := range have {
+		if w.draining && w.inflight <= 0 {
+			p.removeLocked(w)
+		}
+	}
+	for _, u := range urls {
+		if _, ok := have[u]; ok {
+			continue
+		}
+		c := NewClient(u)
+		c.HTTPClient = &http.Client{}
+		// Joiners are guilty until probed: healthy=false with a zero
+		// readmitAt makes the next probe cycle consider them due, and a
+		// probe success admits them through the standard re-admission path.
+		p.workers = append(p.workers, &fleetWorker{url: u, client: c})
+		added++
+	}
+	return added, removed
+}
+
+// memberCount reports current (non-draining) roster size.
+func (p *workerPool) memberCount() int {
+	p.mu.Lock()
+	defer p.mu.Unlock()
+	n := 0
+	for _, w := range p.workers {
+		if !w.draining {
+			n++
+		}
+	}
+	return n
 }
 
 // reportSuccess clears the worker's failure streak.
@@ -188,7 +307,7 @@ func (p *workerPool) healthyCount() int {
 	defer p.mu.Unlock()
 	n := 0
 	for _, w := range p.workers {
-		if w.healthy {
+		if w.healthy && !w.draining {
 			n++
 		}
 	}
@@ -211,6 +330,9 @@ func (p *workerPool) probe(ctx context.Context, now time.Time, onEject func(url 
 	p.mu.Lock()
 	var due []*fleetWorker
 	for _, w := range p.workers {
+		if w.draining {
+			continue
+		}
 		if w.healthy || !now.Before(w.readmitAt) {
 			due = append(due, w)
 		}

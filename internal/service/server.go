@@ -53,6 +53,7 @@ import (
 	"path/filepath"
 	"reflect"
 	"runtime"
+	"sort"
 	"strconv"
 	"sync"
 	"sync/atomic"
@@ -98,8 +99,48 @@ type Config struct {
 	// NDJSON record stream in memory (default 64). Older terminal campaigns'
 	// streams are evicted — GET /v1/campaigns/{id} answers 410 and the
 	// summary stays on the job record — so campaign memory is O(streams
-	// retained), not O(jobs retained).
+	// retained), not O(jobs retained). Only terminal campaigns count against
+	// the cap and only they are evicted: a queued, running, or resumable
+	// (journaled but unsealed) campaign is never evicted out from under a
+	// follower, no matter how many campaigns finish around it.
 	MaxCampaignStreams int
+	// StoreDir, when non-empty, enables the durable layer: a ResultStore at
+	// this directory plus a write-ahead campaign journal per campaign under
+	// StoreDir/journals. Unsealed journals found at startup are resumed —
+	// the campaign is re-created under its original job ID, journaled
+	// completions replay from the store with zero dispatches, and only the
+	// unfinished tail re-runs. When Fleet is set and Fleet.StoreDir is the
+	// only one given, it is adopted as StoreDir.
+	StoreDir string
+	// StoreBackend selects the ResultStore implementation under StoreDir:
+	// "dir" (default; one content-addressed JSON file per result, shareable
+	// between processes) or "pack" (a single append-only pack file owned by
+	// this daemon).
+	StoreBackend string
+	// QuotaRate, when > 0, enables per-client token-bucket admission
+	// control: each client (keyed by the X-Dspatch-Client header; requests
+	// without one share an anonymous bucket) accrues QuotaRate submission
+	// tokens per second up to QuotaBurst. A dry bucket sheds with 503 +
+	// Retry-After.
+	QuotaRate float64
+	// QuotaBurst is the token-bucket capacity (default 8 when QuotaRate is
+	// set).
+	QuotaBurst int
+	// CampaignHighWater, when > 0, sheds new campaign submissions with 503 +
+	// Retry-After once the active (queued or running) campaign count reaches
+	// it, until the count falls back to CampaignLowWater.
+	CampaignHighWater int
+	// CampaignLowWater re-opens campaign admission after a high-watermark
+	// shed (default CampaignHighWater/2).
+	CampaignLowWater int
+	// CrashAfterPoints, when > 0, hard-crashes the daemon (via CrashFn)
+	// immediately after the Nth campaign point record is emitted across all
+	// campaigns — the chaos harness's coordinator crash-kill. The crash
+	// fires after the point was journaled, so a restart resumes past it.
+	CrashAfterPoints int
+	// CrashFn is what CrashAfterPoints calls (default os.Exit(137), the
+	// exit code of a SIGKILLed process).
+	CrashFn func()
 	// Fleet, when non-nil, makes this daemon a coordinator: campaigns
 	// execute across the configured worker daemons instead of the local
 	// engine. Runs and experiments still execute locally.
@@ -138,6 +179,15 @@ func (c Config) withDefaults() Config {
 	}
 	if c.MaxCampaignStreams <= 0 {
 		c.MaxCampaignStreams = 64
+	}
+	if c.QuotaRate > 0 && c.QuotaBurst <= 0 {
+		c.QuotaBurst = 8
+	}
+	if c.CampaignHighWater > 0 && c.CampaignLowWater <= 0 {
+		c.CampaignLowWater = c.CampaignHighWater / 2
+	}
+	if c.CrashFn == nil {
+		c.CrashFn = func() { os.Exit(137) }
 	}
 	if c.Logf == nil {
 		c.Logf = func(string, ...any) {}
@@ -225,6 +275,10 @@ type job struct {
 	scale *ScaleSpec      // kindExperiment
 	camp  *sweep.Campaign // kindCampaign
 	feed  *campaignFeed   // kindCampaign
+	// resumePath, when non-empty, is the unsealed journal this campaign was
+	// resurrected from at startup: execute reopens it (replaying its state)
+	// instead of creating a fresh one.
+	resumePath string
 
 	mu        sync.Mutex
 	status    JobStatus
@@ -327,6 +381,13 @@ type Server struct {
 	fleet *FleetConfig // normalized Config.Fleet; nil on non-coordinators
 	mux   *http.ServeMux
 
+	// Durable layer (nil/empty without Config.StoreDir).
+	store      experiments.ResultStore
+	journalDir string
+
+	quotas       *quotaTable // guarded by mu; nil when quotas are off
+	campShedding bool        // guarded by mu; campaign watermark hysteresis
+
 	baseCtx  context.Context // canceled to hard-stop running jobs
 	hardStop context.CancelFunc
 
@@ -353,6 +414,13 @@ type Server struct {
 	pointsRedispatched atomic.Uint64
 	workersEjected     atomic.Uint64
 	leasesExpired      atomic.Uint64
+
+	// Admission + durability telemetry.
+	quotaRejected    atomic.Uint64
+	campaignsShed    atomic.Uint64
+	campaignsResumed atomic.Uint64
+	activeCampaigns  atomic.Int64
+	pointsEmitted    atomic.Uint64 // across campaigns; drives CrashAfterPoints
 }
 
 // New builds a Server and starts its worker pool (no listener yet: mount
@@ -368,22 +436,37 @@ func New(cfg Config) (*Server, error) {
 	experiments.SetBatching(!cfg.DisableBatch)
 	var fleet *FleetConfig
 	if cfg.Fleet != nil {
-		if len(cfg.Fleet.Workers) == 0 {
-			return nil, fmt.Errorf("service: fleet config needs at least one worker URL")
+		if len(cfg.Fleet.Workers) == 0 && cfg.Fleet.WorkersFile == "" {
+			return nil, fmt.Errorf("service: fleet config needs worker URLs or a workers file")
 		}
 		fc := cfg.Fleet.withDefaults()
 		fleet = &fc
+		if cfg.StoreDir == "" {
+			// The fleet's shared store doubles as the durable layer's root.
+			cfg.StoreDir = fc.StoreDir
+		}
+	}
+	store, journalDir, err := openStore(cfg)
+	if err != nil {
+		return nil, err
+	}
+	var quotas *quotaTable
+	if cfg.QuotaRate > 0 {
+		quotas = newQuotaTable(cfg.QuotaRate, cfg.QuotaBurst)
 	}
 	baseCtx, hardStop := context.WithCancel(context.Background())
 	s := &Server{
-		cfg:      cfg,
-		fleet:    fleet,
-		baseCtx:  baseCtx,
-		hardStop: hardStop,
-		jobs:     map[string]*job{},
-		shards:   make([]chan *job, cfg.JobWorkers),
-		drainCh:  make(chan struct{}),
-		start:    time.Now(),
+		cfg:        cfg,
+		fleet:      fleet,
+		store:      store,
+		journalDir: journalDir,
+		quotas:     quotas,
+		baseCtx:    baseCtx,
+		hardStop:   hardStop,
+		jobs:       map[string]*job{},
+		shards:     make([]chan *job, cfg.JobWorkers),
+		drainCh:    make(chan struct{}),
+		start:      time.Now(),
 	}
 	for i := range s.shards {
 		s.shards[i] = make(chan *job, cfg.QueueDepth)
@@ -406,7 +489,115 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("GET /v1/jobs", s.handleListJobs)
 	s.mux.HandleFunc("GET /v1/jobs/{id}", s.handleGetJob)
 	s.mux.HandleFunc("DELETE /v1/jobs/{id}", s.handleCancelJob)
+	s.resumeJournals()
 	return s, nil
+}
+
+// openStore builds the durable layer from Config: a ResultStore at StoreDir
+// in the selected backend, plus the campaign-journal directory beneath it.
+func openStore(cfg Config) (experiments.ResultStore, string, error) {
+	if cfg.StoreDir == "" {
+		if cfg.StoreBackend != "" && cfg.StoreBackend != "dir" {
+			return nil, "", fmt.Errorf("service: store backend %q needs a store dir", cfg.StoreBackend)
+		}
+		return nil, "", nil
+	}
+	var store experiments.ResultStore
+	switch cfg.StoreBackend {
+	case "", "dir":
+		ds, err := experiments.NewDirStore(cfg.StoreDir)
+		if err != nil {
+			return nil, "", fmt.Errorf("service: %w", err)
+		}
+		store = ds
+	case "pack":
+		if err := os.MkdirAll(cfg.StoreDir, 0o755); err != nil {
+			return nil, "", fmt.Errorf("service: store dir: %w", err)
+		}
+		ps, err := experiments.OpenPackStore(filepath.Join(cfg.StoreDir, "results.pack"))
+		if err != nil {
+			return nil, "", fmt.Errorf("service: %w", err)
+		}
+		store = ps
+	default:
+		return nil, "", fmt.Errorf("service: unknown store backend %q (want dir or pack)", cfg.StoreBackend)
+	}
+	journalDir := filepath.Join(cfg.StoreDir, "journals")
+	if err := os.MkdirAll(journalDir, 0o755); err != nil {
+		return nil, "", fmt.Errorf("service: journal dir: %w", err)
+	}
+	return store, journalDir, nil
+}
+
+// resumeJournals scans the journal directory at startup and resurrects
+// every unsealed campaign under its original job ID: the job re-enters the
+// queue, and when a worker picks it up the journal replays — completions
+// rehydrate from the store with zero dispatches, only the unfinished tail
+// runs, and the NDJSON stream (rebuilt from the start) is byte-identical to
+// an uninterrupted run. Sealed journals (campaigns that finished before the
+// restart) are reaped. Corrupt files are skipped with a log line, never a
+// startup failure.
+func (s *Server) resumeJournals() {
+	if s.journalDir == "" {
+		return
+	}
+	paths, err := filepath.Glob(filepath.Join(s.journalDir, "*.journal"))
+	if err != nil {
+		return
+	}
+	sort.Strings(paths)
+	for _, path := range paths {
+		st, err := sweep.ReadJournalState(path)
+		if err != nil {
+			s.cfg.Logf("journal %s unreadable, skipping: %v", filepath.Base(path), err)
+			continue
+		}
+		if st.Sealed {
+			os.Remove(path)
+			continue
+		}
+		camp := st.Campaign
+		j := &job{
+			kind:       kindCampaign,
+			camp:       &camp,
+			feed:       newCampaignFeed(),
+			resumePath: path,
+			status:     StatusQueued,
+			submitted:  time.Now(),
+			done:       make(chan struct{}),
+		}
+		j.id = st.JobID
+		var n int
+		if _, err := fmt.Sscanf(st.JobID, "j%06d", &n); err != nil || j.id == "" {
+			s.cfg.Logf("journal %s has no usable job id, skipping", filepath.Base(path))
+			continue
+		}
+		s.mu.Lock()
+		if s.seq < n {
+			s.seq = n
+		}
+		if _, dup := s.jobs[j.id]; dup {
+			s.mu.Unlock()
+			continue
+		}
+		shard := shardKey(kindCampaign, j.camp, s.cfg.JobWorkers)
+		select {
+		case s.shards[shard] <- j:
+		default:
+			s.mu.Unlock()
+			s.cfg.Logf("journal %s: queue full, campaign %s stays on disk for the next restart",
+				filepath.Base(path), j.id)
+			continue
+		}
+		s.jobs[j.id] = j
+		s.order = append(s.order, j)
+		s.mu.Unlock()
+		s.submitted.Add(1)
+		s.activeCampaigns.Add(1)
+		s.campaignsResumed.Add(1)
+		s.cfg.Logf("resuming campaign %s from journal (%d done, %d dropped)",
+			j.id, len(st.Done), len(st.Dropped))
+	}
 }
 
 // Handler returns the daemon's HTTP handler.
@@ -506,11 +697,17 @@ func (s *Server) worker(shard chan *job) {
 // retireCampaign enrolls a terminal campaign in the stream-retention window
 // and evicts the oldest streams past Config.MaxCampaignStreams. Job records
 // (and their summary results) are untouched — only the bulky NDJSON record
-// slices are freed.
+// slices are freed. Eviction considers terminal campaigns exclusively: the
+// retention window is only ever entered here, on a campaign's single
+// transition to a terminal status, so an active or resumable campaign can
+// never lose its stream to the cap. Every terminal campaign passes through
+// here exactly once, which also makes this the one place the active gauge
+// behind the admission watermarks is decremented.
 func (s *Server) retireCampaign(j *job) {
 	if j.kind != kindCampaign {
 		return
 	}
+	s.activeCampaigns.Add(-1)
 	s.mu.Lock()
 	s.campDone = append(s.campDone, j)
 	var evict []*job
@@ -588,19 +785,48 @@ func (s *Server) execute(ctx context.Context, j *job) (result json.RawMessage, t
 		emit := func(line json.RawMessage) error {
 			last = line
 			j.feed.append(line)
+			if s.cfg.CrashAfterPoints > 0 && bytes.HasPrefix(line, []byte(`{"type":"point"`)) {
+				// Chaos hook: the record (and, with a journal, its done frame)
+				// is already durable/visible — crashing here is the worst
+				// moment a real SIGKILL could pick.
+				if int(s.pointsEmitted.Add(1)) == s.cfg.CrashAfterPoints {
+					s.cfg.Logf("chaos: crashing after %d campaign points", s.cfg.CrashAfterPoints)
+					s.cfg.CrashFn()
+				}
+			}
 			return nil
 		}
-		if s.fleet != nil {
-			_, err := s.runFleetCampaign(ctx, *j.camp, emit)
-			if err != nil {
-				return nil, "", err
-			}
-			return last, "", nil
+		jl, resume := s.openCampaignJournal(j)
+		if jl != nil {
+			defer jl.Close()
 		}
-		eng := sweep.Engine{Workers: s.cfg.SimWorkers}
-		_, err := eng.Run(ctx, *j.camp, emit)
-		if err != nil {
+		runCampaign := func() error {
+			if s.fleet != nil {
+				_, err := s.runFleetCampaign(ctx, *j.camp, emit, jl, resume)
+				return err
+			}
+			eng := sweep.Engine{
+				Workers: s.cfg.SimWorkers,
+				Journal: jl,
+				Store:   s.store,
+				Resume:  resume,
+				Logf:    s.cfg.Logf,
+			}
+			_, err := eng.Run(ctx, *j.camp, emit)
+			return err
+		}
+		if err := runCampaign(); err != nil {
+			// A user cancel (or a deterministic failure) must not resurrect
+			// forever on every restart; only a drain/hard-stop cancel — the
+			// restart case — keeps the journal for resume.
+			if jl != nil && (j.cancelRequested.Load() || ctx.Err() == nil) {
+				os.Remove(jl.Path())
+			}
 			return nil, "", err
+		}
+		if jl != nil {
+			// Sealed: the campaign is complete, nothing left to resume.
+			os.Remove(jl.Path())
 		}
 		// The engine's final record is the summary; it doubles as the
 		// JobView result so /v1/jobs/{id} answers without the full stream.
@@ -624,6 +850,31 @@ func (s *Server) execute(ctx context.Context, j *job) (result json.RawMessage, t
 		return raw, buf.String(), nil
 	}
 	return nil, "", fmt.Errorf("unknown job kind %q", j.kind)
+}
+
+// openCampaignJournal opens the durable journal for a campaign job: a
+// resumed job reopens its unsealed journal (recovering the replay state), a
+// fresh one creates a new journal under the journal dir. Journaling is an
+// accelerator for restarts, never a correctness dependency: any error here
+// degrades to an unjournaled run with a log line.
+func (s *Server) openCampaignJournal(j *job) (*sweep.Journal, *sweep.JournalState) {
+	if s.journalDir == "" {
+		return nil, nil
+	}
+	if j.resumePath != "" {
+		jl, st, err := sweep.OpenJournal(j.resumePath)
+		if err != nil {
+			s.cfg.Logf("campaign %s: journal reopen failed, running from scratch: %v", j.id, err)
+			return nil, nil
+		}
+		return jl, st
+	}
+	jl, err := sweep.CreateJournal(filepath.Join(s.journalDir, j.id+".journal"), j.id, *j.camp)
+	if err != nil {
+		s.cfg.Logf("campaign %s: journal disabled: %v", j.id, err)
+		return nil, nil
+	}
+	return jl, nil
 }
 
 // marshalResult encodes a result value. The fast path is encoding/json
@@ -742,6 +993,9 @@ func (s *Server) submit(w http.ResponseWriter, j *job, shard int) {
 	s.mu.Unlock()
 
 	s.submitted.Add(1)
+	if j.kind == kindCampaign {
+		s.activeCampaigns.Add(1)
+	}
 	writeJSON(w, http.StatusAccepted, j.view(false))
 }
 
@@ -765,6 +1019,9 @@ func (s *Server) evictLocked() bool {
 }
 
 func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r, false) {
+		return
+	}
 	var spec RunSpec
 	if !decodeBody(w, r, &spec, false) {
 		return
@@ -778,6 +1035,9 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r, true) {
+		return
+	}
 	var spec sweep.Campaign
 	if !decodeBody(w, r, &spec, false) {
 		return
@@ -864,6 +1124,9 @@ func (s *Server) handleCampaignStream(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleSubmitExperiment(w http.ResponseWriter, r *http.Request) {
+	if !s.admit(w, r, false) {
+		return
+	}
 	id := r.PathValue("id")
 	if _, ok := experiments.ExperimentByID(id); !ok {
 		httpError(w, http.StatusNotFound, fmt.Sprintf("unknown experiment %q (see GET /v1/experiments)", id))
@@ -1035,16 +1298,20 @@ type Health struct {
 	JobWorkers    int    `json:"job_workers"`
 	SimWorkers    int    `json:"sim_workers"`
 	CacheEnabled  bool   `json:"cache_enabled"`
+	// ActiveCampaigns is the queued-or-running campaign count the admission
+	// watermarks gate on.
+	ActiveCampaigns int `json:"active_campaigns"`
 }
 
 func (s *Server) health() Health {
 	h := Health{
-		Status:        "ok",
-		UptimeSeconds: int64(time.Since(s.start).Seconds()),
-		Running:       int(s.running.Load()),
-		JobWorkers:    s.cfg.JobWorkers,
-		SimWorkers:    s.cfg.SimWorkers,
-		CacheEnabled:  experiments.CacheDir() != "",
+		Status:          "ok",
+		UptimeSeconds:   int64(time.Since(s.start).Seconds()),
+		Running:         int(s.running.Load()),
+		JobWorkers:      s.cfg.JobWorkers,
+		SimWorkers:      s.cfg.SimWorkers,
+		CacheEnabled:    experiments.CacheDir() != "",
+		ActiveCampaigns: int(s.activeCampaigns.Load()),
 	}
 	s.mu.Lock()
 	if s.draining {
@@ -1117,6 +1384,10 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counter("dspatchd_points_redispatched_total", "Campaign runs returned to the pending set and dispatched again.", s.pointsRedispatched.Load())
 	counter("dspatchd_workers_ejected_total", "Fleet workers ejected from the rotation after consecutive failures.", s.workersEjected.Load())
 	counter("dspatchd_leases_expired_total", "Dispatch leases that expired before the worker answered.", s.leasesExpired.Load())
+	counter("dspatchd_quota_rejections_total", "Submissions shed by per-client quota buckets.", s.quotaRejected.Load())
+	counter("dspatchd_campaigns_shed_total", "Campaign submissions shed at the high watermark.", s.campaignsShed.Load())
+	counter("dspatchd_campaigns_resumed_total", "Campaigns resurrected from unsealed journals at startup.", s.campaignsResumed.Load())
+	gauge("dspatchd_campaigns_active", "Campaigns queued or running right now.", float64(h.ActiveCampaigns))
 	counterf("dspatchd_engine_sim_seconds_total", "Wall seconds spent simulating.", float64(ec.SimNanos)/1e9)
 	gauge("dspatchd_engine_refs_per_second", "Aggregate simulation throughput.", refsPerSec)
 	gauge("dspatchd_uptime_seconds", "Seconds since daemon start.", float64(h.UptimeSeconds))

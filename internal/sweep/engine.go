@@ -212,9 +212,22 @@ func (r *Recorder) Pair(pos int) (self, base Point, hasBase bool) {
 	return self, base, true
 }
 
+// Resolved reports whether position pos already has a terminal outcome —
+// emitted, buffered for emission, or dropped. Journal replay and late fleet
+// events both lean on this: the first resolution of a position wins, and
+// every later Complete or Drop for it is a no-op.
+func (r *Recorder) Resolved(pos int) bool {
+	return pos < r.flushed || r.droppedAt[pos] != "" || r.pending[pos] != nil
+}
+
 // Complete records position pos's results (base nil for baseline points)
-// and flushes every record the completion unblocked.
+// and flushes every record the completion unblocked. Completing an
+// already-resolved position — one that was dropped, or whose record was
+// already emitted — is a no-op: the stream never rewinds.
 func (r *Recorder) Complete(pos int, self sim.Result, base *sim.Result) error {
+	if r.Resolved(pos) {
+		return nil
+	}
 	rec := &PointRecord{
 		Type:    "point",
 		Index:   r.idxs[pos],
@@ -234,7 +247,7 @@ func (r *Recorder) Complete(pos int, self sim.Result, base *sim.Result) error {
 // stream continues past it, and the summary accounts for it under
 // dropped_points.
 func (r *Recorder) Drop(pos int, reason string) error {
-	if r.droppedAt[pos] != "" || r.pending[pos] != nil {
+	if r.Resolved(pos) {
 		return nil // already resolved; first resolution wins
 	}
 	r.droppedAt[pos] = reason
@@ -354,6 +367,28 @@ type Engine struct {
 	// call — the streaming granularity (0 = a multiple of Workers). Results
 	// are identical at any batch size.
 	BatchSize int
+
+	// Journal, when non-nil, receives a durable record of every terminal
+	// point event and the final sealed summary, making the campaign
+	// crash-recoverable. Requires Store: the journal references results by
+	// store key and only claims a point after its results are in the store.
+	Journal *Journal
+	// Store is the ResultStore journaled completions are persisted to and
+	// rehydrated from.
+	Store experiments.ResultStore
+	// Resume, when non-nil, is a recovered journal's state: journaled
+	// completions replay from Store with zero simulations and only the
+	// unfinished tail runs.
+	Resume *JournalState
+	// Logf, when non-nil, receives degradation notices (a failing journal
+	// or store stops being written to, never fails the campaign).
+	Logf func(format string, args ...any)
+}
+
+func (e *Engine) logf(format string, args ...any) {
+	if e.Logf != nil {
+		e.Logf(format, args...)
+	}
 }
 
 func (e *Engine) batchSize() int {
@@ -381,11 +416,25 @@ func (e *Engine) batchSize() int {
 // front end — a resubmitted campaign re-simulates only points the caches
 // have never seen. A non-nil error from emit or ctx aborts the campaign.
 func (e *Engine) Run(ctx context.Context, c Campaign, emit func(json.RawMessage) error) (Summary, error) {
+	if e.Journal != nil && e.Store == nil {
+		return Summary{}, fmt.Errorf("sweep: journaled campaign needs a result store")
+	}
 	rec, err := NewRecorder(c, emit)
 	if err != nil {
 		return Summary{}, err
 	}
 	pts := rec.Points()
+
+	// Resume: journaled terminal events replay through the Recorder before
+	// anything is scheduled — completions rehydrate from the store with zero
+	// simulations, drops re-drop, and only the unresolved tail runs below.
+	var resolved []bool
+	if e.Resume != nil {
+		resolved, err = e.Resume.Replay(rec, e.Store)
+		if err != nil {
+			return Summary{}, err
+		}
+	}
 
 	// Scheduling order: canonical index order, or — when the engine batches —
 	// points regrouped by trace identity so configs sharing one (mix, seed,
@@ -399,6 +448,40 @@ func (e *Engine) Run(ctx context.Context, c Campaign, emit func(json.RawMessage)
 	}
 	if experiments.BatchingEnabled() {
 		order = groupedOrder(pts)
+	}
+	if resolved != nil {
+		kept := order[:0]
+		for _, pos := range order {
+			if !resolved[pos] {
+				kept = append(kept, pos)
+			}
+		}
+		order = kept
+	}
+
+	// The journal claims a point only once its results are durable: Put to
+	// the store, then append the done frame, then let the Recorder emit. A
+	// failing store or journal degrades — the campaign keeps running, it
+	// just stops being resumable from that event on.
+	jl, store := e.Journal, e.Store
+	stored := map[string]bool{}
+	putJob := func(j experiments.Job, res sim.Result) (string, bool) {
+		if store == nil {
+			return "", false
+		}
+		key, ok := experiments.JobKey(j)
+		if !ok {
+			return "", false
+		}
+		if !stored[key] {
+			if err := store.Put(key, res); err != nil {
+				e.logf("campaign store degraded, results no longer durable: %v", err)
+				store = nil
+				return "", false
+			}
+			stored[key] = true
+		}
+		return key, true
 	}
 
 	B := e.batchSize()
@@ -440,12 +523,37 @@ func (e *Engine) Run(ctx context.Context, c Campaign, emit func(json.RawMessage)
 			if slots[i].base >= 0 {
 				base = &results[slots[i].base]
 			}
+			if jl != nil {
+				self, basePt, hasBase := rec.Pair(pos)
+				selfKey, selfOK := putJob(self.Job(), results[slots[i].self])
+				baseKey, baseOK := "", true
+				if hasBase {
+					baseKey, baseOK = putJob(basePt.Job(), *base)
+				}
+				if selfOK && baseOK {
+					if err := jl.Done(pos, selfKey, baseKey); err != nil {
+						e.logf("campaign journal degraded, run no longer resumable: %v", err)
+						jl = nil
+					}
+				}
+			}
 			if err := rec.Complete(pos, results[slots[i].self], base); err != nil {
 				return Summary{}, err
 			}
 		}
 	}
-	return rec.Finish(nil)
+	sum, err := rec.Finish(nil)
+	if err != nil {
+		return Summary{}, err
+	}
+	if jl != nil {
+		if b, merr := json.Marshal(sum); merr == nil {
+			if err := jl.Seal(b); err != nil {
+				e.logf("campaign journal seal failed: %v", err)
+			}
+		}
+	}
+	return sum, nil
 }
 
 func strategyName(s string) string {

@@ -159,3 +159,98 @@ func TestRecorderFinishRefusesUnresolved(t *testing.T) {
 		t.Fatal("Finish succeeded with every position unresolved")
 	}
 }
+
+// TestRecorderResolutionIsFinal covers the dispatcher races a fleet can
+// produce: a late Complete for a position already dropped (the lease expired,
+// then the original worker answered anyway), a Drop for a position already
+// completed (a stale retry path giving up after the point succeeded
+// elsewhere), and a Drop for a position already flushed to the stream. Every
+// one must be a silent no-op — first resolution wins, the stream and summary
+// never change.
+func TestRecorderResolutionIsFinal(t *testing.T) {
+	c := recorderCampaign()
+	var lines []string
+	rec, err := NewRecorder(c, func(line json.RawMessage) error {
+		lines = append(lines, string(line))
+		return nil
+	})
+	if err != nil {
+		t.Fatalf("NewRecorder: %v", err)
+	}
+	n := rec.Len()
+	if n < 3 {
+		t.Fatalf("campaign too small: %d points", n)
+	}
+
+	results := make([]sim.Result, n)
+	bases := make([]*sim.Result, n)
+	for pos := 0; pos < n; pos++ {
+		self, base, hasBase := rec.Pair(pos)
+		results[pos] = runPoint(t, self)
+		if hasBase {
+			r := runPoint(t, base)
+			bases[pos] = &r
+		}
+	}
+
+	// Position 0 completes and flushes immediately; a later Drop must not
+	// touch it (the old bug appended it to dropped_points anyway).
+	if err := rec.Complete(0, results[0], bases[0]); err != nil {
+		t.Fatalf("Complete(0): %v", err)
+	}
+	if !rec.Resolved(0) {
+		t.Fatal("flushed position 0 not Resolved")
+	}
+	flushedAt := len(lines)
+	if err := rec.Drop(0, "stale retry gave up"); err != nil {
+		t.Fatalf("Drop after flush: %v", err)
+	}
+	if len(lines) != flushedAt {
+		t.Fatal("Drop of a flushed position emitted a record")
+	}
+
+	// Position 1 drops; a late Complete (the leased worker answering after
+	// the lease expired) must not resurrect it.
+	if err := rec.Drop(1, "max attempts (4) exhausted: lease expired"); err != nil {
+		t.Fatalf("Drop(1): %v", err)
+	}
+	if err := rec.Complete(1, results[1], bases[1]); err != nil {
+		t.Fatalf("late Complete after Drop: %v", err)
+	}
+
+	// Position 2 completes while pending (not yet flushable behind nothing —
+	// it flushes right away after 0 and the dropped 1); a second Complete and
+	// a Drop must both be no-ops.
+	if err := rec.Complete(2, results[2], bases[2]); err != nil {
+		t.Fatalf("Complete(2): %v", err)
+	}
+	if err := rec.Complete(2, results[2], bases[2]); err != nil {
+		t.Fatalf("duplicate Complete(2): %v", err)
+	}
+	if err := rec.Drop(2, "duplicate give-up"); err != nil {
+		t.Fatalf("Drop after Complete: %v", err)
+	}
+
+	for pos := 3; pos < n; pos++ {
+		if err := rec.Complete(pos, results[pos], bases[pos]); err != nil {
+			t.Fatalf("Complete(%d): %v", pos, err)
+		}
+	}
+	sum, err := rec.Finish(nil)
+	if err != nil {
+		t.Fatalf("Finish: %v", err)
+	}
+
+	if len(sum.DroppedPoints) != 1 || sum.DroppedPoints[0].Index != 1 {
+		t.Fatalf("DroppedPoints = %+v, want exactly index 1", sum.DroppedPoints)
+	}
+	// Header + (n-1) surviving points + summary; index 1 never appears.
+	if len(lines) != 1+(n-1)+1 {
+		t.Fatalf("records = %d, want %d", len(lines), n+1)
+	}
+	for _, line := range lines[1 : len(lines)-1] {
+		if strings.Contains(line, `"index":1,`) {
+			t.Fatalf("dropped point leaked into the stream: %s", line)
+		}
+	}
+}
