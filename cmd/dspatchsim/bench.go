@@ -35,6 +35,11 @@ type BenchConfig struct {
 	NsPerRef     float64 `json:"ns_per_ref"`     // wall / total refs
 	AllocsPerRef float64 `json:"allocs_per_ref"` // heap objects / total refs
 	BytesPerRef  float64 `json:"bytes_per_ref"`  // heap bytes / total refs
+
+	// GatePct, when set in a committed trajectory point, overrides the
+	// default +5% ns/ref regression threshold -bench-diff -bench-gate allows
+	// this config before failing. Fresh -bench output leaves it zero.
+	GatePct float64 `json:"gate_pct,omitempty"`
 }
 
 // BenchCampaign measures the same multi-config campaign executed two ways:

@@ -8,16 +8,25 @@ import (
 	"os"
 )
 
+// defaultGatePct is the ns/ref regression a gated -bench-diff allows per
+// config before failing; a committed point overrides it per config via
+// gate_pct.
+const defaultGatePct = 5.0
+
 // runBenchDiff renders a per-config ns/ref delta table (GitHub-flavoured
 // markdown) between two BENCH_*.json trajectory points. CI appends it to the
 // job summary so every PR shows its simulator-throughput delta against the
-// last committed point. It is informational only — callers decide whether
-// any regression gates.
+// last committed point.
+//
+// With gate set it is a regression check: any config whose new ns/ref
+// exceeds the old by more than its threshold (the committed point's
+// gate_pct, default +5%) fails the diff with an error naming every breach.
+// Without gate it stays informational.
 //
 // An absent or empty OLD file is not an error: fresh clones and CI forks
 // have no committed trajectory yet, so the table degrades to "no baseline"
-// and renders the new point's columns alone.
-func runBenchDiff(oldPath, newPath string, w io.Writer) error {
+// and renders the new point's columns alone (nothing to gate on).
+func runBenchDiff(oldPath, newPath string, gate bool, w io.Writer) error {
 	oldFile, haveOld, err := readBenchFile(oldPath)
 	if err != nil {
 		return err
@@ -42,6 +51,7 @@ func runBenchDiff(oldPath, newPath string, w io.Writer) error {
 	}
 	fmt.Fprintf(w, "| config | old ns/ref | new ns/ref | delta | old allocs/ref | new allocs/ref |\n")
 	fmt.Fprintf(w, "|---|---:|---:|---:|---:|---:|\n")
+	var breaches []string
 	for _, n := range newFile.Configs {
 		o, ok := oldBy[n.Name]
 		if !ok {
@@ -50,7 +60,18 @@ func runBenchDiff(oldPath, newPath string, w io.Writer) error {
 		}
 		delta := "n/a"
 		if o.NsPerRef > 0 {
-			delta = fmt.Sprintf("%+.1f%%", 100*(n.NsPerRef-o.NsPerRef)/o.NsPerRef)
+			pct := 100 * (n.NsPerRef - o.NsPerRef) / o.NsPerRef
+			delta = fmt.Sprintf("%+.1f%%", pct)
+			limit := o.GatePct
+			if limit <= 0 {
+				limit = defaultGatePct
+			}
+			if gate && pct > limit {
+				delta += " ❌"
+				breaches = append(breaches, fmt.Sprintf(
+					"%s: ns/ref %.1f -> %.1f (%+.1f%%, threshold +%.1f%%)",
+					n.Name, o.NsPerRef, n.NsPerRef, pct, limit))
+			}
 		}
 		fmt.Fprintf(w, "| %s | %.1f | %.1f | %s | %.3f | %.3f |\n",
 			n.Name, o.NsPerRef, n.NsPerRef, delta, o.AllocsPerRef, n.AllocsPerRef)
@@ -62,6 +83,13 @@ func runBenchDiff(oldPath, newPath string, w io.Writer) error {
 	fmt.Fprintf(w, "\n(negative delta = faster; refs/core old %d, new %d; hosts may differ)\n",
 		refsOf(oldFile), refsOf(newFile))
 	writeCampaignDiff(w, oldFile.Campaign, newFile.Campaign)
+	if len(breaches) > 0 {
+		fmt.Fprintf(w, "\n**GATE FAILED: %d config(s) regressed past threshold**\n", len(breaches))
+		for _, b := range breaches {
+			fmt.Fprintf(w, "- %s\n", b)
+		}
+		return fmt.Errorf("bench-diff: %d config(s) regressed past their ns/ref threshold", len(breaches))
+	}
 	return nil
 }
 

@@ -9,6 +9,8 @@
 //	dspatchsim -campaign sweep.json -campaign-csv out.csv  # declarative parameter sweep (internal/sweep)
 //	dspatchsim -bench                      # emit a BENCH_<date>.json perf point
 //	dspatchsim -bench-diff OLD.json,NEW.json  # per-config ns/ref delta table
+//	dspatchsim -stats -workload tpcc       # one run with per-prefetcher telemetry tables
+//	dspatchsim -stats -workload tpcc -l2 dspatch+spp -stats-json  # same, machine-readable
 //	dspatchsim -trace-export tpcc.trace -workload tpcc -refs 50000
 //	dspatchsim -trace-import tpcc.trace -experiment fig12
 //	dspatchsim -experiment all -cpuprofile cpu.prof
@@ -51,16 +53,20 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 	bench := fs.Bool("bench", false, "measure simulator throughput and write a BENCH_<date>.json trajectory point")
 	benchOut := fs.String("bench-out", "", "path for the -bench JSON (default BENCH_<date>.json)")
 	benchDiff := fs.String("bench-diff", "", "OLD.json,NEW.json: print a per-config ns/ref delta table between two bench points")
+	benchGate := fs.Bool("bench-gate", false, "make -bench-diff a regression gate: exit non-zero when a config's ns/ref regresses past its threshold (gate_pct in OLD, default +5%)")
 	campaign := fs.String("campaign", "", "run a declarative campaign sweep from this JSON spec file (see internal/sweep)")
 	campaignOut := fs.String("campaign-out", "", "write the campaign NDJSON stream to this file (default stdout)")
 	campaignCSV := fs.String("campaign-csv", "", "also mirror campaign point records into this CSV file")
 	batch := fs.Bool("batch", true, "advance same-trace configs in lockstep over one trace walk")
 	cacheDir := fs.String("cache-dir", "", "persistent run-cache directory: completed simulations are reused across process invocations")
 	noCache := fs.Bool("no-cache", false, "ignore -cache-dir (force every simulation to run)")
+	stats := fs.Bool("stats", false, "run the -workload once with per-prefetcher telemetry and print the stats tables")
+	statsJSON := fs.Bool("stats-json", false, "emit the -stats output as JSON instead of tables")
+	l2 := fs.String("l2", "dspatch", "L2 prefetcher for -stats (see GET /v1/prefetchers or internal/sim)")
 	traceExport := fs.String("trace-export", "", "record the -workload reference stream and write it to this file")
 	traceImport := fs.String("trace-import", "", "load a trace file; its refs replace the generator for that (workload, seed)")
-	workload := fs.String("workload", "", "workload name for -trace-export (see internal/trace roster)")
-	seed := fs.Int64("seed", 1, "generator seed for -trace-export")
+	workload := fs.String("workload", "", "workload name for -trace-export or -stats (see internal/trace roster)")
+	seed := fs.Int64("seed", 1, "generator seed for -trace-export or -stats")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
 	memprofile := fs.String("memprofile", "", "write a pprof heap profile to this file on exit")
 	if err := fs.Parse(args); err != nil {
@@ -83,10 +89,18 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 		return fail(fmt.Sprintf("-refs must be non-negative, got %d", *refs))
 	case *parallel < 0:
 		return fail(fmt.Sprintf("-parallel must be non-negative, got %d", *parallel))
-	case set["workload"] && *traceExport == "":
-		return fail("-workload only applies to -trace-export")
+	case set["workload"] && *traceExport == "" && !*stats:
+		return fail("-workload only applies to -trace-export or -stats")
+	case *stats && *workload == "":
+		return fail("-stats requires -workload")
+	case *stats && (*exp != "" || *bench || *benchDiff != "" || *campaign != "" || *traceExport != ""):
+		return fail("-stats cannot be combined with -experiment, -bench, -campaign or -trace-export")
+	case (set["l2"] || *statsJSON) && !*stats:
+		return fail("-l2/-stats-json only apply to -stats")
 	case set["bench-out"] && !*bench:
 		return fail("-bench-out only applies to -bench")
+	case *benchGate && *benchDiff == "":
+		return fail("-bench-gate only applies to -bench-diff")
 	case *noCache && *cacheDir == "":
 		return fail("-no-cache without -cache-dir has nothing to disable")
 	case *benchDiff != "" && (*exp != "" || *bench || *traceExport != "" || *traceImport != ""):
@@ -111,15 +125,16 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 			fmt.Fprintln(stderr, "bench-diff: want OLD.json,NEW.json")
 			return 2
 		}
-		if err := runBenchDiff(parts[0], parts[1], stdout); err != nil {
+		if err := runBenchDiff(parts[0], parts[1], *benchGate, stdout); err != nil {
 			fmt.Fprintln(stderr, err)
 			return 1
 		}
 		return 0
 	}
-	if *exp == "" && !*bench && *traceExport == "" && *traceImport == "" && *campaign == "" {
+	if *exp == "" && !*bench && *traceExport == "" && *traceImport == "" && *campaign == "" && !*stats {
 		fmt.Fprintln(stderr, "usage: dspatchsim -experiment <id|all> [-full] [-refs N] [-parallel N] [-cache-dir DIR]")
 		fmt.Fprintln(stderr, "       dspatchsim -campaign SPEC.json [-campaign-out FILE.ndjson] [-campaign-csv FILE.csv]")
+		fmt.Fprintln(stderr, "       dspatchsim -stats -workload NAME [-l2 PF] [-refs N] [-seed N] [-stats-json]")
 		fmt.Fprintln(stderr, "       dspatchsim -bench [-refs N] [-bench-out FILE]")
 		fmt.Fprintln(stderr, "       dspatchsim -bench-diff OLD.json,NEW.json")
 		fmt.Fprintln(stderr, "       dspatchsim -trace-export FILE -workload NAME [-refs N] [-seed N]")
@@ -169,7 +184,7 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 		imported, importedKnown = m, known
 		fmt.Fprintf(stdout, "imported trace %s: workload %q seed %d refs %d\n",
 			*traceImport, m.Name(), m.Seed(), m.Len())
-		if *exp == "" && !*bench && *traceExport == "" {
+		if *exp == "" && !*bench && *traceExport == "" && !*stats {
 			return 0
 		}
 	}
@@ -215,6 +230,14 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 				fmt.Fprintln(stderr, "memprofile:", err)
 			}
 		}()
+	}
+
+	if *stats {
+		if err := runStats(*workload, *l2, *refs, *seed, *parallel, *statsJSON, stdout); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
 	}
 
 	if *bench {

@@ -1,0 +1,84 @@
+package main
+
+import (
+	"context"
+	"encoding/json"
+	"fmt"
+	"io"
+	"sort"
+	"text/tabwriter"
+
+	"dspatch/internal/experiments"
+	"dspatch/internal/sim"
+	"dspatch/internal/sweep"
+)
+
+// runStats simulates one workload with per-prefetcher telemetry enabled and
+// renders the collected stats. The run goes through the shared experiment
+// engine with the same point vocabulary campaigns and the daemon use, so the
+// numbers printed here are exactly what a campaign point record or
+// GET /v1/jobs/{id}?stats=1 reports for this configuration.
+func runStats(workload, l2 string, refs int, seed int64, parallel int, asJSON bool, stdout io.Writer) error {
+	p := sweep.Point{
+		Workloads:    []string{workload},
+		Refs:         refs,
+		Seed:         seed,
+		L2:           l2,
+		CollectStats: true,
+	}
+	if err := p.Normalize(); err != nil {
+		return fmt.Errorf("stats: %v", err)
+	}
+	results, err := experiments.RunJobs(context.Background(), []experiments.Job{p.Job()}, parallel)
+	if err != nil {
+		return err
+	}
+	res := results[0]
+	if asJSON {
+		out := struct {
+			Point       sweep.Point           `json:"point"`
+			IPC         []float64             `json:"ipc"`
+			Prefetchers []sim.PrefetcherStats `json:"prefetchers"`
+		}{Point: p, IPC: res.IPC, Prefetchers: res.Prefetchers}
+		enc := json.NewEncoder(stdout)
+		enc.SetIndent("", "  ")
+		return enc.Encode(out)
+	}
+	fmt.Fprintf(stdout, "workload %s  l2 %s  refs %d  seed %d  IPC %.4f\n",
+		p.Workloads[0], p.L2, p.Refs, p.Seed, res.IPC[0])
+	formatPrefStats(stdout, res.Prefetchers)
+	return nil
+}
+
+// formatPrefStats renders per-prefetcher telemetry as aligned tables: one
+// section per model, flat counters first, then each histogram with its
+// bucket labels.
+func formatPrefStats(w io.Writer, stats []sim.PrefetcherStats) {
+	for _, st := range stats {
+		fmt.Fprintf(w, "\n%s\n", st.Name)
+		tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+		names := make([]string, 0, len(st.Counters))
+		for n := range st.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(tw, "  %s\t%d\n", n, st.Counters[n])
+		}
+		tw.Flush()
+		hists := make([]string, 0, len(st.Histograms))
+		for n := range st.Histograms {
+			hists = append(hists, n)
+		}
+		sort.Strings(hists)
+		for _, n := range hists {
+			h := st.Histograms[n]
+			fmt.Fprintf(w, "  %s (total %d)\n", n, h.Total())
+			tw := tabwriter.NewWriter(w, 2, 4, 2, ' ', 0)
+			for i, b := range h.Buckets {
+				fmt.Fprintf(tw, "    %s\t%d\n", b, h.Counts[i])
+			}
+			tw.Flush()
+		}
+	}
+}

@@ -67,6 +67,60 @@ func main() {
 	fmt.Printf("resubmitted as %s: byte-identical result: %v\n",
 		again.ID, string(again.Result) == string(job.Result))
 
+	// The same machine with telemetry: collect_stats opts the run into
+	// per-prefetcher internals, served only behind ?stats=1 (JobStats).
+	statsJob, err := c.SubmitRun(ctx, dspatch.ServiceRunSpec{
+		Workloads:    []string{"mcf"},
+		Refs:         20_000,
+		L2:           "dspatch+spp",
+		CollectStats: true,
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err = c.Wait(ctx, statsJob.ID); err != nil {
+		log.Fatal(err)
+	}
+	statsJob, err = c.JobStats(ctx, statsJob.ID)
+	if err != nil {
+		log.Fatal(err)
+	}
+	pstats, err := statsJob.PrefetcherStats()
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, st := range pstats {
+		fmt.Printf("prefetcher %s: %d counters, %d histograms\n",
+			st.Name, len(st.Counters), len(st.Histograms))
+	}
+
+	// A campaign over the client, decoded with the typed helpers instead of
+	// raw NDJSON: mcf under two prefetchers against the none baseline.
+	camp, err := c.SubmitCampaign(ctx, dspatch.CampaignSpec{
+		Name: "demo",
+		Base: dspatch.CampaignPoint{Refs: 10_000},
+		Axes: dspatch.CampaignAxes{
+			Workloads: []dspatch.CampaignMix{{"mcf"}},
+			L2:        []string{"none", "spp", "dspatch+spp"},
+		},
+	})
+	if err != nil {
+		log.Fatal(err)
+	}
+	if _, err = c.Wait(ctx, camp.ID); err != nil {
+		log.Fatal(err)
+	}
+	points, summary, err := c.CampaignPoints(ctx, camp.ID, 0)
+	if err != nil {
+		log.Fatal(err)
+	}
+	for _, p := range points {
+		fmt.Printf("point %s: speedup %v\n", p.Point.L2, p.Speedup)
+	}
+	if summary != nil && summary.GeomeanSpeedupPct != nil {
+		fmt.Printf("campaign geomean speedup: %.2f%%\n", *summary.GeomeanSpeedupPct)
+	}
+
 	// A paper figure at a tiny scale; Text carries the rendered table.
 	fig, err := c.SubmitExperiment(ctx, "fig4", dspatch.ServiceScaleSpec{Refs: 2_000, PerCategory: 1})
 	if err != nil {

@@ -12,6 +12,7 @@ import (
 	"dspatch/internal/idx"
 	"dspatch/internal/memaddr"
 	"dspatch/internal/prefetch"
+	"dspatch/internal/prefstats"
 )
 
 // Config sizes AMPM.
@@ -46,6 +47,11 @@ type AMPM struct {
 	// mapIdx maps live page numbers to their map slots for the O(1) per-train
 	// lookup; Reference mode scans the maps directly and must agree.
 	mapIdx *idx.Table
+
+	// Telemetry: plain hot-path counters, snapshotted by ReportStats.
+	statAllocs uint64 // access maps (re)allocated
+	statEvicts uint64 // valid maps evicted to make room
+	statIssued uint64 // prefetch requests emitted
 }
 
 // New builds an AMPM instance.
@@ -85,6 +91,7 @@ func (a *AMPM) Train(acc prefetch.Access, _ prefetch.Context, dst []prefetch.Req
 				continue
 			}
 			e.prefetched |= bit
+			a.statIssued++
 			dst = append(dst, prefetch.Request{Line: page.Line(t)})
 			issued++
 			if issued >= a.cfg.Degree {
@@ -111,6 +118,7 @@ func (a *AMPM) lookup(page memaddr.Page) *mapEntry {
 }
 
 func (a *AMPM) alloc(page memaddr.Page) *mapEntry {
+	a.statAllocs++
 	victim := 0
 	oldest := ^uint64(0)
 	for i := range a.maps {
@@ -123,11 +131,22 @@ func (a *AMPM) alloc(page memaddr.Page) *mapEntry {
 		}
 	}
 	if a.maps[victim].valid {
+		a.statEvicts++
 		a.mapIdx.Del(uint64(a.maps[victim].page))
 	}
 	a.maps[victim] = mapEntry{page: page, valid: true, used: a.clock}
 	a.mapIdx.Put(uint64(page), victim)
 	return &a.maps[victim]
+}
+
+// ReportStats implements prefetch.StatsReporter.
+func (a *AMPM) ReportStats() []prefstats.Stats {
+	st := prefstats.New(a.Name())
+	st.Count("trains", a.clock)
+	st.Count("map_allocs", a.statAllocs)
+	st.Count("map_evictions", a.statEvicts)
+	st.Count("issued", a.statIssued)
+	return []prefstats.Stats{st}
 }
 
 // StorageBits implements prefetch.Prefetcher: page tag(36) + 2×64b maps per

@@ -15,6 +15,7 @@ import (
 	"dspatch/internal/bitpattern"
 	"dspatch/internal/memaddr"
 	"dspatch/internal/prefetch"
+	"dspatch/internal/prefstats"
 )
 
 // Config sizes BOP.
@@ -68,6 +69,13 @@ type BOP struct {
 	bestOff   int
 	bestScore int
 	active    bool // prefetching enabled (best score exceeded BadScore)
+
+	// Telemetry: plain hot-path counters, snapshotted by ReportStats.
+	statTrains     uint64    // training events (misses + prefetched hits)
+	statAdoptions  uint64    // learning phases ended with an active offset
+	statDeactivate uint64    // learning phases ended below BadScore (prefetch off)
+	statIssued     uint64    // prefetch requests emitted
+	statDegreeHist [5]uint64 // requests emitted per active train: 0..4
 }
 
 // New builds a BOP instance.
@@ -133,6 +141,7 @@ func (b *BOP) Train(a prefetch.Access, ctx prefetch.Context, dst []prefetch.Requ
 	if a.Hit && !a.HitPrefetched {
 		return dst
 	}
+	b.statTrains++
 	x := a.Line
 	page := x.Page()
 
@@ -161,18 +170,23 @@ func (b *BOP) Train(a prefetch.Access, ctx prefetch.Context, dst []prefetch.Requ
 		return dst
 	}
 	deg := b.degree(ctx)
+	emitted := 0
 	for i := 1; i <= deg; i++ {
 		t := int64(x) + int64(i*b.bestOff)
 		if t < 0 || memaddr.Line(t).Page() != page {
 			break
 		}
 		dst = append(dst, prefetch.Request{Line: memaddr.Line(t)})
+		emitted++
 	}
+	b.statIssued += uint64(emitted)
+	b.statDegreeHist[emitted]++
 	return dst
 }
 
 // adopt ends the learning phase immediately because offset i hit MaxScore.
 func (b *BOP) adopt(i int) {
+	b.statAdoptions++
 	b.bestOff = offsetList[i]
 	b.bestScore = b.scores[i]
 	b.active = true
@@ -189,9 +203,11 @@ func (b *BOP) adoptBest() {
 	}
 	b.bestScore = bestScore
 	if bestScore <= b.cfg.BadScore {
+		b.statDeactivate++
 		b.active = false
 		b.bestOff = 0
 	} else {
+		b.statAdoptions++
 		b.active = true
 		b.bestOff = offsetList[best]
 	}
@@ -204,6 +220,21 @@ func (b *BOP) resetLearning() {
 	}
 	b.testIdx = 0
 	b.round = 0
+}
+
+// bopDegreeBuckets labels statDegreeHist: eBOP's adaptive degree tops out
+// at 4.
+var bopDegreeBuckets = []string{"0", "1", "2", "3", "4"}
+
+// ReportStats implements prefetch.StatsReporter.
+func (b *BOP) ReportStats() []prefstats.Stats {
+	st := prefstats.New(b.Name())
+	st.Count("trains", b.statTrains)
+	st.Count("adoptions", b.statAdoptions)
+	st.Count("deactivations", b.statDeactivate)
+	st.Count("issued", b.statIssued)
+	st.Hist("prefetch_degree", bopDegreeBuckets, b.statDegreeHist[:])
+	return []prefstats.Stats{st}
 }
 
 // StorageBits implements prefetch.Prefetcher: RR entries hold a line tag

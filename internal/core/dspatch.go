@@ -28,6 +28,7 @@ import (
 	"dspatch/internal/idx"
 	"dspatch/internal/memaddr"
 	"dspatch/internal/prefetch"
+	"dspatch/internal/prefstats"
 )
 
 // Mode selects between the full DSPatch algorithm and the two ablation
@@ -126,14 +127,38 @@ type sptEntry struct {
 	measureAcc [2]bitpattern.SatCounter
 }
 
-// Stats reports DSPatch-internal prediction behaviour.
+// Stats reports DSPatch-internal prediction behaviour. All counters are
+// plain uint64s bumped on the Train path — incrementing them allocates
+// nothing, so they stay on unconditionally.
 type Stats struct {
 	Triggers        uint64
 	PredictionsCovP uint64 // trigger halves predicted with CovP
 	PredictionsAccP uint64
 	PredictionsNone uint64 // trigger halves suppressed by the selector
 	PatternResets   uint64 // CovP relearn events
-	PageEvictions   uint64
+	PageEvictions   uint64 // PB generations ended (learn events)
+
+	PBLookups uint64 // PB probes (one per train)
+	PBHits    uint64 // probes that found the page already tracked
+
+	// Per-reason selection counts: which branch of the Fig. 10 tree (or the
+	// Fig. 19 ablation selector) chose each trigger half's pattern. The CovP/
+	// AccP/None totals above are the sums of the matching reasons.
+	SelCovPLowBW    uint64 // bw < Q2 → CovP (bandwidth is free)
+	SelCovPQ2       uint64 // bw == Q2, CovP goodness holding → CovP
+	SelAccPQ2       uint64 // bw == Q2, CovP measured bad → AccP
+	SelAccPQ3       uint64 // bw == Q3, AccP goodness holding → AccP
+	SelNoneQ3       uint64 // bw == Q3, AccP measured bad → suppress
+	SelCovPAlways   uint64 // ModeAlwaysCovP ablation
+	SelNoneThrottle uint64 // ModeModCovP ablation at Q3
+	LowPriority     uint64 // CovP selections demoted to LRU-fill priority
+
+	// BWQuartiles histograms the DRAM bandwidth-utilization quartile
+	// observed at each prediction (one sample per trigger).
+	BWQuartiles [4]uint64
+	// DegreeHist buckets the number of prefetch requests each trigger
+	// emitted: 0,1,2,3,4,5-8,9-16,17-32,33+.
+	DegreeHist [9]uint64
 
 	// CompressionHist buckets the per-page-generation misprediction rate
 	// that 128B-granularity compression alone would cause (paper Fig. 11b):
@@ -245,8 +270,11 @@ func (d *DSPatch) Train(a prefetch.Access, ctx prefetch.Context, dst []prefetch.
 	off := a.Line.PageOffset()
 	seg := a.Line.Segment()
 
+	d.stats.PBLookups++
 	slot := d.lookupPB(page)
-	if slot < 0 {
+	if slot >= 0 {
+		d.stats.PBHits++
+	} else {
 		slot = d.allocPB(page, ctx) // may learn from the evicted generation
 	}
 	e := &d.pb[slot]
@@ -470,6 +498,7 @@ func (d *DSPatch) predict(page memaddr.Page, tr trigger, seg int, ctx prefetch.C
 	if ctx != nil {
 		bw = ctx.BandwidthUtilization()
 	}
+	d.stats.BWQuartiles[bw]++
 	nHalves := 2
 	if seg == 1 {
 		nHalves = 1
@@ -477,10 +506,14 @@ func (d *DSPatch) predict(page memaddr.Page, tr trigger, seg int, ctx prefetch.C
 	covH := halves(ent.covP)
 	accH := halves(ent.accP)
 	halfW := d.patW / 2
+	degreeStart := len(dst)
 	for h := 0; h < nHalves; h++ {
 		pat, lowPri, ok := d.selectPattern(ent, h, bw, covH[h], accH[h])
 		if !ok || pat.Empty() {
 			continue
+		}
+		if lowPri {
+			d.stats.LowPriority++
 		}
 		if d.cfg.Compress {
 			pat = pat.Expand()
@@ -499,7 +532,25 @@ func (d *DSPatch) predict(page memaddr.Page, tr trigger, seg int, ctx prefetch.C
 			dst = append(dst, prefetch.Request{Line: page.Line(pageOff), LowPriority: lowPri})
 		}
 	}
+	d.stats.DegreeHist[degreeBucket(len(dst)-degreeStart)]++
 	return dst
+}
+
+// degreeBucket maps a per-trigger request count onto DegreeHist's buckets:
+// 0,1,2,3,4,5-8,9-16,17-32,33+.
+func degreeBucket(n int) int {
+	switch {
+	case n <= 4:
+		return n
+	case n <= 8:
+		return 5
+	case n <= 16:
+		return 6
+	case n <= 32:
+		return 7
+	default:
+		return 8
+	}
 }
 
 func expandFactor(compress bool) int {
@@ -516,34 +567,42 @@ func (d *DSPatch) selectPattern(ent *sptEntry, h int, bw bitpattern.Quartile, co
 	switch d.cfg.Mode {
 	case ModeAlwaysCovP:
 		d.stats.PredictionsCovP++
+		d.stats.SelCovPAlways++
 		return cov, false, true
 	case ModeModCovP:
 		if bw == bitpattern.Q3 {
 			d.stats.PredictionsNone++
+			d.stats.SelNoneThrottle++
 			return bitpattern.Pattern{}, false, false
 		}
 		d.stats.PredictionsCovP++
+		d.stats.SelCovPAlways++
 		return cov, false, true
 	}
 	switch {
 	case bw == bitpattern.Q3:
 		if ent.measureAcc[h].Saturated() {
 			d.stats.PredictionsNone++
+			d.stats.SelNoneQ3++
 			return bitpattern.Pattern{}, false, false
 		}
 		d.stats.PredictionsAccP++
+		d.stats.SelAccPQ3++
 		return acc, false, true
 	case bw == bitpattern.Q2:
 		if ent.measureCov[h].Saturated() {
 			d.stats.PredictionsAccP++
+			d.stats.SelAccPQ2++
 			return acc, false, true
 		}
 		d.stats.PredictionsCovP++
+		d.stats.SelCovPQ2++
 		return cov, false, true
 	default:
 		// Below 50% utilization: coverage pattern; fill at low priority if
 		// its goodness counter says it has been inaccurate.
 		d.stats.PredictionsCovP++
+		d.stats.SelCovPLowBW++
 		return cov, ent.measureCov[h].Saturated(), true
 	}
 }
@@ -600,6 +659,44 @@ func (d *DSPatch) StorageBits() int {
 	per := 2*d.patW + 2*(int(d.cfg.OrCountBits)+2*int(d.cfg.MeasureBits))
 	spt := d.cfg.SPTEntries * per
 	return pb + spt
+}
+
+// Histogram bucket labels for ReportStats. The slices are shared read-only
+// across snapshots.
+var (
+	bwQuartileBuckets  = []string{"q0", "q1", "q2", "q3"}
+	degreeBuckets      = []string{"0", "1", "2", "3", "4", "5-8", "9-16", "17-32", "33+"}
+	compressionBuckets = []string{
+		"0%", "(0,12.5%]", "(12.5,25%]", "(25,37.5%]", "(37.5,50%)", "50%",
+	}
+)
+
+// ReportStats implements prefetch.StatsReporter: a flat snapshot of the
+// internal counters keyed by the paper's vocabulary (CovP/AccP selection
+// reasons, bandwidth quartiles, trigger degree).
+func (d *DSPatch) ReportStats() []prefstats.Stats {
+	s := &d.stats
+	st := prefstats.New(d.Name())
+	st.Count("triggers", s.Triggers)
+	st.Count("pb_lookups", s.PBLookups)
+	st.Count("pb_hits", s.PBHits)
+	st.Count("pb_evictions", s.PageEvictions)
+	st.Count("pattern_resets", s.PatternResets)
+	st.Count("sel_covp", s.PredictionsCovP)
+	st.Count("sel_accp", s.PredictionsAccP)
+	st.Count("sel_none", s.PredictionsNone)
+	st.Count("sel_covp_low_bw", s.SelCovPLowBW)
+	st.Count("sel_covp_q2", s.SelCovPQ2)
+	st.Count("sel_accp_q2_covp_bad", s.SelAccPQ2)
+	st.Count("sel_accp_q3", s.SelAccPQ3)
+	st.Count("sel_none_q3_accp_bad", s.SelNoneQ3)
+	st.Count("sel_covp_always", s.SelCovPAlways)
+	st.Count("sel_none_q3_throttle", s.SelNoneThrottle)
+	st.Count("low_priority_fills", s.LowPriority)
+	st.Hist("bw_quartile", bwQuartileBuckets, s.BWQuartiles[:])
+	st.Hist("prefetch_degree", degreeBuckets, s.DegreeHist[:])
+	st.Hist("compression_mispred", compressionBuckets, s.CompressionHist[:])
+	return []prefstats.Stats{st}
 }
 
 func log2(v int) int {

@@ -41,8 +41,8 @@ type cacheEntry struct {
 // keyString renders every runKey field in a stable, self-describing form.
 // It is the ResultStore key; DirStore hashes it into the content address.
 func (k runKey) keyString() string {
-	return fmt.Sprintf("names=%q dram=%+v llc=%d refs=%d seed=%d l2=%s nol1=%t smspht=%d",
-		k.names, k.dram, k.llcBytes, k.refs, k.seed, k.l2, k.noL1Stride, k.smsPHT)
+	return fmt.Sprintf("names=%q dram=%+v llc=%d refs=%d seed=%d l2=%s nol1=%t smspht=%d stats=%t",
+		k.names, k.dram, k.llcBytes, k.refs, k.seed, k.l2, k.noL1Stride, k.smsPHT, k.collectStats)
 }
 
 // logWarnf receives the engine's rare operational warnings (one line when

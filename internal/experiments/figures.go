@@ -142,10 +142,11 @@ func Fig11b(s Scale) [6]float64 {
 	}
 	var hist [6]uint64
 	for _, r := range s.runAll(jobs) {
-		if len(r.Ports) == 0 {
+		ports := r.Ports()
+		if len(ports) == 0 {
 			continue // run aborted by a WithContext cancellation
 		}
-		d := sim.FindDSPatch(r.Ports[0].L2Prefetcher())
+		d := sim.FindDSPatch(ports[0].L2Prefetcher())
 		for i, v := range d.Stats().CompressionHist {
 			hist[i] += v
 		}

@@ -48,6 +48,11 @@ type runKey struct {
 	// smsPHT is kept only for the one prefetcher it parameterizes, so
 	// Fig. 5's four-point sweep still shares a single baseline per workload.
 	smsPHT int
+	// collectStats is part of the key even though it cannot change core
+	// metrics: a stats-off result carries no Prefetchers snapshot, and
+	// serving it to a stats-on request (or vice versa) would make the memo
+	// lossy.
+	collectStats bool
 }
 
 // memoizable reports whether j is a shareable run and, if so, its cache key.
@@ -70,14 +75,15 @@ func memoizable(j Job) (runKey, bool) {
 		smsPHT = j.Opt.SMSPHTEntries
 	}
 	return runKey{
-		names:      strings.Join(names, "\x00"),
-		dram:       j.Opt.DRAM,
-		llcBytes:   j.Opt.LLCBytes,
-		refs:       j.Opt.Refs,
-		seed:       j.Opt.Seed,
-		l2:         l2,
-		noL1Stride: j.Opt.NoL1Stride,
-		smsPHT:     smsPHT,
+		names:        strings.Join(names, "\x00"),
+		dram:         j.Opt.DRAM,
+		llcBytes:     j.Opt.LLCBytes,
+		refs:         j.Opt.Refs,
+		seed:         j.Opt.Seed,
+		l2:           l2,
+		noL1Stride:   j.Opt.NoL1Stride,
+		smsPHT:       smsPHT,
+		collectStats: j.Opt.CollectStats,
 	}, true
 }
 
@@ -326,7 +332,7 @@ func (r *Runner) compute(ctx context.Context, e *memoEntry, key runKey, j Job, s
 		e.err = err
 		return
 	}
-	res.Ports = nil
+	res.StripPorts()
 	r.cachePut(st, key, res)
 	e.res = res
 }
@@ -548,7 +554,7 @@ func (r *Runner) runGroup(ctx context.Context, jobs []Job, idxs []int, results [
 			}
 			for k, mb := range owned {
 				res := batch[k]
-				res.Ports = nil
+				res.StripPorts()
 				r.sims.Add(1)
 				r.refsSim.Add(uint64(opts[k].Refs) * uint64(len(ws)))
 				r.cachePut(st, mb.key, res)

@@ -103,7 +103,7 @@ func TestRunMemoization(t *testing.T) {
 	if len(r.memo) != 2 {
 		t.Errorf("NeedPorts run leaked into the memo, len = %d", len(r.memo))
 	}
-	if len(res.Ports) == 0 {
+	if len(res.Ports()) == 0 {
 		t.Error("NeedPorts run lost its ports")
 	}
 }

@@ -280,6 +280,9 @@ func (p *Port) SharedLLC() *cache.Cache { return p.sys.llc }
 // L2Prefetcher returns the attached L2 prefetcher, if any.
 func (p *Port) L2Prefetcher() prefetch.Prefetcher { return p.l2pf }
 
+// L1Prefetcher returns the attached L1 prefetcher, if any.
+func (p *Port) L1Prefetcher() prefetch.Prefetcher { return p.l1pf }
+
 // UnusedPrefetches estimates L2-prefetcher DRAM fetches never used: issued
 // minus observed first uses (floored at zero). The baseline L1 stride
 // prefetcher's traffic is accounted separately and does not pollute the

@@ -74,7 +74,10 @@ func BenchmarkPortAccess(b *testing.B) {
 
 // TestPortAccessSteadyStateZeroAllocs enforces the tentpole invariant: after
 // warmup, Port.Access performs no heap allocation, for the DSPatch+SPP
-// configuration that stresses every structure on the path.
+// configuration that stresses every structure on the path. The prefetchers'
+// telemetry counters are always on (plain uint64 increments in Train; the
+// CollectStats flag only snapshots them at finish time), so this guard also
+// proves the stats layer adds nothing to the access path.
 func TestPortAccessSteadyStateZeroAllocs(t *testing.T) {
 	p := newPort(func() prefetch.Prefetcher { return sim.NewPrefetcher(sim.PFDSPatchSPP) })
 	s := &refStream{x: 0x9E3779B97F4A7C15}

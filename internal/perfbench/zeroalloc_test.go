@@ -18,6 +18,12 @@ import (
 // generator allocated two slices per footprint pattern on every run. The
 // shared-slab construction plus the materialize-once replay store hold the
 // marginal cost at zero.
+//
+// The check runs with CollectStats both off and on. The telemetry layer's
+// contract is that models count into plain fields on the hot path and the
+// flag only triggers a finish-time snapshot, so the snapshot cost is per-run
+// setup that cancels between the short and long runs — the steady-state
+// slope must stay at zero in both modes.
 func TestSimRunSteadyStateZeroAllocs(t *testing.T) {
 	const (
 		shortRefs = 2_000
@@ -27,27 +33,30 @@ func TestSimRunSteadyStateZeroAllocs(t *testing.T) {
 		// append-managed scratch (prefetch queues) crossing a size class.
 		maxPerRef = 0.005
 	)
-	for _, cat := range trace.Categories {
-		ws := trace.ByCategory(cat)
-		if len(ws) == 0 {
-			t.Fatalf("category %s has no workloads", cat)
-		}
-		w := ws[0]
-		short := sim.DefaultST()
-		short.Refs = shortRefs
-		short.L2 = sim.PFDSPatchSPP
-		long := short
-		long.Refs = longRefs
+	for _, collectStats := range []bool{false, true} {
+		for _, cat := range trace.Categories {
+			ws := trace.ByCategory(cat)
+			if len(ws) == 0 {
+				t.Fatalf("category %s has no workloads", cat)
+			}
+			w := ws[0]
+			short := sim.DefaultST()
+			short.Refs = shortRefs
+			short.L2 = sim.PFDSPatchSPP
+			short.CollectStats = collectStats
+			long := short
+			long.Refs = longRefs
 
-		// Materialize the shared trace out of the measured region.
-		sim.RunSingle(w, long)
+			// Materialize the shared trace out of the measured region.
+			sim.RunSingle(w, long)
 
-		sAllocs := testing.AllocsPerRun(3, func() { sim.RunSingle(w, short) })
-		lAllocs := testing.AllocsPerRun(3, func() { sim.RunSingle(w, long) })
-		perRef := (lAllocs - sAllocs) / float64(longRefs-shortRefs)
-		if perRef > maxPerRef {
-			t.Errorf("%s/%s: %.4f allocs per steady-state reference (short run %.0f, long run %.0f), want ~0",
-				cat, w.Name, perRef, sAllocs, lAllocs)
+			sAllocs := testing.AllocsPerRun(3, func() { sim.RunSingle(w, short) })
+			lAllocs := testing.AllocsPerRun(3, func() { sim.RunSingle(w, long) })
+			perRef := (lAllocs - sAllocs) / float64(longRefs-shortRefs)
+			if perRef > maxPerRef {
+				t.Errorf("%s/%s (stats=%t): %.4f allocs per steady-state reference (short run %.0f, long run %.0f), want ~0",
+					cat, w.Name, collectStats, perRef, sAllocs, lAllocs)
+			}
 		}
 	}
 }

@@ -11,6 +11,7 @@ package prefetch
 import (
 	"dspatch/internal/bitpattern"
 	"dspatch/internal/memaddr"
+	"dspatch/internal/prefstats"
 )
 
 // Access is one training event delivered to a prefetcher. L2 prefetchers in
@@ -53,6 +54,26 @@ type Prefetcher interface {
 	// StorageBits returns the hardware budget of the configuration, used to
 	// regenerate the paper's storage tables.
 	StorageBits() int
+}
+
+// StatsReporter is the optional introspection side of a Prefetcher: models
+// that keep internal telemetry (always-on plain counters — incrementing them
+// must stay allocation-free on the Train hot path) expose a snapshot through
+// ReportStats. Discovery is by type assertion so the core Prefetcher
+// interface stays narrow; callers that find no StatsReporter simply report
+// nothing for that model. A composite returns one Stats per constituent
+// model rather than folding them under its own name.
+type StatsReporter interface {
+	ReportStats() []prefstats.Stats
+}
+
+// ReportStats extracts p's telemetry snapshots when p implements
+// StatsReporter, and returns nil otherwise.
+func ReportStats(p Prefetcher) []prefstats.Stats {
+	if r, ok := p.(StatsReporter); ok {
+		return r.ReportStats()
+	}
+	return nil
 }
 
 // StaticContext is a Context with a fixed utilization value, useful in tests
@@ -110,3 +131,14 @@ func (c *Composite) StorageBits() int {
 
 // Parts returns the chained prefetchers.
 func (c *Composite) Parts() []Prefetcher { return c.parts }
+
+// ReportStats implements StatsReporter by concatenating each constituent's
+// snapshots, so a composite like dspatch+spp reports per-model telemetry
+// under the constituent names.
+func (c *Composite) ReportStats() []prefstats.Stats {
+	var out []prefstats.Stats
+	for _, p := range c.parts {
+		out = append(out, ReportStats(p)...)
+	}
+	return out
+}

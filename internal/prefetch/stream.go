@@ -1,6 +1,9 @@
 package prefetch
 
-import "dspatch/internal/memaddr"
+import (
+	"dspatch/internal/memaddr"
+	"dspatch/internal/prefstats"
+)
 
 // StreamConfig parameterizes the next-line streamer.
 type StreamConfig struct {
@@ -28,6 +31,11 @@ type Stream struct {
 	cfg   StreamConfig
 	table []streamEntry
 	clock uint64
+
+	// Telemetry (see Stride): plain hot-path counters, snapshotted by
+	// ReportStats.
+	allocs uint64 // stream entries (re)allocated
+	issued uint64 // prefetch requests emitted
 }
 
 // NewStream builds a streamer.
@@ -61,6 +69,7 @@ func (s *Stream) Train(a Access, _ Context, dst []Request) []Request {
 		}
 	}
 	if e == nil {
+		s.allocs++
 		*victim = streamEntry{page: page, lastOff: off, valid: true, lastUsed: s.clock}
 		return dst
 	}
@@ -80,9 +89,19 @@ func (s *Stream) Train(a Access, _ Context, dst []Request) []Request {
 		if t < 0 || t >= memaddr.LinesPage {
 			break
 		}
+		s.issued++
 		dst = append(dst, Request{Line: page.Line(t)})
 	}
 	return dst
+}
+
+// ReportStats implements StatsReporter.
+func (s *Stream) ReportStats() []prefstats.Stats {
+	st := prefstats.New(s.Name())
+	st.Count("trains", s.clock)
+	st.Count("stream_allocs", s.allocs)
+	st.Count("issued", s.issued)
+	return []prefstats.Stats{st}
 }
 
 // StorageBits implements Prefetcher: page tag(36) + offset(6) + dir(2) per

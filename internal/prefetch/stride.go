@@ -1,6 +1,9 @@
 package prefetch
 
-import "dspatch/internal/memaddr"
+import (
+	"dspatch/internal/memaddr"
+	"dspatch/internal/prefstats"
+)
 
 // StrideConfig parameterizes the PC-based stride prefetcher.
 type StrideConfig struct {
@@ -33,6 +36,12 @@ type Stride struct {
 	cfg   StrideConfig
 	table []strideEntry
 	bits  uint // log2(Entries), precomputed: Train indexes per access
+
+	// Telemetry: plain counters incremented on the Train hot path
+	// (allocation-free), snapshotted by ReportStats.
+	trains uint64 // Train calls observed
+	allocs uint64 // table entries (re)allocated on PC tag miss
+	issued uint64 // prefetch requests emitted
 }
 
 // NewStride builds a stride prefetcher.
@@ -48,9 +57,11 @@ func (s *Stride) Name() string { return "l1stride" }
 
 // Train implements Prefetcher.
 func (s *Stride) Train(a Access, _ Context, dst []Request) []Request {
+	s.trains++
 	idx := memaddr.FoldXOR(uint64(a.PC), s.bits)
 	e := &s.table[idx]
 	if !e.valid || e.tag != uint64(a.PC) {
+		s.allocs++
 		*e = strideEntry{tag: uint64(a.PC), lastLine: a.Line, valid: true}
 		return dst
 	}
@@ -79,9 +90,19 @@ func (s *Stride) Train(a Access, _ Context, dst []Request) []Request {
 		if target.Page() != page {
 			break // stay within the physical page
 		}
+		s.issued++
 		dst = append(dst, Request{Line: target})
 	}
 	return dst
+}
+
+// ReportStats implements StatsReporter.
+func (s *Stride) ReportStats() []prefstats.Stats {
+	st := prefstats.New(s.Name())
+	st.Count("trains", s.trains)
+	st.Count("entry_allocs", s.allocs)
+	st.Count("issued", s.issued)
+	return []prefstats.Stats{st}
 }
 
 // StorageBits implements Prefetcher. Each entry: tag(16) + last line(36) +

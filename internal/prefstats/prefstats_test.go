@@ -1,0 +1,88 @@
+package prefstats
+
+import (
+	"encoding/json"
+	"reflect"
+	"testing"
+)
+
+func TestMergeSumsByName(t *testing.T) {
+	a := New("dspatch")
+	a.Count("pb_lookups", 10)
+	a.Count("pb_hits", 4)
+	a.Hist("bw_quartile", []string{"q0", "q1", "q2", "q3"}, []uint64{1, 2, 0, 0})
+
+	b := New("dspatch")
+	b.Count("pb_lookups", 5)
+	b.Count("pb_evictions", 1)
+	b.Hist("bw_quartile", []string{"q0", "q1", "q2", "q3"}, []uint64{0, 1, 3, 0})
+
+	c := New("spp")
+	c.Count("issued", 7)
+
+	got := Merge(nil, []Stats{a})
+	got = Merge(got, []Stats{b, c})
+
+	if len(got) != 2 {
+		t.Fatalf("merged %d models, want 2: %+v", len(got), got)
+	}
+	d := got[0]
+	if d.Name != "dspatch" || d.Counters["pb_lookups"] != 15 ||
+		d.Counters["pb_hits"] != 4 || d.Counters["pb_evictions"] != 1 {
+		t.Fatalf("dspatch counters wrong: %+v", d.Counters)
+	}
+	wantHist := Histogram{Buckets: []string{"q0", "q1", "q2", "q3"}, Counts: []uint64{1, 3, 3, 0}}
+	if !reflect.DeepEqual(d.Histograms["bw_quartile"], wantHist) {
+		t.Fatalf("bw_quartile = %+v, want %+v", d.Histograms["bw_quartile"], wantHist)
+	}
+	if got[1].Name != "spp" || got[1].Counters["issued"] != 7 {
+		t.Fatalf("spp snapshot wrong: %+v", got[1])
+	}
+
+	// Merge must not alias the sources: mutating the merge output leaves
+	// the inputs untouched.
+	got[1].Counters["issued"] = 99
+	if c.Counters["issued"] != 7 {
+		t.Fatalf("Merge aliased source counters")
+	}
+}
+
+func TestHistogramMergeByLabel(t *testing.T) {
+	h := Histogram{Buckets: []string{"1", "2"}, Counts: []uint64{3, 1}}
+	h = h.add(Histogram{Buckets: []string{"2", "4"}, Counts: []uint64{2, 5}})
+	want := Histogram{Buckets: []string{"1", "2", "4"}, Counts: []uint64{3, 3, 5}}
+	if !reflect.DeepEqual(h, want) {
+		t.Fatalf("merged = %+v, want %+v", h, want)
+	}
+	if h.Total() != 11 {
+		t.Fatalf("Total = %d, want 11", h.Total())
+	}
+}
+
+func TestZeroValuesOmitted(t *testing.T) {
+	s := New("x")
+	s.Count("never", 0)
+	s.Hist("empty", []string{"a"}, []uint64{0})
+	if len(s.Counters) != 0 || len(s.Histograms) != 0 {
+		t.Fatalf("zero-valued entries recorded: %+v", s)
+	}
+}
+
+func TestDeterministicJSON(t *testing.T) {
+	s := New("m")
+	s.Count("b", 2)
+	s.Count("a", 1)
+	s.Hist("h", []string{"x", "y"}, []uint64{1, 2})
+	j1, err := json.Marshal(s)
+	if err != nil {
+		t.Fatal(err)
+	}
+	j2, _ := json.Marshal(s.Clone())
+	if string(j1) != string(j2) {
+		t.Fatalf("marshal not deterministic:\n%s\n%s", j1, j2)
+	}
+	want := `{"name":"m","counters":{"a":1,"b":2},"histograms":{"h":{"buckets":["x","y"],"counts":[1,2]}}}`
+	if string(j1) != want {
+		t.Fatalf("marshal = %s, want %s", j1, want)
+	}
+}

@@ -14,6 +14,7 @@ import (
 	"strings"
 	"time"
 
+	"dspatch/internal/sim"
 	"dspatch/internal/sweep"
 )
 
@@ -251,6 +252,50 @@ func (c *Client) Job(ctx context.Context, id string) (JobView, error) {
 	return j, err
 }
 
+// JobStats fetches one job with ?stats=1: a terminal job that collected
+// per-prefetcher telemetry (RunSpec.CollectStats) carries it in Result;
+// other jobs answer exactly like Job.
+func (c *Client) JobStats(ctx context.Context, id string) (JobView, error) {
+	var j JobView
+	err := c.do(ctx, http.MethodGet, "/v1/jobs/"+id+"?stats=1", nil, &j)
+	return j, err
+}
+
+// RunResult decodes a terminal run job's Result into the library's typed
+// form. Fetch the job via JobStats to populate Result.Prefetchers.
+func (j JobView) RunResult() (sim.Result, error) {
+	var res sim.Result
+	if len(j.Result) == 0 {
+		return res, fmt.Errorf("job %s has no result (status %q)", j.ID, j.Status)
+	}
+	err := json.Unmarshal(j.Result, &res)
+	return res, err
+}
+
+// PrefetcherStats decodes the per-prefetcher telemetry of a terminal job's
+// Result — a run's Prefetchers section or a campaign summary's prefetchers
+// aggregate. It is nil unless the job collected stats and was fetched with
+// JobStats.
+func (j JobView) PrefetcherStats() ([]sim.PrefetcherStats, error) {
+	if len(j.Result) == 0 {
+		return nil, fmt.Errorf("job %s has no result (status %q)", j.ID, j.Status)
+	}
+	switch j.Kind {
+	case kindCampaign:
+		var sum CampaignSummary
+		if err := json.Unmarshal(j.Result, &sum); err != nil {
+			return nil, err
+		}
+		return sum.Prefetchers, nil
+	default:
+		res, err := j.RunResult()
+		if err != nil {
+			return nil, err
+		}
+		return res.Prefetchers, nil
+	}
+}
+
 // Wait long-polls the job until it reaches a terminal status or ctx fires.
 func (c *Client) Wait(ctx context.Context, id string) (JobView, error) {
 	for {
@@ -338,6 +383,69 @@ func (c *Client) CampaignStream(ctx context.Context, id string, wait time.Durati
 		return nil, &APIError{StatusCode: resp.StatusCode, Message: msg}
 	}
 	return resp.Body, nil
+}
+
+// CampaignHeader, CampaignPoint and CampaignSummary are the typed forms of
+// a campaign stream's NDJSON records — the sweep package's wire vocabulary
+// re-exported where client code decodes it.
+type (
+	CampaignHeader  = sweep.Header
+	CampaignPoint   = sweep.PointRecord
+	CampaignSummary = sweep.Summary
+)
+
+// DecodeCampaignRecords parses the raw NDJSON records of one campaign into
+// their typed forms: the header, every point record in stream order, and the
+// summary (nil until the campaign finishes). Records of unknown type are
+// skipped, so the decoder tolerates stream additions. The raw path
+// (CampaignRecords/CampaignStream) remains for byte-exact consumers.
+func DecodeCampaignRecords(recs []json.RawMessage) (*CampaignHeader, []CampaignPoint, *CampaignSummary, error) {
+	var (
+		header  *CampaignHeader
+		points  []CampaignPoint
+		summary *CampaignSummary
+	)
+	for i, raw := range recs {
+		var probe struct {
+			Type string `json:"type"`
+		}
+		if err := json.Unmarshal(raw, &probe); err != nil {
+			return nil, nil, nil, fmt.Errorf("campaign record %d: %w", i, err)
+		}
+		switch probe.Type {
+		case "campaign":
+			var h CampaignHeader
+			if err := json.Unmarshal(raw, &h); err != nil {
+				return nil, nil, nil, fmt.Errorf("campaign record %d (header): %w", i, err)
+			}
+			header = &h
+		case "point":
+			var p CampaignPoint
+			if err := json.Unmarshal(raw, &p); err != nil {
+				return nil, nil, nil, fmt.Errorf("campaign record %d (point): %w", i, err)
+			}
+			points = append(points, p)
+		case "summary":
+			var s CampaignSummary
+			if err := json.Unmarshal(raw, &s); err != nil {
+				return nil, nil, nil, fmt.Errorf("campaign record %d (summary): %w", i, err)
+			}
+			summary = &s
+		}
+	}
+	return header, points, summary, nil
+}
+
+// CampaignPoints fetches one campaign's stream and returns its typed point
+// records and summary (nil while the campaign is still running). It is
+// DecodeCampaignRecords over CampaignRecords.
+func (c *Client) CampaignPoints(ctx context.Context, id string, wait time.Duration) ([]CampaignPoint, *CampaignSummary, error) {
+	recs, err := c.CampaignRecords(ctx, id, wait)
+	if err != nil {
+		return nil, nil, err
+	}
+	_, points, summary, err := DecodeCampaignRecords(recs)
+	return points, summary, err
 }
 
 // CampaignRecords drains one CampaignStream call into parsed NDJSON lines.

@@ -60,6 +60,7 @@ import (
 	"time"
 
 	"dspatch/internal/experiments"
+	"dspatch/internal/prefstats"
 	"dspatch/internal/sim"
 	"dspatch/internal/sweep"
 	"dspatch/internal/trace"
@@ -280,15 +281,19 @@ type job struct {
 	// instead of creating a fresh one.
 	resumePath string
 
-	mu        sync.Mutex
-	status    JobStatus
-	errMsg    string
-	result    json.RawMessage
-	text      string
-	submitted time.Time
-	started   time.Time
-	finished  time.Time
-	cancel    context.CancelFunc // set while running
+	mu     sync.Mutex
+	status JobStatus
+	errMsg string
+	result json.RawMessage
+	// resultStats is the result with per-prefetcher telemetry included;
+	// non-nil only when the job collected stats. GET /v1/jobs/{id}?stats=1
+	// serves it, every other path serves the lean result.
+	resultStats json.RawMessage
+	text        string
+	submitted   time.Time
+	started     time.Time
+	finished    time.Time
+	cancel      context.CancelFunc // set while running
 
 	cancelRequested atomic.Bool
 	done            chan struct{}
@@ -313,7 +318,11 @@ type JobView struct {
 	Text string `json:"text,omitempty"`
 }
 
-func (j *job) view(includeResult bool) JobView {
+func (j *job) view(includeResult bool) JobView { return j.viewStats(includeResult, false) }
+
+// viewStats is view with an opt-in for the stats-bearing result form:
+// includeStats swaps in resultStats when the job collected telemetry.
+func (j *job) viewStats(includeResult, includeStats bool) JobView {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	v := JobView{
@@ -337,6 +346,9 @@ func (j *job) view(includeResult bool) JobView {
 	}
 	if includeResult {
 		v.Result = j.result
+		if includeStats && j.resultStats != nil {
+			v.Result = j.resultStats
+		}
 		v.Text = j.text
 	}
 	return v
@@ -358,7 +370,7 @@ func (j *job) claimRunning(cancel context.CancelFunc) bool {
 
 // finish records a terminal status; it reports false if the job already
 // reached one (a cancel raced with completion).
-func (j *job) finish(st JobStatus, result json.RawMessage, text, errMsg string) bool {
+func (j *job) finish(st JobStatus, result, resultStats json.RawMessage, text, errMsg string) bool {
 	j.mu.Lock()
 	defer j.mu.Unlock()
 	if j.status.Terminal() {
@@ -366,6 +378,7 @@ func (j *job) finish(st JobStatus, result json.RawMessage, text, errMsg string) 
 	}
 	j.status = st
 	j.result = result
+	j.resultStats = resultStats
 	j.text = text
 	j.errMsg = errMsg
 	j.finished = time.Now()
@@ -421,6 +434,22 @@ type Server struct {
 	campaignsResumed atomic.Uint64
 	activeCampaigns  atomic.Int64
 	pointsEmitted    atomic.Uint64 // across campaigns; drives CrashAfterPoints
+
+	// Per-prefetcher telemetry aggregated across every stats-collecting job
+	// this daemon finished, exported on /metrics as labeled series.
+	prefMu  sync.Mutex
+	prefAgg []sim.PrefetcherStats
+}
+
+// recordPrefStats folds one finished job's per-prefetcher telemetry into the
+// daemon-lifetime aggregate behind /metrics.
+func (s *Server) recordPrefStats(stats []sim.PrefetcherStats) {
+	if len(stats) == 0 {
+		return
+	}
+	s.prefMu.Lock()
+	s.prefAgg = prefstats.Merge(s.prefAgg, stats)
+	s.prefMu.Unlock()
 }
 
 // New builds a Server and starts its worker pool (no listener yet: mount
@@ -723,7 +752,7 @@ func (s *Server) retireCampaign(j *job) {
 
 func (s *Server) runJob(j *job) {
 	if s.isDraining() || j.cancelRequested.Load() {
-		if j.finish(StatusCanceled, nil, "", "canceled before start") {
+		if j.finish(StatusCanceled, nil, nil, "", "canceled before start") {
 			s.canceled.Add(1)
 			s.retireCampaign(j)
 		}
@@ -740,21 +769,21 @@ func (s *Server) runJob(j *job) {
 		cancel()
 	}
 	s.running.Add(1)
-	result, text, err := s.execute(ctx, j)
+	result, resultStats, text, err := s.execute(ctx, j)
 	s.running.Add(-1)
 	switch {
 	case err != nil && (errors.Is(err, context.Canceled) || errors.Is(err, context.DeadlineExceeded)):
-		if j.finish(StatusCanceled, nil, "", "canceled") {
+		if j.finish(StatusCanceled, nil, nil, "", "canceled") {
 			s.canceled.Add(1)
 			s.retireCampaign(j)
 		}
 	case err != nil:
-		if j.finish(StatusFailed, nil, "", err.Error()) {
+		if j.finish(StatusFailed, nil, nil, "", err.Error()) {
 			s.failed.Add(1)
 			s.retireCampaign(j)
 		}
 	default:
-		if j.finish(StatusDone, result, text, "") {
+		if j.finish(StatusDone, result, resultStats, text, "") {
 			s.completed.Add(1)
 			s.retireCampaign(j)
 		}
@@ -763,8 +792,10 @@ func (s *Server) runJob(j *job) {
 
 // execute runs the job's work on the process-shared experiment engine. Panics
 // are converted to job failures: one malformed job must not take down the
-// daemon.
-func (s *Server) execute(ctx context.Context, j *job) (result json.RawMessage, text string, err error) {
+// daemon. resultStats, when non-nil, is the stats-bearing result form
+// (per-prefetcher telemetry included) served behind ?stats=1; result is
+// always the lean form.
+func (s *Server) execute(ctx context.Context, j *job) (result, resultStats json.RawMessage, text string, err error) {
 	defer func() {
 		if p := recover(); p != nil {
 			err = fmt.Errorf("job panicked: %v", p)
@@ -774,12 +805,23 @@ func (s *Server) execute(ctx context.Context, j *job) (result json.RawMessage, t
 	case kindRun:
 		results, err := experiments.RunJobs(ctx, []experiments.Job{j.run.Job()}, s.cfg.SimWorkers)
 		if err != nil {
-			return nil, "", err
+			return nil, nil, "", err
 		}
 		res := results[0]
-		res.Ports = nil // live memory-system state is not part of the API
+		res.StripPorts() // live memory-system state is not part of the API
+		if len(res.Prefetchers) > 0 {
+			s.recordPrefStats(res.Prefetchers)
+			full, err := marshalResult(res)
+			if err != nil {
+				return nil, nil, "", err
+			}
+			lean := res
+			lean.Prefetchers = nil
+			raw, err := marshalResult(lean)
+			return raw, full, "", err
+		}
 		raw, err := marshalResult(res)
-		return raw, "", err
+		return raw, nil, "", err
 	case kindCampaign:
 		var last json.RawMessage
 		emit := func(line json.RawMessage) error {
@@ -800,9 +842,11 @@ func (s *Server) execute(ctx context.Context, j *job) (result json.RawMessage, t
 		if jl != nil {
 			defer jl.Close()
 		}
+		var sum sweep.Summary
 		runCampaign := func() error {
+			var err error
 			if s.fleet != nil {
-				_, err := s.runFleetCampaign(ctx, *j.camp, emit, jl, resume)
+				sum, err = s.runFleetCampaign(ctx, *j.camp, emit, jl, resume)
 				return err
 			}
 			eng := sweep.Engine{
@@ -812,7 +856,7 @@ func (s *Server) execute(ctx context.Context, j *job) (result json.RawMessage, t
 				Resume:  resume,
 				Logf:    s.cfg.Logf,
 			}
-			_, err := eng.Run(ctx, *j.camp, emit)
+			sum, err = eng.Run(ctx, *j.camp, emit)
 			return err
 		}
 		if err := runCampaign(); err != nil {
@@ -822,7 +866,7 @@ func (s *Server) execute(ctx context.Context, j *job) (result json.RawMessage, t
 			if jl != nil && (j.cancelRequested.Load() || ctx.Err() == nil) {
 				os.Remove(jl.Path())
 			}
-			return nil, "", err
+			return nil, nil, "", err
 		}
 		if jl != nil {
 			// Sealed: the campaign is complete, nothing left to resume.
@@ -830,26 +874,36 @@ func (s *Server) execute(ctx context.Context, j *job) (result json.RawMessage, t
 		}
 		// The engine's final record is the summary; it doubles as the
 		// JobView result so /v1/jobs/{id} answers without the full stream.
-		return last, "", nil
+		// A stats-collecting campaign's summary carries the aggregated
+		// telemetry: that full form goes behind ?stats=1 and the lean form
+		// (telemetry stripped) is the default result.
+		if len(sum.Prefetchers) > 0 {
+			s.recordPrefStats(sum.Prefetchers)
+			lean := sum
+			lean.Prefetchers = nil
+			raw, err := marshalResult(lean)
+			return raw, last, "", err
+		}
+		return last, nil, "", nil
 	case kindExperiment:
 		e, ok := experiments.ExperimentByID(j.expID)
 		if !ok {
-			return nil, "", fmt.Errorf("unknown experiment %q", j.expID)
+			return nil, nil, "", fmt.Errorf("unknown experiment %q", j.expID)
 		}
 		scale := j.scale.scale().WithParallel(s.cfg.SimWorkers).WithContext(ctx)
 		v := e.Run(scale)
 		if err := ctx.Err(); err != nil {
-			return nil, "", err
+			return nil, nil, "", err
 		}
 		raw, err := marshalResult(v)
 		if err != nil {
-			return nil, "", err
+			return nil, nil, "", err
 		}
 		var buf bytes.Buffer
 		e.Format(&buf, v)
-		return raw, buf.String(), nil
+		return raw, nil, buf.String(), nil
 	}
-	return nil, "", fmt.Errorf("unknown job kind %q", j.kind)
+	return nil, nil, "", fmt.Errorf("unknown job kind %q", j.kind)
 }
 
 // openCampaignJournal opens the durable journal for a campaign job: a
@@ -1179,7 +1233,18 @@ func (s *Server) handleGetJob(w http.ResponseWriter, r *http.Request) {
 		case <-s.drainCh: // don't hold Shutdown hostage to long-polls
 		}
 	}
-	writeJSON(w, http.StatusOK, j.view(true))
+	writeJSON(w, http.StatusOK, j.viewStats(true, wantStats(r)))
+}
+
+// wantStats reads the ?stats= opt-in of GET /v1/jobs/{id}: when true the
+// stats-bearing result form (per-prefetcher telemetry included) is served
+// instead of the lean one.
+func wantStats(r *http.Request) bool {
+	switch r.URL.Query().Get("stats") {
+	case "1", "true":
+		return true
+	}
+	return false
 }
 
 // parseWait reads the ?wait= long-poll window: absent means 0 (answer
@@ -1391,7 +1456,49 @@ func (s *Server) handleMetrics(w http.ResponseWriter, r *http.Request) {
 	counterf("dspatchd_engine_sim_seconds_total", "Wall seconds spent simulating.", float64(ec.SimNanos)/1e9)
 	gauge("dspatchd_engine_refs_per_second", "Aggregate simulation throughput.", refsPerSec)
 	gauge("dspatchd_uptime_seconds", "Seconds since daemon start.", float64(h.UptimeSeconds))
+	s.writePrefMetrics(&b)
 	w.Write(b.Bytes())
+}
+
+// writePrefMetrics renders the per-prefetcher telemetry aggregate as two
+// labeled counter families: one for flat counters, one for histogram
+// buckets. Series only exist once a stats-collecting job has finished.
+func (s *Server) writePrefMetrics(b *bytes.Buffer) {
+	s.prefMu.Lock()
+	defer s.prefMu.Unlock()
+	if len(s.prefAgg) == 0 {
+		return
+	}
+	byName := append([]sim.PrefetcherStats(nil), s.prefAgg...)
+	sort.Slice(byName, func(i, j int) bool { return byName[i].Name < byName[j].Name })
+
+	fmt.Fprintf(b, "# HELP dspatchd_prefetcher_events_total Per-prefetcher model event counters, aggregated across stats-collecting jobs.\n# TYPE dspatchd_prefetcher_events_total counter\n")
+	for _, st := range byName {
+		names := make([]string, 0, len(st.Counters))
+		for n := range st.Counters {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			fmt.Fprintf(b, "dspatchd_prefetcher_events_total{prefetcher=%q,counter=%q} %d\n",
+				st.Name, n, st.Counters[n])
+		}
+	}
+	fmt.Fprintf(b, "# HELP dspatchd_prefetcher_hist_total Per-prefetcher histogram bucket counts, aggregated across stats-collecting jobs.\n# TYPE dspatchd_prefetcher_hist_total counter\n")
+	for _, st := range byName {
+		names := make([]string, 0, len(st.Histograms))
+		for n := range st.Histograms {
+			names = append(names, n)
+		}
+		sort.Strings(names)
+		for _, n := range names {
+			hist := st.Histograms[n]
+			for i, bkt := range hist.Buckets {
+				fmt.Fprintf(b, "dspatchd_prefetcher_hist_total{prefetcher=%q,hist=%q,bucket=%q} %d\n",
+					st.Name, n, bkt, hist.Counts[i])
+			}
+		}
+	}
 }
 
 // decodeBody strictly decodes a JSON request body into dst. allowEmpty

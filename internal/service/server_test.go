@@ -10,6 +10,8 @@ import (
 	"time"
 
 	"dspatch/internal/experiments"
+	"dspatch/internal/sim"
+	"dspatch/internal/sweep"
 )
 
 // newTestServer starts a Server with its HTTP front end and returns a client
@@ -82,7 +84,7 @@ func TestRunJobMatchesLibraryPath(t *testing.T) {
 		t.Fatal(err)
 	}
 	res := results[0]
-	res.Ports = nil
+	res.StripPorts()
 	want, err := json.Marshal(res)
 	if err != nil {
 		t.Fatal(err)
@@ -217,6 +219,175 @@ func TestUnknownFieldRejected(t *testing.T) {
 	if resp.StatusCode != http.StatusBadRequest {
 		t.Fatalf("status = %d, want 400", resp.StatusCode)
 	}
+}
+
+// TestCollectStatsSpecDecode pins the strict-decode contract around the
+// collect_stats field: misspelled names and wrong JSON types are rejected
+// with 400 instead of being silently dropped (a typo'd opt-in must not run a
+// whole job without the telemetry the caller asked for), while both boolean
+// spellings are accepted.
+func TestCollectStatsSpecDecode(t *testing.T) {
+	_, c := newTestServer(t, Config{JobWorkers: 1})
+	cases := []struct {
+		name string
+		body string
+		want int
+	}{
+		{"true accepted", `{"workloads":["linpack"],"collect_stats":true}`, http.StatusAccepted},
+		{"false accepted", `{"workloads":["linpack"],"collect_stats":false}`, http.StatusAccepted},
+		{"wrong type", `{"workloads":["linpack"],"collect_stats":"yes"}`, http.StatusBadRequest},
+		{"wrong type int", `{"workloads":["linpack"],"collect_stats":1}`, http.StatusBadRequest},
+		{"typo'd name", `{"workloads":["linpack"],"collectstats":true}`, http.StatusBadRequest},
+		{"camel-case name", `{"workloads":["linpack"],"collectStats":true}`, http.StatusBadRequest},
+	}
+	for _, tc := range cases {
+		resp, err := http.Post(c.BaseURL+"/v1/runs", "application/json", strings.NewReader(tc.body))
+		if err != nil {
+			t.Fatalf("%s: %v", tc.name, err)
+		}
+		resp.Body.Close()
+		if resp.StatusCode != tc.want {
+			t.Errorf("%s: status = %d, want %d", tc.name, resp.StatusCode, tc.want)
+		}
+	}
+
+	// The same spec shape rides inside a campaign's base point; the strict
+	// decoder must reach it there too.
+	resp, err := http.Post(c.BaseURL+"/v1/campaigns", "application/json",
+		strings.NewReader(`{"base":{"workloads":["linpack"],"collect_stats":"yes"},"axes":{"l2":["none"]}}`))
+	if err != nil {
+		t.Fatal(err)
+	}
+	resp.Body.Close()
+	if resp.StatusCode != http.StatusBadRequest {
+		t.Errorf("campaign with mistyped collect_stats: status = %d, want 400", resp.StatusCode)
+	}
+}
+
+// TestStatsOptInFlow exercises the telemetry path end to end: a run with
+// collect_stats keeps its default result lean (no prefetchers section), the
+// ?stats=1 view carries the full telemetry, /metrics exports it as labeled
+// series, and a campaign over the identical point records the same numbers
+// in its point record and summary.
+func TestStatsOptInFlow(t *testing.T) {
+	_, c := newTestServer(t, Config{JobWorkers: 2, SimWorkers: 1})
+	ctx := ctxT(t)
+
+	spec := RunSpec{Workloads: []string{"tpcc"}, L2: "dspatch", Refs: 2_000, CollectStats: true}
+	j, err := c.SubmitRun(ctx, spec)
+	if err != nil {
+		t.Fatalf("SubmitRun: %v", err)
+	}
+	if _, err := c.Wait(ctx, j.ID); err != nil {
+		t.Fatalf("Wait: %v", err)
+	}
+
+	lean, err := c.Job(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if lean.Status != StatusDone {
+		t.Fatalf("status = %q, want done (%s)", lean.Status, lean.Error)
+	}
+	if strings.Contains(string(lean.Result), `"Prefetchers"`) {
+		t.Error("default job view leaks the Prefetchers section; it must be ?stats=1-only")
+	}
+	if stats, err := lean.PrefetcherStats(); err != nil || stats != nil {
+		t.Errorf("lean view PrefetcherStats = %v, %v; want nil, nil", stats, err)
+	}
+
+	full, err := c.JobStats(ctx, j.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	runStats, err := full.PrefetcherStats()
+	if err != nil {
+		t.Fatalf("PrefetcherStats: %v", err)
+	}
+	dspatchCounters := findPrefCounters(runStats, "dspatch")
+	if dspatchCounters == nil {
+		t.Fatalf("?stats=1 view has no dspatch entry (models %v)", statNames(runStats))
+	}
+	if dspatchCounters["triggers"] == 0 {
+		t.Error("dspatch trained zero times over 2000 tpcc refs")
+	}
+
+	m, err := c.Metrics(ctx)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if !strings.Contains(m, `dspatchd_prefetcher_events_total{prefetcher="dspatch",counter="triggers"}`) {
+		t.Error("/metrics is missing the dspatch triggers series")
+	}
+	if !strings.Contains(m, `dspatchd_prefetcher_hist_total{prefetcher="dspatch",hist="bw_quartile"`) {
+		t.Error("/metrics is missing the dspatch bw_quartile histogram series")
+	}
+
+	// A single-point campaign over the identical spec must record the same
+	// counters in its point record and summary aggregate.
+	camp := sweep.Campaign{
+		Base:       sweep.Point{Workloads: []string{"tpcc"}, Refs: 2_000, CollectStats: true},
+		Axes:       sweep.Axes{L2: []string{"dspatch"}},
+		BaselineL2: "dspatch",
+	}
+	cj, err := c.SubmitCampaign(ctx, camp)
+	if err != nil {
+		t.Fatalf("SubmitCampaign: %v", err)
+	}
+	if _, err := c.Wait(ctx, cj.ID); err != nil {
+		t.Fatalf("Wait campaign: %v", err)
+	}
+	points, sum, err := c.CampaignPoints(ctx, cj.ID, 0)
+	if err != nil {
+		t.Fatalf("CampaignPoints: %v", err)
+	}
+	if len(points) != 1 || sum == nil {
+		t.Fatalf("campaign stream: %d points, summary %v", len(points), sum != nil)
+	}
+	pointCounters := findPrefCounters(points[0].Prefetchers, "dspatch")
+	sumCounters := findPrefCounters(sum.Prefetchers, "dspatch")
+	if pointCounters == nil || sumCounters == nil {
+		t.Fatalf("campaign records missing dspatch stats (point %v, summary %v)",
+			pointCounters != nil, sumCounters != nil)
+	}
+	for _, counters := range []map[string]uint64{pointCounters, sumCounters} {
+		for k, v := range dspatchCounters {
+			if counters[k] != v {
+				t.Errorf("campaign counter %s = %d, run reported %d", k, counters[k], v)
+			}
+		}
+	}
+
+	// The campaign's ?stats=1 job view serves the summary aggregate too.
+	cFull, err := c.JobStats(ctx, cj.ID)
+	if err != nil {
+		t.Fatal(err)
+	}
+	campStats, err := cFull.PrefetcherStats()
+	if err != nil {
+		t.Fatalf("campaign PrefetcherStats: %v", err)
+	}
+	if got := findPrefCounters(campStats, "dspatch"); got == nil || got["triggers"] != dspatchCounters["triggers"] {
+		t.Errorf("campaign ?stats=1 triggers = %v, want %d", got, dspatchCounters["triggers"])
+	}
+}
+
+// findPrefCounters returns the named model's counter map, nil if absent.
+func findPrefCounters(stats []sim.PrefetcherStats, name string) map[string]uint64 {
+	for _, st := range stats {
+		if st.Name == name {
+			return st.Counters
+		}
+	}
+	return nil
+}
+
+func statNames(stats []sim.PrefetcherStats) []string {
+	names := make([]string, len(stats))
+	for i, st := range stats {
+		names[i] = st.Name
+	}
+	return names
 }
 
 func TestCancelRunningJob(t *testing.T) {

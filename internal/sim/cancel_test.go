@@ -23,7 +23,7 @@ func TestRunCtxMatchesRun(t *testing.T) {
 }
 
 func stripPorts(r Result) Result {
-	r.Ports = nil
+	r.StripPorts()
 	return r
 }
 

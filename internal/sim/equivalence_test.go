@@ -44,7 +44,7 @@ func snapshot(r Result) resultSnapshot {
 		AvgBandwidthGBps: r.AvgBandwidthGBps,
 		Pollution:        r.Pollution,
 	}
-	for i, p := range r.Ports {
+	for i, p := range r.Ports() {
 		s.PortStats = append(s.PortStats, p.Stats())
 		s.Useful = append(s.Useful, p.UsefulPrefetches())
 		s.Unused = append(s.Unused, p.UnusedPrefetches())

@@ -13,6 +13,7 @@ import (
 	"dspatch/internal/memaddr"
 	"dspatch/internal/memsys"
 	"dspatch/internal/prefetch"
+	"dspatch/internal/prefstats"
 	"dspatch/internal/trace"
 )
 
@@ -30,6 +31,13 @@ type Options struct {
 	SMSPHTEntries int
 	// TrackPollution enables the Fig. 20 victim taxonomy.
 	TrackPollution bool
+	// CollectStats snapshots per-prefetcher internal telemetry (PB hit
+	// rates, CovP/AccP selection reasons, bandwidth-quartile histograms)
+	// into Result.Prefetchers when the run finishes. The models' counters
+	// are always on — plain integer increments, allocation-free — so the
+	// flag only controls whether the end-of-run snapshot is taken; it can
+	// never change a simulation's outcome.
+	CollectStats bool
 
 	// referenceMemsys selects the pre-optimization memory-system bookkeeping
 	// (map-based in-flight tracking, linear MSHR scans). Unexported: only the
@@ -56,7 +64,12 @@ type Options struct {
 // Version 2: multi-programmed lane seeds are derived by LaneSeed's bit mixer
 // instead of the old linear Seed + lane*104729 stride, so lanes > 0 of every
 // multi-lane run stream differently than version 1 did.
-const ResultVersion = 2
+//
+// Version 3: the Result surface changed — the live Ports field was replaced
+// by the plain-data PortStats snapshot, and Prefetchers carries optional
+// per-prefetcher telemetry — so entries persisted by older builds no longer
+// match the current shape.
+const ResultVersion = 3
 
 // LaneSeed derives the generator seed of lane i of a run whose Options.Seed
 // is base. Lane 0 always streams from base itself, so single-thread results
@@ -92,6 +105,19 @@ func DefaultMP() Options {
 	return Options{DRAM: dram.DDR4(2, 2133), LLCBytes: 8 << 20, Refs: 150_000, Seed: 1}
 }
 
+// PrefetcherStats is one prefetcher model's telemetry snapshot; see
+// Options.CollectStats and package prefstats for the schema.
+type PrefetcherStats = prefstats.Stats
+
+// PortStats is a read-only snapshot of one port's memory-system counters,
+// taken when the run finishes. Unlike the live *memsys.Port it replaced, it
+// is plain data: safe to marshal, memoize and share across API layers.
+type PortStats struct {
+	Coverage         memsys.CoverageStats
+	UsefulPrefetches uint64
+	UnusedPrefetches uint64
+}
+
 // Result is the outcome of one run.
 type Result struct {
 	IPC    []float64 // per core
@@ -108,8 +134,33 @@ type Result struct {
 	// zero unless TrackPollution was set.
 	Pollution [3]float64
 
-	Ports []*memsys.Port // live ports for deeper inspection
+	// PortStats snapshots each core's memory-system counters.
+	PortStats []PortStats
+
+	// Prefetchers carries per-prefetcher internal telemetry, merged across
+	// lanes by model name; nil unless Options.CollectStats was set. Omitted
+	// from JSON when absent, so stats-free results keep their lean shape.
+	Prefetchers []PrefetcherStats `json:",omitempty"`
+
+	// ports are the live memory-system ports; see the Ports accessor.
+	ports []*memsys.Port
 }
+
+// Ports returns the live memory-system ports of a freshly computed Result,
+// for deep inspection (cache contents, model internals). Results that have
+// crossed a memo, disk cache or API boundary carry no live ports and return
+// nil.
+//
+// Deprecated: consumers should read the PortStats snapshot, or set
+// Options.CollectStats and read Prefetchers for model internals. This
+// accessor remains for one release for diagnostics that genuinely need the
+// live structures.
+func (r *Result) Ports() []*memsys.Port { return r.ports }
+
+// StripPorts drops the live port handles so only plain-data snapshots
+// remain. Callers that memoize, persist or marshal results call it first;
+// live mutable state must never escape through those paths.
+func (r *Result) StripPorts() { r.ports = nil }
 
 // memAdapter binds a port and the current reference so the cpu callback does
 // not allocate per access.
@@ -332,7 +383,19 @@ func (m *machine) finish() Result {
 		uncovered += st.Uncovered
 		useful += p.UsefulPrefetches()
 		unused += p.UnusedPrefetches()
-		res.Ports = append(res.Ports, p)
+		res.PortStats = append(res.PortStats, PortStats{
+			Coverage:         st,
+			UsefulPrefetches: p.UsefulPrefetches(),
+			UnusedPrefetches: p.UnusedPrefetches(),
+		})
+		res.ports = append(res.ports, p)
+	}
+	if m.opt.CollectStats {
+		for _, l := range m.lanes {
+			p := l.ad.port
+			res.Prefetchers = prefstats.Merge(res.Prefetchers, prefetch.ReportStats(p.L1Prefetcher()))
+			res.Prefetchers = prefstats.Merge(res.Prefetchers, prefetch.ReportStats(p.L2Prefetcher()))
+		}
 	}
 	if den := covered + uncovered; den > 0 {
 		res.Coverage = float64(covered) / float64(den)

@@ -13,6 +13,7 @@ import (
 	"dspatch/internal/idx"
 	"dspatch/internal/memaddr"
 	"dspatch/internal/prefetch"
+	"dspatch/internal/prefstats"
 )
 
 // RegionLines is the SMS region size in cache lines (2KB per the paper).
@@ -91,6 +92,13 @@ type SMS struct {
 	// the tables directly and must agree.
 	atIdx *idx.Table
 	ftIdx *idx.Table
+
+	// Telemetry: plain hot-path counters, snapshotted by ReportStats.
+	statPromotions uint64 // FT regions promoted to the AT
+	statPHTStores  uint64 // completed patterns archived in the PHT
+	statPHTHits    uint64 // new-region signatures found in the PHT
+	statPHTMisses  uint64
+	statIssued     uint64 // prefetch requests emitted on PHT replay
 }
 
 // New builds an SMS instance.
@@ -144,13 +152,17 @@ func (s *SMS) Train(a prefetch.Access, _ prefetch.Context, dst []prefetch.Reques
 	// New region: record trigger, and predict from history.
 	s.allocFT(reg, signature(a.PC, off), off)
 	if pattern, ok := s.phtLookup(signature(a.PC, off)); ok {
+		s.statPHTHits++
 		base := memaddr.Line(uint64(reg) << 5)
 		for i := 0; i < RegionLines; i++ {
 			if i == off || pattern&(1<<uint(i)) == 0 {
 				continue
 			}
+			s.statIssued++
 			dst = append(dst, prefetch.Request{Line: base + memaddr.Line(i)})
 		}
+	} else {
+		s.statPHTMisses++
 	}
 	return dst
 }
@@ -207,6 +219,7 @@ func (s *SMS) allocFT(reg region, sig uint64, trigger int) {
 // promote moves a filter-table region into the accumulation table; the AT
 // victim's completed pattern is archived in the PHT.
 func (s *SMS) promote(f *ftEntry, secondOff int) {
+	s.statPromotions++
 	victim := 0
 	oldest := ^uint64(0)
 	for i := range s.at {
@@ -242,6 +255,7 @@ func (s *SMS) phtSet(sig uint64) []phtEntry {
 }
 
 func (s *SMS) phtStore(sig uint64, pattern uint32) {
+	s.statPHTStores++
 	set := s.phtSet(sig)
 	victim := 0
 	oldest := ^uint64(0)
@@ -270,6 +284,18 @@ func (s *SMS) phtLookup(sig uint64) (uint32, bool) {
 		}
 	}
 	return 0, false
+}
+
+// ReportStats implements prefetch.StatsReporter.
+func (s *SMS) ReportStats() []prefstats.Stats {
+	st := prefstats.New(s.Name())
+	st.Count("trains", s.clock)
+	st.Count("at_promotions", s.statPromotions)
+	st.Count("pht_stores", s.statPHTStores)
+	st.Count("pht_hits", s.statPHTHits)
+	st.Count("pht_misses", s.statPHTMisses)
+	st.Count("issued", s.statIssued)
+	return []prefstats.Stats{st}
 }
 
 // StorageBits implements prefetch.Prefetcher: PHT entry = pattern(32) +

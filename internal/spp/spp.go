@@ -15,6 +15,7 @@ import (
 	"dspatch/internal/bitpattern"
 	"dspatch/internal/memaddr"
 	"dspatch/internal/prefetch"
+	"dspatch/internal/prefstats"
 )
 
 // Config sizes SPP. Construct via DefaultConfig and adjust.
@@ -107,6 +108,16 @@ type SPP struct {
 	stMask uint64 // STEntries-1; table indexing runs on every training event
 	ptMask uint64 // PTEntries-1
 
+	// Telemetry: monotonic counters for ReportStats, kept separate from the
+	// issued/useful feedback pair above, which ages (halves) and so cannot
+	// report lifetime totals.
+	statIssued     uint64 // prefetch requests appended
+	statUseful     uint64 // demands that hit a recently prefetched line
+	statSuppressed uint64 // candidates dropped by the prefetch filter
+	statSTAllocs   uint64 // signature-table entries (re)allocated
+	statGHRAdopts  uint64 // cross-page signature adoptions from the GHR
+	statGHRInserts uint64 // out-of-page streams remembered in the GHR
+
 	// confTab[cSig*(CounterMax+1)+cDelta] = 100*cDelta/cSig, precomputed
 	// over the counter range so the lookahead loop (up to DeltasPer probes
 	// per level, up to MaxLookahead levels per train) reads a byte from one
@@ -188,6 +199,7 @@ func (s *SPP) Train(a prefetch.Access, ctx prefetch.Context, dst []prefetch.Requ
 		// entering this page at this offset, adopt its signature and path
 		// confidence.
 		if g := s.matchGHR(off); g != nil {
+			s.statGHRAdopts++
 			e.sig = s.updateSig(g.sig, int(g.delta))
 			sig = e.sig
 			return s.lookahead(page, off, sig, g.confPct, ctx, dst)
@@ -215,6 +227,7 @@ func (s *SPP) lookupST(page memaddr.Page) *stEntry {
 }
 
 func (s *SPP) allocST(page memaddr.Page, off int) *stEntry {
+	s.statSTAllocs++
 	e := &s.st[uint64(page)&s.stMask]
 	*e = stEntry{tag: uint64(page), lastOff: off, valid: true, used: s.clock}
 	return e
@@ -319,11 +332,13 @@ func (s *SPP) lookahead(page memaddr.Page, off int, sig uint16, pathPct int, ctx
 func (s *SPP) issue(l memaddr.Line, dst []prefetch.Request) []prefetch.Request {
 	idx := uint64(l) & uint64(s.cfg.FilterSize-1)
 	if s.filterSet[idx] && s.filter[idx] == l {
+		s.statSuppressed++
 		return dst
 	}
 	s.filter[idx] = l
 	s.filterSet[idx] = true
 	s.issued++
+	s.statIssued++
 	return append(dst, prefetch.Request{Line: l})
 }
 
@@ -333,6 +348,7 @@ func (s *SPP) noteDemand(l memaddr.Line) {
 	idx := uint64(l) & uint64(s.cfg.FilterSize-1)
 	if s.filterSet[idx] && s.filter[idx] == l {
 		s.useful++
+		s.statUseful++
 		s.filterSet[idx] = false
 	}
 	// Periodically age the feedback so it tracks phase changes.
@@ -368,6 +384,7 @@ func (s *SPP) matchGHR(off int) *ghrEntry {
 }
 
 func (s *SPP) insertGHR(g ghrEntry) {
+	s.statGHRInserts++
 	// Replace an invalid entry or rotate round-robin.
 	for i := range s.ghr {
 		if !s.ghr[i].valid {
@@ -377,6 +394,19 @@ func (s *SPP) insertGHR(g ghrEntry) {
 	}
 	copy(s.ghr, s.ghr[1:])
 	s.ghr[len(s.ghr)-1] = g
+}
+
+// ReportStats implements prefetch.StatsReporter.
+func (s *SPP) ReportStats() []prefstats.Stats {
+	st := prefstats.New(s.Name())
+	st.Count("trains", s.clock)
+	st.Count("issued", s.statIssued)
+	st.Count("useful", s.statUseful)
+	st.Count("filter_suppressed", s.statSuppressed)
+	st.Count("st_allocs", s.statSTAllocs)
+	st.Count("ghr_adoptions", s.statGHRAdopts)
+	st.Count("ghr_inserts", s.statGHRInserts)
+	return []prefstats.Stats{st}
 }
 
 // StorageBits implements prefetch.Prefetcher. Per-structure accounting:

@@ -11,6 +11,7 @@ import (
 	"time"
 
 	"dspatch/internal/experiments"
+	"dspatch/internal/prefstats"
 	"dspatch/internal/sim"
 	"dspatch/internal/stats"
 )
@@ -64,6 +65,11 @@ type PointRecord struct {
 	Speedup []float64 `json:"speedup,omitempty"`
 	// Baseline marks points whose own l2 is the designated baseline.
 	Baseline bool `json:"baseline,omitempty"`
+	// Prefetchers carries the point's per-prefetcher telemetry snapshot;
+	// present only when the point set collect_stats. The prefstats schema
+	// marshals deterministically, so stats-bearing streams stay
+	// byte-identical across runs.
+	Prefetchers []sim.PrefetcherStats `json:"prefetchers,omitempty"`
 }
 
 // EngineDelta is the experiment-engine work this campaign run caused —
@@ -121,6 +127,11 @@ type Summary struct {
 	DroppedPoints []DroppedPoint `json:"dropped_points,omitempty"`
 	// Fleet is coordinator telemetry; absent on local runs.
 	Fleet *FleetSummary `json:"fleet,omitempty"`
+	// Prefetchers aggregates per-prefetcher telemetry across every
+	// stats-collecting point (merged by model name, in flush order — index
+	// order — so the aggregate is deterministic); absent when no point set
+	// collect_stats.
+	Prefetchers []sim.PrefetcherStats `json:"prefetchers,omitempty"`
 	// Engine and ElapsedMS are telemetry, not results: they differ between a
 	// cold run and a resumed one.
 	Engine    EngineDelta `json:"engine"`
@@ -150,6 +161,7 @@ type Recorder struct {
 	marginPools    map[string]map[string][]float64
 	baselinePoints int
 	droppedPoints  []DroppedPoint
+	prefStats      []sim.PrefetcherStats
 
 	start time.Time
 	c0    experiments.Counters
@@ -229,10 +241,11 @@ func (r *Recorder) Complete(pos int, self sim.Result, base *sim.Result) error {
 		return nil
 	}
 	rec := &PointRecord{
-		Type:    "point",
-		Index:   r.idxs[pos],
-		Point:   r.pts[pos],
-		Metrics: metricsOf(self),
+		Type:        "point",
+		Index:       r.idxs[pos],
+		Point:       r.pts[pos],
+		Metrics:     metricsOf(self),
+		Prefetchers: self.Prefetchers,
 	}
 	if base == nil {
 		rec.Baseline = true
@@ -292,6 +305,9 @@ func (r *Recorder) flush() error {
 				pool[ax.label(vi)] = append(pool[ax.label(vi)], rec.Speedup...)
 			}
 		}
+		if len(rec.Prefetchers) > 0 {
+			r.prefStats = prefstats.Merge(r.prefStats, rec.Prefetchers)
+		}
 		if err := emitRec(r.emit, *rec); err != nil {
 			return err
 		}
@@ -344,6 +360,7 @@ func (r *Recorder) Finish(fleet *FleetSummary) (Summary, error) {
 		})
 		sum.DroppedPoints = r.droppedPoints
 	}
+	sum.Prefetchers = r.prefStats
 	sum.Fleet = fleet
 	c1 := experiments.EngineCounters()
 	sum.Engine = EngineDelta{

@@ -42,6 +42,10 @@ type Point struct {
 	NoL1Stride     bool   `json:"no_l1_stride,omitempty"`
 	SMSPHTEntries  int    `json:"sms_pht_entries,omitempty"`
 	TrackPollution bool   `json:"track_pollution,omitempty"`
+	// CollectStats opts the run into per-prefetcher internal telemetry
+	// (sim.Result.Prefetchers): campaign point records gain a "prefetchers"
+	// field and /v1 job results expose it behind ?stats=1.
+	CollectStats bool `json:"collect_stats,omitempty"`
 }
 
 // Normalize validates p against the roster and guardrails and fills every
@@ -135,6 +139,7 @@ func (p *Point) Job() experiments.Job {
 			NoL1Stride:     p.NoL1Stride,
 			SMSPHTEntries:  p.SMSPHTEntries,
 			TrackPollution: p.TrackPollution,
+			CollectStats:   p.CollectStats,
 		},
 	}
 }
