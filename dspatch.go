@@ -123,7 +123,7 @@ func NewPrefetcher(kind PrefetcherKind) Prefetcher { return sim.NewPrefetcher(ki
 func StaticBandwidth(q Quartile) PrefetchContext { return prefetch.StaticContext{Util: q} }
 
 // Workloads returns the full 75-workload roster.
-func Workloads() []Workload { return trace.Workloads }
+func Workloads() []Workload { return trace.Workloads() }
 
 // WorkloadByName returns the named workload, panicking on unknown names (it
 // is a programming error; see Workloads for the roster).

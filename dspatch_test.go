@@ -26,11 +26,11 @@ func TestFacadeDSPatchRoundTrip(t *testing.T) {
 }
 
 func TestFacadeWorkloads(t *testing.T) {
-	if len(Workloads()) != 75 {
-		t.Errorf("Workloads() = %d, want 75", len(Workloads()))
+	if len(Workloads()) != 83 {
+		t.Errorf("Workloads() = %d, want 83", len(Workloads()))
 	}
-	if len(MemIntensiveWorkloads()) != 42 {
-		t.Errorf("MemIntensiveWorkloads() = %d, want 42", len(MemIntensiveWorkloads()))
+	if len(MemIntensiveWorkloads()) != 47 {
+		t.Errorf("MemIntensiveWorkloads() = %d, want 47", len(MemIntensiveWorkloads()))
 	}
 	w := WorkloadByName("mcf")
 	if w.Name != "mcf" {

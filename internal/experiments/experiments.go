@@ -74,7 +74,7 @@ func (s Scale) Workloads() []trace.Workload { return s.workloads() }
 // workloads returns the evaluation roster at this scale, category-balanced.
 func (s Scale) workloads() []trace.Workload {
 	if s.PerCategory <= 0 {
-		return trace.Workloads
+		return trace.Workloads()
 	}
 	var out []trace.Workload
 	for _, cat := range trace.Categories {

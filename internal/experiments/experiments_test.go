@@ -18,8 +18,8 @@ func TestScaleWorkloadSampling(t *testing.T) {
 		t.Fatalf("per-category=1 should give %d workloads, got %d", len(trace.Categories), len(ws))
 	}
 	full := Full().workloads()
-	if len(full) != 75 {
-		t.Fatalf("full scale should give 75 workloads, got %d", len(full))
+	if len(full) != 83 {
+		t.Fatalf("full scale should give 83 workloads, got %d", len(full))
 	}
 	hot := s.memIntensive()
 	for _, w := range hot {

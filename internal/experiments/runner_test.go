@@ -39,7 +39,7 @@ func eqCategoryResult(a, b CategoryResult) bool {
 }
 
 func TestRunAllPreservesJobOrder(t *testing.T) {
-	ws := trace.Workloads[:6]
+	ws := trace.Workloads()[:6]
 	jobs := make([]Job, len(ws))
 	for i, w := range ws {
 		opt := sim.DefaultST()
@@ -58,7 +58,7 @@ func TestRunAllPreservesJobOrder(t *testing.T) {
 }
 
 func TestRunMemoization(t *testing.T) {
-	w := trace.Workloads[0]
+	w := trace.Workloads()[0]
 	opt := sim.DefaultST()
 	opt.Refs = 2_000
 
@@ -109,7 +109,7 @@ func TestRunMemoization(t *testing.T) {
 }
 
 func TestMemoKeyIgnoresSMSPHTEntries(t *testing.T) {
-	w := trace.Workloads[0]
+	w := trace.Workloads()[0]
 	opt := sim.DefaultST()
 	opt.Refs = 2_000
 
@@ -135,7 +135,7 @@ func TestMemoKeyIgnoresSMSPHTEntries(t *testing.T) {
 func TestMemoKeySeparatesMixes(t *testing.T) {
 	opt := sim.DefaultMP()
 	opt.Refs = 2_000
-	w0, w1 := trace.Workloads[0], trace.Workloads[1]
+	w0, w1 := trace.Workloads()[0], trace.Workloads()[1]
 	a, _ := memoizable(Job{Workloads: []trace.Workload{w0, w1}, Opt: opt})
 	b, _ := memoizable(Job{Workloads: []trace.Workload{w1, w0}, Opt: opt})
 	c, _ := memoizable(Job{Workloads: []trace.Workload{w0, w1}, Opt: opt})

@@ -1318,7 +1318,7 @@ func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
 		MemIntensive bool   `json:"mem_intensive"`
 	}
 	var out []info
-	for _, wl := range trace.Workloads {
+	for _, wl := range trace.Workloads() {
 		out = append(out, info{Name: wl.Name, Category: string(wl.Category), MemIntensive: wl.MemIntensive})
 	}
 	writeJSON(w, http.StatusOK, out)

@@ -529,8 +529,8 @@ func TestRosterEndpoints(t *testing.T) {
 	if err != nil {
 		t.Fatal(err)
 	}
-	if len(ws) != 75 {
-		t.Errorf("roster has %d workloads, want 75", len(ws))
+	if len(ws) != 83 {
+		t.Errorf("roster has %d workloads, want 83", len(ws))
 	}
 	es, err := c.Experiments(ctx)
 	if err != nil {

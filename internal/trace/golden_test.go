@@ -43,8 +43,8 @@ func goldenExportHash(t *testing.T, w Workload, seed int64) string {
 
 func TestGoldenWorkloadStreams(t *testing.T) {
 	got := map[string]string{}
-	for _, w := range Workloads {
-		if w.Category == Imported {
+	for _, w := range Workloads() {
+		if w.Source != SourceBuiltin {
 			continue // registrations leaked by other tests are not corpus
 		}
 		for _, seed := range goldenSeeds {

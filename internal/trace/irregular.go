@@ -1,0 +1,276 @@
+package trace
+
+import (
+	"fmt"
+	"math/rand"
+
+	"dspatch/internal/memaddr"
+)
+
+// PointerChaseConfig parameterizes the irregular generator family: traversals
+// of linked data structures where each access's address comes out of the
+// previous load — the pattern class DSPatch's dual bitmaps are claimed to
+// handle gracefully and delta prefetchers cannot. The replay format's dep
+// column carries the dependence; the core model serializes dependent loads,
+// so these scenarios bound memory-level parallelism the way real
+// pointer-chasing code does.
+type PointerChaseConfig struct {
+	// Style selects the traversal: "list" (linked-list walk over a shuffled
+	// successor ring), "tree" (root-to-leaf descents of an implicit n-ary
+	// tree), or "hash" (open-addressed table lookups with linear probing).
+	Style string `json:"style"`
+	// Nodes is the structure size in nodes (list, tree) or slots (hash).
+	Nodes int `json:"nodes"`
+	// NodesPerPage sets layout density: how many nodes the allocator packed
+	// into each 4KB page. Low densities make traversals page-sparse
+	// (prefetch-hostile); high densities give spatial prefetchers a chance.
+	NodesPerPage int `json:"nodes_per_page"`
+	// Depth is the walk-segment length between re-heads (list) or the
+	// descent depth bound (tree).
+	Depth int `json:"depth,omitempty"`
+	// Fanout is the tree's children per node.
+	Fanout int `json:"fanout,omitempty"`
+	// Occupancy is the hash table's load factor; it drives probe-run length.
+	Occupancy float64 `json:"occupancy,omitempty"`
+	// MissPct is the percentage of hash lookups that miss and probe to the
+	// end of a cluster.
+	MissPct   int     `json:"miss_pct,omitempty"`
+	MeanGap   int     `json:"mean_gap"`
+	WriteFrac float64 `json:"write_frac,omitempty"`
+}
+
+func (c *PointerChaseConfig) validate() error {
+	switch {
+	case c.Nodes < 2 || c.Nodes > 1<<22:
+		return fmt.Errorf("pointer: nodes %d outside [2, %d]", c.Nodes, 1<<22)
+	case c.NodesPerPage < 1 || c.NodesPerPage > memaddr.LinesPage:
+		return fmt.Errorf("pointer: nodes per page %d outside [1, %d]", c.NodesPerPage, memaddr.LinesPage)
+	case c.MeanGap < 0 || c.MeanGap > maxSpecGap:
+		return fmt.Errorf("pointer: mean gap %d outside [0, %d]", c.MeanGap, maxSpecGap)
+	case c.WriteFrac < 0 || c.WriteFrac > 1:
+		return fmt.Errorf("pointer: write fraction %g outside [0, 1]", c.WriteFrac)
+	}
+	switch c.Style {
+	case "list":
+		if c.Depth < 1 || c.Depth > 1<<16 {
+			return fmt.Errorf("pointer: list depth %d outside [1, 65536]", c.Depth)
+		}
+	case "tree":
+		if c.Depth < 1 || c.Depth > 64 {
+			return fmt.Errorf("pointer: tree depth %d outside [1, 64]", c.Depth)
+		}
+		if c.Fanout < 2 || c.Fanout > 64 {
+			return fmt.Errorf("pointer: tree fanout %d outside [2, 64]", c.Fanout)
+		}
+	case "hash":
+		if c.Occupancy < 0 || c.Occupancy > 0.95 {
+			return fmt.Errorf("pointer: hash occupancy %g outside [0, 0.95]", c.Occupancy)
+		}
+		if c.MissPct < 0 || c.MissPct > 100 {
+			return fmt.Errorf("pointer: miss pct %d outside [0, 100]", c.MissPct)
+		}
+	default:
+		return fmt.Errorf("pointer: unknown style %q (want list, tree or hash)", c.Style)
+	}
+	return nil
+}
+
+// mix64 is the splitmix64 finalizer — the node-scatter hash.
+func mix64(x uint64) uint64 {
+	x ^= x >> 30
+	x *= 0xBF58476D1CE4E5B9
+	x ^= x >> 27
+	x *= 0x94D049BB133111EB
+	x ^= x >> 31
+	return x
+}
+
+type pointerGen struct {
+	cfg    PointerChaseConfig
+	rng    *rand.Rand
+	g      gapper
+	pages  int
+	stride int // line spacing between in-page node slots
+	salt   uint64
+
+	succ []uint32 // list: successor ring
+	cur  int      // list/tree: current node
+	left int      // list: steps left in this segment; tree: levels left
+	// hash probing state: the run being emitted.
+	probeSlot int
+	probeLeft int
+}
+
+// NewPointerChase builds an irregular-traversal generator.
+func NewPointerChase(cfg PointerChaseConfig, seed int64) Generator {
+	rng := rand.New(rand.NewSource(seed))
+	p := &pointerGen{
+		cfg:    cfg,
+		rng:    rng,
+		g:      gapper{rng, cfg.MeanGap},
+		pages:  (cfg.Nodes + cfg.NodesPerPage - 1) / cfg.NodesPerPage,
+		stride: max(1, memaddr.LinesPage/cfg.NodesPerPage),
+		salt:   mix64(uint64(seed) ^ 0xA24BAED4963EE407),
+	}
+	if cfg.Style == "list" {
+		// One Hamiltonian cycle through a shuffled node order: every node's
+		// successor is heap-arbitrary, so consecutive chase targets share no
+		// spatial relationship beyond what NodesPerPage's layout gives them.
+		perm := rng.Perm(cfg.Nodes)
+		p.succ = make([]uint32, cfg.Nodes)
+		for k, n := range perm {
+			p.succ[n] = uint32(perm[(k+1)%len(perm)])
+		}
+	}
+	return p
+}
+
+// nodeLine maps a node index to its cache line. Hash slots lay out
+// sequentially (probe runs are tiny sequential bursts at random homes);
+// list and tree nodes scatter pseudo-randomly across the footprint the way
+// heap allocation leaves them.
+func (p *pointerGen) nodeLine(n int) memaddr.Line {
+	if p.cfg.Style == "hash" {
+		return memaddr.Page(n / p.cfg.NodesPerPage).Line(n % p.cfg.NodesPerPage * p.stride)
+	}
+	h := mix64(uint64(n)*0x9E3779B97F4A7C15 + p.salt)
+	page := memaddr.Page(h % uint64(p.pages))
+	slot := int(h>>40) % p.cfg.NodesPerPage
+	return page.Line(slot * p.stride)
+}
+
+func (p *pointerGen) Next(r *Ref) {
+	switch p.cfg.Style {
+	case "list":
+		if p.left == 0 {
+			// Re-head from the root array: an independent load.
+			p.cur = p.rng.Intn(p.cfg.Nodes)
+			p.left = p.cfg.Depth
+			r.PC = 0x800000
+			r.Dep = false
+		} else {
+			p.cur = int(p.succ[p.cur])
+			r.PC = 0x800004
+			r.Dep = true
+		}
+		p.left--
+		r.Line = p.nodeLine(p.cur)
+	case "tree":
+		if p.left == 0 {
+			p.cur = 0 // the root pointer is register-resident
+			p.left = p.cfg.Depth
+			r.Dep = false
+		} else {
+			child := p.cur*p.cfg.Fanout + 1 + p.rng.Intn(p.cfg.Fanout)
+			if child >= p.cfg.Nodes {
+				p.cur, p.left = 0, p.cfg.Depth
+				r.Dep = false
+			} else {
+				p.cur = child
+				r.Dep = true
+			}
+		}
+		level := p.cfg.Depth - p.left
+		p.left--
+		r.PC = memaddr.PC(0x810000 + level*4)
+		r.Line = p.nodeLine(p.cur)
+	case "hash":
+		if p.probeLeft == 0 {
+			p.probeSlot = p.rng.Intn(p.cfg.Nodes)
+			p.probeLeft = 1
+			// Cluster lengths under linear probing grow geometrically with
+			// the load factor; misses scan their whole cluster.
+			for p.probeLeft < 32 && p.rng.Float64() < p.cfg.Occupancy {
+				p.probeLeft++
+			}
+			if p.cfg.MissPct > 0 && p.rng.Intn(100) < p.cfg.MissPct {
+				p.probeLeft += 1 + p.rng.Intn(3)
+			}
+			// The home slot's address comes from hashing a key that was
+			// itself just loaded (a record field): dependent.
+			r.Dep = true
+		} else {
+			// Probe continuations are slot+1 — address-computable without
+			// waiting, which is exactly the MLP contrast with list/tree.
+			p.probeSlot++
+			if p.probeSlot >= p.cfg.Nodes {
+				p.probeSlot = 0
+			}
+			r.Dep = false
+		}
+		p.probeLeft--
+		r.PC = 0x820000
+		r.Line = p.nodeLine(p.probeSlot)
+	}
+	r.Write = p.rng.Float64() < p.cfg.WriteFrac
+	r.Gap = p.g.gap()
+}
+
+// pointer is shorthand for a pointer-chase scenario spec.
+func pointer(cfg PointerChaseConfig) ScenarioSpec {
+	c := cfg
+	return ScenarioSpec{Kind: KindPointer, Pointer: &c}
+}
+
+// irregularSpecs is the Irregular-category roster: pointer-chasing data
+// structures at cache-resident and memory-resident footprints. The family
+// joins every category-sweeping experiment alongside the paper's nine
+// classes.
+func irregularSpecs() []ScenarioSpec {
+	var ss []ScenarioSpec
+	add := func(name string, hot bool, s ScenarioSpec) {
+		s.Name, s.Category, s.MemIntensive = name, Irregular, hot
+		ss = append(ss, s)
+	}
+
+	// Linked-list walks: fully serialized chains. The small variant's
+	// footprint mostly fits the LLC; the large one misses constantly with
+	// MLP of one — the prefetch-or-stall extreme.
+	add("ll-walk-small", false, pointer(PointerChaseConfig{
+		Style: "list", Nodes: 6000, NodesPerPage: 8, Depth: 64,
+		MeanGap: 10, WriteFrac: 0.05}))
+	add("ll-walk-large", true, pointer(PointerChaseConfig{
+		Style: "list", Nodes: 400000, NodesPerPage: 4, Depth: 256,
+		MeanGap: 8, WriteFrac: 0.05}))
+
+	// Tree descents: dependent per level, but successive descents revisit
+	// upper levels (cache-friendly top, chase-hostile leaves).
+	add("tree-search-shallow", false, pointer(PointerChaseConfig{
+		Style: "tree", Nodes: 30000, NodesPerPage: 8, Depth: 8, Fanout: 8,
+		MeanGap: 11, WriteFrac: 0.02}))
+	add("tree-search-deep", true, pointer(PointerChaseConfig{
+		Style: "tree", Nodes: 500000, NodesPerPage: 4, Depth: 18, Fanout: 2,
+		MeanGap: 8, WriteFrac: 0.02}))
+
+	// Open-addressed hash probing: random homes, short sequential probe
+	// runs — the dense variant's longer runs are where a spatial
+	// prefetcher can actually help an "irregular" workload.
+	add("hash-probe-sparse", true, pointer(PointerChaseConfig{
+		Style: "hash", Nodes: 200000, NodesPerPage: 32, Occupancy: 0.5,
+		MissPct: 10, MeanGap: 9, WriteFrac: 0.1}))
+	add("hash-probe-dense", true, pointer(PointerChaseConfig{
+		Style: "hash", Nodes: 300000, NodesPerPage: 32, Occupancy: 0.9,
+		MissPct: 30, MeanGap: 8, WriteFrac: 0.1}))
+
+	// Graph traversal: chase the vertex list, stream each vertex's
+	// adjacency run — the classic BFS/pagerank shape.
+	add("graph-walk-mix", true, mix(
+		[]ScenarioSpec{
+			pointer(PointerChaseConfig{Style: "list", Nodes: 250000, NodesPerPage: 4,
+				Depth: 128, MeanGap: 8, WriteFrac: 0.05}),
+			spatial(48, 9, 6, 8, 4000, 9, false),
+		},
+		[]int{2, 1}))
+
+	// Key-value store: hash probes for the index, streaming reads of the
+	// values they locate.
+	add("kv-probe-mix", false, mix(
+		[]ScenarioSpec{
+			pointer(PointerChaseConfig{Style: "hash", Nodes: 120000, NodesPerPage: 16,
+				Occupancy: 0.7, MissPct: 15, MeanGap: 11, WriteFrac: 0.15}),
+			stream(4, 1, 3000, 12, 0.25),
+		},
+		[]int{3, 2}))
+
+	return ss
+}

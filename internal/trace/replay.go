@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"fmt"
 	"sync"
 
@@ -113,35 +114,45 @@ func (m *Materialized) ensure(n int) {
 	var r Ref
 	for m.n < n {
 		m.gen.Next(&r)
-		m.lines = append(m.lines, r.Line)
-		idx, ok := m.pcMap[r.PC]
-		if !ok {
-			idx = uint32(len(m.pcDict))
-			m.pcDict = append(m.pcDict, r.PC)
-			if m.pcMap == nil {
-				m.pcMap = make(map[memaddr.PC]uint32)
-			}
-			m.pcMap[r.PC] = idx
-		}
-		m.pcIdx = append(m.pcIdx, idx)
-		if r.Gap < 0 || r.Gap > 1<<16-1 {
-			panic("trace: ref gap outside the recordable range [0, 65535]")
-		}
-		m.gaps = append(m.gaps, uint16(r.Gap))
-		bit := uint64(1) << uint(m.n%64)
-		if r.Write {
-			m.writeCur |= bit
-		}
-		if r.Dep {
-			m.depCur |= bit
-		}
-		m.n++
-		if m.n%64 == 0 {
-			m.write = append(m.write, m.writeCur)
-			m.dep = append(m.dep, m.depCur)
-			m.writeCur, m.depCur = 0, 0
+		if err := m.appendRefLocked(&r); err != nil {
+			panic(err.Error())
 		}
 	}
+}
+
+// appendRefLocked records one ref at the tail of the columns. Callers hold
+// m.mu. Generator extension (ensure) and external-trace conversion
+// (FromRefs) share this append path, so both produce identical layouts.
+func (m *Materialized) appendRefLocked(r *Ref) error {
+	m.lines = append(m.lines, r.Line)
+	idx, ok := m.pcMap[r.PC]
+	if !ok {
+		idx = uint32(len(m.pcDict))
+		m.pcDict = append(m.pcDict, r.PC)
+		if m.pcMap == nil {
+			m.pcMap = make(map[memaddr.PC]uint32)
+		}
+		m.pcMap[r.PC] = idx
+	}
+	m.pcIdx = append(m.pcIdx, idx)
+	if r.Gap < 0 || r.Gap > 1<<16-1 {
+		return fmt.Errorf("trace: ref gap %d outside the recordable range [0, 65535]", r.Gap)
+	}
+	m.gaps = append(m.gaps, uint16(r.Gap))
+	bit := uint64(1) << uint(m.n%64)
+	if r.Write {
+		m.writeCur |= bit
+	}
+	if r.Dep {
+		m.depCur |= bit
+	}
+	m.n++
+	if m.n%64 == 0 {
+		m.write = append(m.write, m.writeCur)
+		m.dep = append(m.dep, m.depCur)
+		m.writeCur, m.depCur = 0, 0
+	}
+	return nil
 }
 
 // Cursor returns a Generator replaying the first n refs of the stream,
@@ -243,17 +254,21 @@ func Shared(w Workload, seed int64) *Materialized {
 }
 
 // RegisterShared installs an imported trace as the process-wide stream for
-// its (name, seed), replacing any generator-backed recording, and appends a
-// roster entry under the Imported category when the name is unknown — after
-// which simulations of that workload replay the imported refs.
+// its (name, seed), replacing any generator-backed recording, and registers
+// a roster entry under the Imported category when the name is unknown —
+// after which simulations of that workload replay the imported refs.
+// Unlike RegisterSpec, an explicit import may deliberately shadow a builtin
+// workload's stream (the -trace-import replay-override path).
 func RegisterShared(m *Materialized) {
 	storeMu.Lock()
 	store[storeKey{name: m.name, seed: m.seed}] = m
 	storeMu.Unlock()
 	if _, ok := ByName(m.name); !ok {
-		Workloads = append(Workloads, Workload{
-			Name:     m.name,
-			Category: Imported,
+		DefaultRegistry.Register(Workload{
+			Name:        m.name,
+			Category:    Imported,
+			Source:      SourceImported,
+			Fingerprint: m.ContentFingerprint(),
 			Build: func(int64) Generator {
 				return m.Cursor(m.Len())
 			},
@@ -261,22 +276,74 @@ func RegisterShared(m *Materialized) {
 	}
 }
 
+// registerTraceSpec resolves a trace-kind spec: the payload (a file path or
+// inline DSPTRC01 bytes) is imported and validated eagerly — registration
+// is where corruption must surface, not a later replay — then installed
+// under the spec's name. The workload's fingerprint derives from the trace
+// content, so the same trace registered by path and by inline data (how
+// specs travel to fleet workers) yields the same simulation cache keys.
+func (r *Registry) registerTraceSpec(s ScenarioSpec) (Workload, error) {
+	var m *Materialized
+	var err error
+	if s.Trace.Path != "" {
+		m, err = ImportFile(s.Trace.Path)
+	} else {
+		m, err = Import(bytes.NewReader(s.Trace.Data))
+	}
+	if err == nil {
+		err = m.Validate()
+	}
+	if err != nil {
+		return Workload{}, fmt.Errorf("scenario %s: %w", s.Name, err)
+	}
+	m.mu.Lock()
+	m.name = s.Name // the roster name wins over the file's recorded name
+	m.mu.Unlock()
+	cat := s.Category
+	if cat == "" {
+		cat = Imported
+	}
+	w, err := r.registerChecked(Workload{
+		Name:         s.Name,
+		Category:     cat,
+		MemIntensive: s.MemIntensive,
+		Source:       SourceImported,
+		Fingerprint:  m.ContentFingerprint(),
+		Build: func(int64) Generator {
+			return m.Cursor(m.Len())
+		},
+	})
+	if err != nil {
+		return Workload{}, err
+	}
+	storeMu.Lock()
+	store[storeKey{name: s.Name, seed: m.seed}] = m
+	storeMu.Unlock()
+	return w, nil
+}
+
+// ContentFingerprint identifies an imported or converted trace by content:
+// its file CRC and ref count. Generator-backed recordings return "" — their
+// content is a pure function of (name, seed).
+func (m *Materialized) ContentFingerprint() string {
+	m.mu.Lock()
+	defer m.mu.Unlock()
+	if m.fileCRC == 0 {
+		return ""
+	}
+	return fmt.Sprintf("trc-%08x-%d", m.fileCRC, m.n)
+}
+
 // Imported is the category of workloads ingested from trace files; it is not
-// part of the paper's nine classes and never appears in category sweeps.
+// part of the paper's classes and never appears in category sweeps.
 const Imported Category = "Imported"
 
-// ResetShared drops every materialized stream (and any roster entries the
-// imports added), releasing their memory. Benchmarks and tests use it;
-// normal callers never need to.
+// ResetShared drops every materialized stream and restores the registry to
+// the builtin roster, releasing the imports' memory. Benchmarks and tests
+// use it; normal callers never need to.
 func ResetShared() {
 	storeMu.Lock()
 	store = map[storeKey]*Materialized{}
 	storeMu.Unlock()
-	kept := Workloads[:0]
-	for _, w := range Workloads {
-		if w.Category != Imported {
-			kept = append(kept, w)
-		}
-	}
-	Workloads = kept
+	DefaultRegistry.Reset()
 }

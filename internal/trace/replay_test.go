@@ -13,7 +13,7 @@ import (
 func TestReplayBitIdentityFullRoster(t *testing.T) {
 	defer ResetShared()
 	const refs = 2_500
-	for _, w := range Workloads {
+	for _, w := range Workloads() {
 		for _, seed := range []int64{1, 104730} {
 			gen := w.Build(seed)
 			rep := Replay(w, seed, refs)

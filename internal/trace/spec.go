@@ -1,0 +1,346 @@
+package trace
+
+import (
+	"crypto/sha256"
+	"encoding/hex"
+	"encoding/json"
+	"fmt"
+)
+
+// ScenarioSpec is the declarative, JSON-serializable description of one
+// workload scenario. The builtin 75-workload roster, the Irregular family,
+// campaign-inline ad-hoc scenarios and daemon-registered scenarios are all
+// written in this one vocabulary: a generator kind plus that kind's
+// parameter block, or an external trace payload.
+//
+// Exactly one parameter block — the one matching Kind — must be set.
+type ScenarioSpec struct {
+	// Name is the roster name simulations refer to. Required at top level;
+	// ignored (and rejected) on mix sub-specs.
+	Name string `json:"name,omitempty"`
+	// Category classifies the scenario for category sweeps. Empty defaults
+	// to Imported, which is excluded from category-sweeping experiments.
+	Category Category `json:"category,omitempty"`
+	// MemIntensive marks the scenario for the high-MPKI experiment subset.
+	MemIntensive bool `json:"mem_intensive,omitempty"`
+
+	// Kind selects the generator family: stream, spatial, deltas, chase,
+	// pointer, mix, or trace.
+	Kind string `json:"kind"`
+
+	Stream  *StreamConfig       `json:"stream,omitempty"`
+	Spatial *SpatialConfig      `json:"spatial,omitempty"`
+	Deltas  *DeltaSeriesConfig  `json:"deltas,omitempty"`
+	Chase   *ChaseConfig        `json:"chase,omitempty"`
+	Pointer *PointerChaseConfig `json:"pointer,omitempty"`
+	Mix     *MixSpec            `json:"mix,omitempty"`
+	Trace   *TraceSpec          `json:"trace,omitempty"`
+}
+
+// Generator kinds a ScenarioSpec can name.
+const (
+	KindStream  = "stream"
+	KindSpatial = "spatial"
+	KindDeltas  = "deltas"
+	KindChase   = "chase"
+	KindPointer = "pointer"
+	KindMix     = "mix"
+	KindTrace   = "trace"
+)
+
+// MixSpec blends sub-scenarios with integer weights, each sub-generator
+// confined to its own 16GB address region (see mixGen).
+type MixSpec struct {
+	Parts   []ScenarioSpec `json:"parts"`
+	Weights []int          `json:"weights"`
+}
+
+// TraceSpec carries an external DSPTRC01 trace: either a file path (resolved
+// where the spec is registered — the CLI or the daemon's filesystem) or the
+// raw file bytes inline (base64 in JSON), which is how traces travel to
+// fleet workers.
+type TraceSpec struct {
+	Path string `json:"path,omitempty"`
+	Data []byte `json:"data,omitempty"`
+}
+
+// maxMixDepth bounds spec recursion: mixes of mixes are allowed, mixes all
+// the way down are an authoring error.
+const maxMixDepth = 3
+
+// maxSpecGap keeps every drawn instruction gap inside the replay format's
+// uint16 column (gapper's maximum draw is 3·mean/2).
+const maxSpecGap = 40000
+
+// Validate checks the spec strictly: a known kind, exactly the matching
+// parameter block, and in-range parameters. It is the gate both campaign
+// submission and CLI -scenario loading run before anything registers.
+func (s *ScenarioSpec) Validate() error {
+	if s.Name == "" {
+		return fmt.Errorf("scenario: missing name")
+	}
+	return s.validate(0, true)
+}
+
+func (s *ScenarioSpec) validate(depth int, top bool) error {
+	if !top && s.Name != "" {
+		return fmt.Errorf("scenario: mix sub-specs must not be named (found %q)", s.Name)
+	}
+	if s.Category != "" && !knownCategory(s.Category) {
+		return fmt.Errorf("scenario %s: unknown category %q", s.Name, s.Category)
+	}
+	blocks := 0
+	for _, set := range []bool{s.Stream != nil, s.Spatial != nil, s.Deltas != nil,
+		s.Chase != nil, s.Pointer != nil, s.Mix != nil, s.Trace != nil} {
+		if set {
+			blocks++
+		}
+	}
+	if blocks != 1 {
+		return fmt.Errorf("scenario %s: exactly one parameter block required, found %d", s.Name, blocks)
+	}
+	switch s.Kind {
+	case KindStream:
+		if s.Stream == nil {
+			return fmt.Errorf("scenario %s: kind %q needs a %q block", s.Name, s.Kind, s.Kind)
+		}
+		return prefixErr(s.Name, s.Stream.validate())
+	case KindSpatial:
+		if s.Spatial == nil {
+			return fmt.Errorf("scenario %s: kind %q needs a %q block", s.Name, s.Kind, s.Kind)
+		}
+		return prefixErr(s.Name, s.Spatial.validate())
+	case KindDeltas:
+		if s.Deltas == nil {
+			return fmt.Errorf("scenario %s: kind %q needs a %q block", s.Name, s.Kind, s.Kind)
+		}
+		return prefixErr(s.Name, s.Deltas.validate())
+	case KindChase:
+		if s.Chase == nil {
+			return fmt.Errorf("scenario %s: kind %q needs a %q block", s.Name, s.Kind, s.Kind)
+		}
+		return prefixErr(s.Name, s.Chase.validate())
+	case KindPointer:
+		if s.Pointer == nil {
+			return fmt.Errorf("scenario %s: kind %q needs a %q block", s.Name, s.Kind, s.Kind)
+		}
+		return prefixErr(s.Name, s.Pointer.validate())
+	case KindMix:
+		if s.Mix == nil {
+			return fmt.Errorf("scenario %s: kind %q needs a %q block", s.Name, s.Kind, s.Kind)
+		}
+		if depth >= maxMixDepth {
+			return fmt.Errorf("scenario %s: mix nesting deeper than %d", s.Name, maxMixDepth)
+		}
+		m := s.Mix
+		if len(m.Parts) == 0 || len(m.Parts) > 8 {
+			return fmt.Errorf("scenario %s: mix needs 1–8 parts, has %d", s.Name, len(m.Parts))
+		}
+		if len(m.Weights) != len(m.Parts) {
+			return fmt.Errorf("scenario %s: mix has %d parts but %d weights", s.Name, len(m.Parts), len(m.Weights))
+		}
+		for _, w := range m.Weights {
+			if w <= 0 {
+				return fmt.Errorf("scenario %s: mix weights must be positive", s.Name)
+			}
+		}
+		for i := range m.Parts {
+			p := &m.Parts[i]
+			if p.Trace != nil || p.Kind == KindTrace {
+				return fmt.Errorf("scenario %s: mix part %d: trace payloads cannot be mixed", s.Name, i)
+			}
+			if err := p.validate(depth+1, false); err != nil {
+				return fmt.Errorf("scenario %s: mix part %d: %w", s.Name, i, err)
+			}
+		}
+		return nil
+	case KindTrace:
+		if s.Trace == nil {
+			return fmt.Errorf("scenario %s: kind %q needs a %q block", s.Name, s.Kind, s.Kind)
+		}
+		if (s.Trace.Path == "") == (len(s.Trace.Data) == 0) {
+			return fmt.Errorf("scenario %s: trace needs exactly one of path or data", s.Name)
+		}
+		return nil
+	case "":
+		return fmt.Errorf("scenario %s: missing kind", s.Name)
+	default:
+		return fmt.Errorf("scenario %s: unknown kind %q", s.Name, s.Kind)
+	}
+}
+
+func prefixErr(name string, err error) error {
+	if err == nil {
+		return nil
+	}
+	return fmt.Errorf("scenario %s: %w", name, err)
+}
+
+func knownCategory(c Category) bool {
+	if c == Imported {
+		return true
+	}
+	for _, k := range Categories {
+		if c == k {
+			return true
+		}
+	}
+	return false
+}
+
+func (c *StreamConfig) validate() error {
+	switch {
+	case c.Streams < 1 || c.Streams > 1024:
+		return fmt.Errorf("stream: streams %d outside [1, 1024]", c.Streams)
+	case c.StrideLns < 1 || c.StrideLns > 1024:
+		return fmt.Errorf("stream: stride %d outside [1, 1024]", c.StrideLns)
+	case c.PagePool < 1:
+		return fmt.Errorf("stream: page pool %d must be positive", c.PagePool)
+	case c.MeanGap < 0 || c.MeanGap > maxSpecGap:
+		return fmt.Errorf("stream: mean gap %d outside [0, %d]", c.MeanGap, maxSpecGap)
+	case c.WriteFrac < 0 || c.WriteFrac > 1:
+		return fmt.Errorf("stream: write fraction %g outside [0, 1]", c.WriteFrac)
+	case c.PCCount < 0:
+		return fmt.Errorf("stream: pc count %d must be non-negative", c.PCCount)
+	case c.RestartPct < 0 || c.RestartPct > 100:
+		return fmt.Errorf("stream: restart pct %d outside [0, 100]", c.RestartPct)
+	case c.DepPct < 0 || c.DepPct > 100:
+		return fmt.Errorf("stream: dep pct %d outside [0, 100]", c.DepPct)
+	}
+	return nil
+}
+
+func (c *SpatialConfig) validate() error {
+	switch {
+	case c.Patterns < 1 || c.Patterns > 1<<16:
+		return fmt.Errorf("spatial: patterns %d outside [1, 65536]", c.Patterns)
+	case c.Density < 1 || c.Density > 64:
+		return fmt.Errorf("spatial: density %d outside [1, 64]", c.Density)
+	case c.Reorder < 0:
+		return fmt.Errorf("spatial: reorder %d must be non-negative", c.Reorder)
+	case c.JitterPct < 0 || c.JitterPct > 100:
+		return fmt.Errorf("spatial: jitter pct %d outside [0, 100]", c.JitterPct)
+	case c.PagePool < 1:
+		return fmt.Errorf("spatial: page pool %d must be positive", c.PagePool)
+	case c.MeanGap < 0 || c.MeanGap > maxSpecGap:
+		return fmt.Errorf("spatial: mean gap %d outside [0, %d]", c.MeanGap, maxSpecGap)
+	case c.WriteFrac < 0 || c.WriteFrac > 1:
+		return fmt.Errorf("spatial: write fraction %g outside [0, 1]", c.WriteFrac)
+	case c.DepPct < 0 || c.DepPct > 100:
+		return fmt.Errorf("spatial: dep pct %d outside [0, 100]", c.DepPct)
+	case c.TriggerVarPct < 0 || c.TriggerVarPct > 100:
+		return fmt.Errorf("spatial: trigger var pct %d outside [0, 100]", c.TriggerVarPct)
+	case c.Placements < 0 || c.Placements > 64:
+		return fmt.Errorf("spatial: placements %d outside [0, 64]", c.Placements)
+	}
+	return nil
+}
+
+func (c *DeltaSeriesConfig) validate() error {
+	if len(c.Deltas) == 0 || len(c.Deltas) > 64 {
+		return fmt.Errorf("deltas: series needs 1–64 entries, has %d", len(c.Deltas))
+	}
+	for _, d := range c.Deltas {
+		if d < -64 || d > 64 {
+			return fmt.Errorf("deltas: delta %d outside [-64, 64]", d)
+		}
+	}
+	switch {
+	case c.PagePool < 1:
+		return fmt.Errorf("deltas: page pool %d must be positive", c.PagePool)
+	case c.MeanGap < 0 || c.MeanGap > maxSpecGap:
+		return fmt.Errorf("deltas: mean gap %d outside [0, %d]", c.MeanGap, maxSpecGap)
+	case c.WriteFrac < 0 || c.WriteFrac > 1:
+		return fmt.Errorf("deltas: write fraction %g outside [0, 1]", c.WriteFrac)
+	case c.DepPct < 0 || c.DepPct > 100:
+		return fmt.Errorf("deltas: dep pct %d outside [0, 100]", c.DepPct)
+	}
+	return nil
+}
+
+func (c *ChaseConfig) validate() error {
+	switch {
+	case c.FootprintPages < 1:
+		return fmt.Errorf("chase: footprint %d pages must be positive", c.FootprintPages)
+	case c.PerPage < 1 || c.PerPage > 8:
+		return fmt.Errorf("chase: per-page %d outside [1, 8]", c.PerPage)
+	case c.MeanGap < 0 || c.MeanGap > maxSpecGap:
+		return fmt.Errorf("chase: mean gap %d outside [0, %d]", c.MeanGap, maxSpecGap)
+	case c.WriteFrac < 0 || c.WriteFrac > 1:
+		return fmt.Errorf("chase: write fraction %g outside [0, 1]", c.WriteFrac)
+	}
+	return nil
+}
+
+// generator builds the spec's Generator at the given seed. Trace-kind specs
+// never reach here — registration resolves them to a Materialized stream.
+func (s *ScenarioSpec) generator(seed int64) Generator {
+	switch s.Kind {
+	case KindStream:
+		return NewStream(*s.Stream, seed)
+	case KindSpatial:
+		return NewSpatial(*s.Spatial, seed)
+	case KindDeltas:
+		return NewDeltaSeries(*s.Deltas, seed)
+	case KindChase:
+		return NewChase(*s.Chase, seed)
+	case KindPointer:
+		return NewPointerChase(*s.Pointer, seed)
+	case KindMix:
+		gens := make([]Generator, len(s.Mix.Parts))
+		for i := range s.Mix.Parts {
+			gens[i] = s.Mix.Parts[i].generator(mixPartSeed(seed, i))
+		}
+		return NewMix(seed, gens, s.Mix.Weights)
+	}
+	panic(fmt.Sprintf("trace: spec %q kind %q has no generator", s.Name, s.Kind))
+}
+
+// mixPartSeed derives part i's sub-generator seed from the mix seed.
+func mixPartSeed(seed int64, i int) int64 {
+	return seed + int64(i)*7919
+}
+
+// Fingerprint is the spec's content identity: a hash of its canonical JSON
+// form. Two specs with the same fingerprint produce byte-identical streams
+// at every seed, so the fingerprint participates in simulation cache keys —
+// resubmitting an unchanged spec re-uses every cached result, while editing
+// any parameter invalidates exactly that scenario's entries. Trace-kind
+// specs fingerprint by payload content at registration instead (the same
+// trace sent by path and by inline data must match).
+func (s *ScenarioSpec) Fingerprint() string {
+	b, err := json.Marshal(s)
+	if err != nil { // unreachable for a validated spec
+		panic(fmt.Sprintf("trace: spec %q does not marshal: %v", s.Name, err))
+	}
+	sum := sha256.Sum256(b)
+	return "spec-" + hex.EncodeToString(sum[:8])
+}
+
+// ParseSpecs decodes one ScenarioSpec or a JSON array of them.
+func ParseSpecs(data []byte) ([]ScenarioSpec, error) {
+	trimmed := firstNonSpace(data)
+	if trimmed == '[' {
+		var ss []ScenarioSpec
+		if err := json.Unmarshal(data, &ss); err != nil {
+			return nil, fmt.Errorf("trace: parse scenario specs: %w", err)
+		}
+		return ss, nil
+	}
+	var s ScenarioSpec
+	if err := json.Unmarshal(data, &s); err != nil {
+		return nil, fmt.Errorf("trace: parse scenario spec: %w", err)
+	}
+	return []ScenarioSpec{s}, nil
+}
+
+func firstNonSpace(b []byte) byte {
+	for _, c := range b {
+		switch c {
+		case ' ', '\t', '\r', '\n':
+			continue
+		}
+		return c
+	}
+	return 0
+}

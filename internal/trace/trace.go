@@ -51,20 +51,20 @@ func (g gapper) gap() int {
 
 // StreamConfig parameterizes a multi-stream sequential generator.
 type StreamConfig struct {
-	Streams   int // concurrent streams
-	StrideLns int // lines per step (1 = next line)
-	PagePool  int // distinct pages the streams wander across
-	MeanGap   int
-	WriteFrac float64
+	Streams   int     `json:"streams"`      // concurrent streams
+	StrideLns int     `json:"stride_lines"` // lines per step (1 = next line)
+	PagePool  int     `json:"page_pool"`    // distinct pages the streams wander across
+	MeanGap   int     `json:"mean_gap"`
+	WriteFrac float64 `json:"write_frac,omitempty"`
 	// PCCount is the number of distinct load PCs driving the streams. When
 	// smaller than Streams (indirect or merged access patterns), a PC-based
 	// stride prefetcher sees interleaved streams and loses confidence, while
 	// page-local prefetchers (SPP) are unaffected. 0 means one PC per stream.
-	PCCount    int
-	RestartPct int // chance (percent) per step that a stream jumps elsewhere
+	PCCount    int `json:"pc_count,omitempty"`
+	RestartPct int `json:"restart_pct,omitempty"` // chance (percent) per step that a stream jumps elsewhere
 	// DepPct is the percentage of references carrying an address dependence
 	// on the previous load (0 = fully independent index streams).
-	DepPct int
+	DepPct int `json:"dep_pct,omitempty"`
 }
 
 type streamState struct {
@@ -116,11 +116,11 @@ func (s *streamGen) Next(r *Ref) {
 // pattern family BOP's global deltas capture best (e.g. local deltas
 // 1,2,1,2 → global delta 3).
 type DeltaSeriesConfig struct {
-	Deltas    []int
-	PagePool  int
-	MeanGap   int
-	WriteFrac float64
-	DepPct    int
+	Deltas    []int   `json:"deltas"`
+	PagePool  int     `json:"page_pool"`
+	MeanGap   int     `json:"mean_gap"`
+	WriteFrac float64 `json:"write_frac,omitempty"`
+	DepPct    int     `json:"dep_pct,omitempty"`
 }
 
 type deltaGen struct {
@@ -165,26 +165,26 @@ func (d *deltaGen) Next(r *Ref) {
 // workload family where spatial bit-pattern prefetchers (SMS, DSPatch) beat
 // delta prefetchers.
 type SpatialConfig struct {
-	Patterns  int // distinct footprints ≈ code footprint (trigger PCs)
-	Density   int // lines per footprint
-	Reorder   int // shuffle window ≈ OoO reordering depth (0 = in order)
-	JitterPct int // chance a footprint line is dropped / an extra added
-	PagePool  int // pages being revisited
-	MeanGap   int
-	WriteFrac float64
-	DepPct    int // body-access dependence percentage (triggers always depend)
+	Patterns  int     `json:"patterns"`             // distinct footprints ≈ code footprint (trigger PCs)
+	Density   int     `json:"density"`              // lines per footprint
+	Reorder   int     `json:"reorder,omitempty"`    // shuffle window ≈ OoO reordering depth (0 = in order)
+	JitterPct int     `json:"jitter_pct,omitempty"` // chance a footprint line is dropped / an extra added
+	PagePool  int     `json:"page_pool"`            // pages being revisited
+	MeanGap   int     `json:"mean_gap"`
+	WriteFrac float64 `json:"write_frac,omitempty"`
+	DepPct    int     `json:"dep_pct,omitempty"` // body-access dependence percentage (triggers always depend)
 	// TriggerVarPct is the chance that out-of-order execution makes some
 	// line other than the footprint's canonical head the temporally first
 	// access of a visit (the paper's Fig. 2 reordering effect). Bit-pattern
 	// prefetchers keyed on raw (PC, offset) signatures fragment under this;
 	// DSPatch's trigger-anchored rotation absorbs it.
-	TriggerVarPct int
+	TriggerVarPct int `json:"trigger_var_pct,omitempty"`
 	// Placements is how many distinct in-page base offsets each footprint
 	// recurs at (heap objects land wherever the allocator put them). Raw
 	// (PC, offset) signatures fragment across placements; trigger-anchored
 	// patterns collapse them into one. 0 or 1 pins footprints in place.
-	Placements int
-	Segment1   bool // footprints may live in the upper 2KB too
+	Placements int  `json:"placements,omitempty"`
+	Segment1   bool `json:"segment1,omitempty"` // footprints may live in the upper 2KB too
 }
 
 type spatialGen struct {
@@ -348,10 +348,10 @@ func (s *spatialGen) Next(r *Ref) {
 // ChaseConfig parameterizes pointer-chasing: near-random lines, few accesses
 // per page — the prefetch-hostile tail (mcf, omnetpp).
 type ChaseConfig struct {
-	FootprintPages int
-	PerPage        int // accesses per visited page (1–3)
-	MeanGap        int
-	WriteFrac      float64
+	FootprintPages int     `json:"footprint_pages"`
+	PerPage        int     `json:"per_page"` // accesses per visited page (1–3)
+	MeanGap        int     `json:"mean_gap"`
+	WriteFrac      float64 `json:"write_frac,omitempty"`
 }
 
 type chaseGen struct {

@@ -195,15 +195,16 @@ func TestMixPanicsOnMismatch(t *testing.T) {
 }
 
 func TestRosterShape(t *testing.T) {
-	if len(Workloads) != 75 {
-		t.Errorf("roster has %d workloads, want 75", len(Workloads))
+	if len(builtinSpecs()) != 75+8 {
+		t.Errorf("roster has %d workloads, want 83", len(builtinSpecs()))
 	}
-	if got := len(MemIntensive()); got != 42 {
-		t.Errorf("memory-intensive set has %d workloads, want 42", got)
+	// The paper's 42 high-MPKI workloads plus the Irregular family's 5.
+	if got := len(MemIntensive()); got != 47 {
+		t.Errorf("memory-intensive set has %d workloads, want 47", got)
 	}
 	counts := map[Category]int{}
 	names := map[string]bool{}
-	for _, w := range Workloads {
+	for _, w := range Workloads() {
 		counts[w.Category]++
 		if names[w.Name] {
 			t.Errorf("duplicate workload name %q", w.Name)
@@ -221,7 +222,7 @@ func TestRosterShape(t *testing.T) {
 }
 
 func TestEveryWorkloadGenerates(t *testing.T) {
-	for _, w := range Workloads {
+	for _, w := range Workloads() {
 		g := w.Build(1)
 		var r Ref
 		pages := map[memaddr.Page]bool{}

@@ -1,37 +1,49 @@
 package trace
 
-// Category is one of the paper's nine workload classes (Table 4).
+// Category is one of the workload classes: the paper's nine (Table 4) plus
+// the Irregular family this repository adds.
 type Category string
 
-// The nine classes of paper Table 4.
+// The nine classes of paper Table 4, plus Irregular.
 const (
-	Client  Category = "Client"
-	Server  Category = "Server"
-	HPC     Category = "HPC"
-	FSPEC06 Category = "FSPEC06"
-	ISPEC06 Category = "ISPEC06"
-	FSPEC17 Category = "FSPEC17"
-	ISPEC17 Category = "ISPEC17"
-	Cloud   Category = "Cloud"
-	SYSmark Category = "SYSmark"
+	Client    Category = "Client"
+	Server    Category = "Server"
+	HPC       Category = "HPC"
+	FSPEC06   Category = "FSPEC06"
+	ISPEC06   Category = "ISPEC06"
+	FSPEC17   Category = "FSPEC17"
+	ISPEC17   Category = "ISPEC17"
+	Cloud     Category = "Cloud"
+	SYSmark   Category = "SYSmark"
+	Irregular Category = "Irregular"
 )
 
-// Categories lists the classes in the paper's presentation order.
-var Categories = []Category{Client, Server, HPC, FSPEC06, ISPEC06, FSPEC17, ISPEC17, Cloud, SYSmark}
+// Categories lists the classes in presentation order: the paper's nine
+// followed by Irregular, which joins every category-sweeping experiment.
+var Categories = []Category{Client, Server, HPC, FSPEC06, ISPEC06, FSPEC17, ISPEC17, Cloud, SYSmark, Irregular}
 
-// Workload is one named synthetic workload.
+// Workload is one named scenario of the registry.
 type Workload struct {
 	Name         string
 	Category     Category
-	MemIntensive bool // member of the paper's 42 high-MPKI set
+	MemIntensive bool // member of the paper's high-MPKI set
 	Build        func(seed int64) Generator
+
+	// Source records where the workload came from: SourceBuiltin,
+	// SourceSpec or SourceImported.
+	Source string
+	// Fingerprint is the content identity of non-builtin workloads; it is
+	// folded into simulation cache keys so a renamed-but-identical scenario
+	// hits the cache and an edited one misses. Builtin workloads leave it
+	// empty — their name alone identifies the stream.
+	Fingerprint string
 }
 
-// stream is shorthand for a pure streaming workload. Larger stream counts
-// share load PCs (real kernels walk several arrays from few static loads),
-// which is what keeps a PC-indexed stride prefetcher from trivially covering
-// them.
-func stream(streams, stride, pool, gap int, write float64) func(int64) Generator {
+// stream is shorthand for a pure streaming scenario spec. Larger stream
+// counts share load PCs (real kernels walk several arrays from few static
+// loads), which is what keeps a PC-indexed stride prefetcher from trivially
+// covering them.
+func stream(streams, stride, pool, gap int, write float64) ScenarioSpec {
 	pcs := streams
 	switch {
 	case streams >= 6:
@@ -39,157 +51,145 @@ func stream(streams, stride, pool, gap int, write float64) func(int64) Generator
 	case streams >= 3:
 		pcs = streams / 2
 	}
-	return func(seed int64) Generator {
-		return NewStream(StreamConfig{Streams: streams, StrideLns: stride, PagePool: pool,
-			MeanGap: gap, WriteFrac: write, PCCount: pcs, DepPct: 30, RestartPct: 1}, seed)
-	}
+	return ScenarioSpec{Kind: KindStream, Stream: &StreamConfig{
+		Streams: streams, StrideLns: stride, PagePool: pool,
+		MeanGap: gap, WriteFrac: write, PCCount: pcs, DepPct: 30, RestartPct: 1}}
 }
 
-// spatial is shorthand for a recurring-footprint workload.
-func spatial(patterns, density, reorder, jitter, pool, gap int, seg1 bool) func(int64) Generator {
-	return func(seed int64) Generator {
-		return NewSpatial(SpatialConfig{Patterns: patterns, Density: density, Reorder: reorder,
-			JitterPct: jitter, PagePool: pool, MeanGap: gap, WriteFrac: 0.2, DepPct: 35,
-			TriggerVarPct: 10, Placements: 6, Segment1: seg1}, seed)
-	}
+// spatial is shorthand for a recurring-footprint scenario spec.
+func spatial(patterns, density, reorder, jitter, pool, gap int, seg1 bool) ScenarioSpec {
+	return ScenarioSpec{Kind: KindSpatial, Spatial: &SpatialConfig{
+		Patterns: patterns, Density: density, Reorder: reorder,
+		JitterPct: jitter, PagePool: pool, MeanGap: gap, WriteFrac: 0.2, DepPct: 35,
+		TriggerVarPct: 10, Placements: 6, Segment1: seg1}}
 }
 
-// deltas is shorthand for a repeating-delta workload.
-func deltas(series []int, pool, gap int) func(int64) Generator {
-	return func(seed int64) Generator {
-		return NewDeltaSeries(DeltaSeriesConfig{Deltas: series, PagePool: pool, MeanGap: gap,
-			WriteFrac: 0.15, DepPct: 40}, seed)
-	}
+// deltas is shorthand for a repeating-delta scenario spec.
+func deltas(series []int, pool, gap int) ScenarioSpec {
+	return ScenarioSpec{Kind: KindDeltas, Deltas: &DeltaSeriesConfig{
+		Deltas: series, PagePool: pool, MeanGap: gap, WriteFrac: 0.15, DepPct: 40}}
 }
 
-// chase is shorthand for a pointer-chasing workload.
-func chase(pages, perPage, gap int) func(int64) Generator {
-	return func(seed int64) Generator {
-		return NewChase(ChaseConfig{FootprintPages: pages, PerPage: perPage, MeanGap: gap,
-			WriteFrac: 0.1}, seed)
-	}
+// chase is shorthand for a pointer-chasing scenario spec.
+func chase(pages, perPage, gap int) ScenarioSpec {
+	return ScenarioSpec{Kind: KindChase, Chase: &ChaseConfig{
+		FootprintPages: pages, PerPage: perPage, MeanGap: gap, WriteFrac: 0.1}}
 }
 
-// mix blends sub-builders with weights.
-func mix(parts []func(int64) Generator, weights []int) func(int64) Generator {
-	return func(seed int64) Generator {
-		gens := make([]Generator, len(parts))
-		for i, p := range parts {
-			gens[i] = p(seed + int64(i)*7919)
-		}
-		return NewMix(seed, gens, weights)
-	}
+// mix blends sub-specs with weights.
+func mix(parts []ScenarioSpec, weights []int) ScenarioSpec {
+	return ScenarioSpec{Kind: KindMix, Mix: &MixSpec{Parts: parts, Weights: weights}}
 }
 
-// Workloads is the full 75-entry roster. Names follow the paper's exemplars;
-// parameters encode each suite's characteristic stream statistics (see the
-// repository README's experiment index).
-var Workloads = buildWorkloads()
-
-func buildWorkloads() []Workload {
-	var ws []Workload
-	add := func(name string, cat Category, hot bool, b func(int64) Generator) {
-		ws = append(ws, Workload{Name: name, Category: cat, MemIntensive: hot, Build: b})
+// builtinSpecs is the compiled-in roster as spec data: the 75 paper
+// workloads plus the Irregular family (irregular.go). Names follow the
+// paper's exemplars; parameters encode each suite's characteristic stream
+// statistics (see the repository README's experiment index).
+func builtinSpecs() []ScenarioSpec {
+	var ss []ScenarioSpec
+	add := func(name string, cat Category, hot bool, s ScenarioSpec) {
+		s.Name, s.Category, s.MemIntensive = name, cat, hot
+		ss = append(ss, s)
 	}
 
 	// ---- Client (6): media/compression — streams plus light footprints. ----
 	add("7zip-comp", Client, true, mix(
-		[]func(int64) Generator{stream(4, 1, 6000, 8, 0.25), spatial(21, 8, 4, 8, 3000, 10, false)},
+		[]ScenarioSpec{stream(4, 1, 6000, 8, 0.25), spatial(21, 8, 4, 8, 3000, 10, false)},
 		[]int{3, 2}))
 	add("7zip-decomp", Client, false, mix(
-		[]func(int64) Generator{stream(6, 1, 5000, 8, 0.3), chase(2500, 2, 10)},
+		[]ScenarioSpec{stream(6, 1, 5000, 8, 0.3), chase(2500, 2, 10)},
 		[]int{3, 1}))
 	add("vp9-encode", Client, true, mix(
-		[]func(int64) Generator{stream(8, 1, 8000, 7, 0.3), spatial(28, 10, 6, 8, 4000, 9, true)},
+		[]ScenarioSpec{stream(8, 1, 8000, 7, 0.3), spatial(28, 10, 6, 8, 4000, 9, true)},
 		[]int{3, 2}))
 	add("vp9-decode", Client, false, stream(6, 1, 7000, 8, 0.25))
 	add("client-photo", Client, false, mix(
-		[]func(int64) Generator{stream(4, 1, 2500, 14, 0.3), spatial(42, 6, 6, 8, 1500, 16, false)},
+		[]ScenarioSpec{stream(4, 1, 2500, 14, 0.3), spatial(42, 6, 6, 8, 1500, 16, false)},
 		[]int{2, 3}))
 	add("client-browser", Client, false, mix(
-		[]func(int64) Generator{chase(1200, 2, 16), spatial(57, 5, 8, 8, 1200, 18, false)},
+		[]ScenarioSpec{chase(1200, 2, 16), spatial(57, 5, 8, 8, 1200, 18, false)},
 		[]int{1, 2}))
 
 	// ---- Server (8): transaction/analytics — huge code footprints. ----
 	add("tpcc", Server, true, mix(
-		[]func(int64) Generator{spatial(4096, 7, 8, 8, 6000, 9, true), chase(4000, 2, 10)},
+		[]ScenarioSpec{spatial(4096, 7, 8, 8, 6000, 9, true), chase(4000, 2, 10)},
 		[]int{4, 1}))
 	add("specjbb", Server, true, mix(
-		[]func(int64) Generator{spatial(120, 8, 6, 8, 5000, 9, true), stream(4, 1, 4000, 10, 0.2)},
+		[]ScenarioSpec{spatial(120, 8, 6, 8, 5000, 9, true), stream(4, 1, 4000, 10, 0.2)},
 		[]int{3, 2}))
 	add("specjenterprise", Server, false, mix(
-		[]func(int64) Generator{spatial(120, 6, 8, 8, 3000, 13, false), chase(1500, 2, 14)},
+		[]ScenarioSpec{spatial(120, 6, 8, 8, 3000, 13, false), chase(1500, 2, 14)},
 		[]int{3, 1}))
 	add("spark-pagerank", Server, true, mix(
-		[]func(int64) Generator{stream(10, 1, 9000, 7, 0.2), chase(5000, 1, 9)},
+		[]ScenarioSpec{stream(10, 1, 9000, 7, 0.2), chase(5000, 1, 9)},
 		[]int{3, 2}))
 	add("server-kv", Server, false, mix(
-		[]func(int64) Generator{spatial(120, 6, 8, 8, 5000, 9, false), chase(3000, 2, 10)},
+		[]ScenarioSpec{spatial(120, 6, 8, 8, 5000, 9, false), chase(3000, 2, 10)},
 		[]int{2, 1}))
 	add("server-web", Server, false, mix(
-		[]func(int64) Generator{spatial(120, 5, 8, 8, 2000, 15, false), stream(3, 1, 1500, 14, 0.25)},
+		[]ScenarioSpec{spatial(120, 5, 8, 8, 2000, 15, false), stream(3, 1, 1500, 14, 0.25)},
 		[]int{3, 1}))
 	add("server-mail", Server, false, mix(
-		[]func(int64) Generator{chase(1000, 2, 16), stream(3, 1, 1200, 15, 0.3)},
+		[]ScenarioSpec{chase(1000, 2, 16), stream(3, 1, 1200, 15, 0.3)},
 		[]int{1, 2}))
 	add("server-olap", Server, true, mix(
-		[]func(int64) Generator{stream(12, 1, 10000, 7, 0.15), spatial(114, 10, 5, 8, 5000, 8, true)},
+		[]ScenarioSpec{stream(12, 1, 10000, 7, 0.15), spatial(114, 10, 5, 8, 5000, 8, true)},
 		[]int{3, 2}))
 
 	// ---- HPC (10): dense regular kernels; NPB adds reordered footprints. ----
 	add("linpack", HPC, true, stream(8, 1, 12000, 5, 0.3))
 	add("npb-cg", HPC, true, mix(
-		[]func(int64) Generator{spatial(18, 14, 10, 8, 8000, 6, true), stream(4, 1, 6000, 6, 0.2)},
+		[]ScenarioSpec{spatial(18, 14, 10, 8, 8000, 6, true), stream(4, 1, 6000, 6, 0.2)},
 		[]int{3, 2}))
 	add("npb-mg", HPC, true, mix(
-		[]func(int64) Generator{spatial(16, 16, 8, 6, 9000, 6, true), stream(6, 1, 8000, 6, 0.25)},
+		[]ScenarioSpec{spatial(16, 16, 8, 6, 9000, 6, true), stream(6, 1, 8000, 6, 0.25)},
 		[]int{3, 2}))
 	add("npb-ft", HPC, true, mix(
-		[]func(int64) Generator{stream(8, 4, 10000, 6, 0.3), deltas([]int{3, 1, 3, 1}, 8000, 6)},
+		[]ScenarioSpec{stream(8, 4, 10000, 6, 0.3), deltas([]int{3, 1, 3, 1}, 8000, 6)},
 		[]int{2, 1}))
 	add("parsec-fluid", HPC, true, stream(10, 1, 9000, 7, 0.35))
 	add("parsec-stream", HPC, true, stream(12, 1, 14000, 5, 0.3))
 	add("accel-lbm", HPC, true, mix(
-		[]func(int64) Generator{stream(16, 1, 12000, 6, 0.4), deltas([]int{1, 2}, 6000, 7)},
+		[]ScenarioSpec{stream(16, 1, 12000, 6, 0.4), deltas([]int{1, 2}, 6000, 7)},
 		[]int{3, 1}))
 	add("mpi-bt", HPC, false, stream(6, 3, 8000, 7, 0.3))
 	add("hpc-fem", HPC, false, mix(
-		[]func(int64) Generator{stream(5, 1, 3000, 11, 0.3), chase(2000, 2, 12)},
+		[]ScenarioSpec{stream(5, 1, 3000, 11, 0.3), chase(2000, 2, 12)},
 		[]int{3, 1}))
 	add("hpc-md", HPC, false, mix(
-		[]func(int64) Generator{spatial(28, 10, 6, 8, 2500, 11, false), stream(4, 1, 2000, 12, 0.25)},
+		[]ScenarioSpec{spatial(28, 10, 6, 8, 2500, 11, false), stream(4, 1, 2000, 12, 0.25)},
 		[]int{2, 3}))
 
 	// ---- FSPEC06 (9): FP SPEC 2006 — streams and strides dominate. ----
 	add("sphinx3", FSPEC06, true, stream(6, 1, 8000, 7, 0.15))
 	add("soplex", FSPEC06, true, mix(
-		[]func(int64) Generator{stream(5, 1, 7000, 7, 0.25), chase(3000, 2, 9)},
+		[]ScenarioSpec{stream(5, 1, 7000, 7, 0.25), chase(3000, 2, 9)},
 		[]int{3, 1}))
 	add("gemsfdtd", FSPEC06, true, stream(9, 2, 10000, 6, 0.3))
 	add("lbm06", FSPEC06, true, stream(14, 1, 12000, 6, 0.4))
 	add("milc", FSPEC06, false, mix(
-		[]func(int64) Generator{stream(7, 3, 9000, 7, 0.3), deltas([]int{2, 1, 2, 1}, 5000, 8)},
+		[]ScenarioSpec{stream(7, 3, 9000, 7, 0.3), deltas([]int{2, 1, 2, 1}, 5000, 8)},
 		[]int{2, 1}))
 	add("leslie3d", FSPEC06, true, stream(8, 1, 9000, 7, 0.3))
 	add("cactus", FSPEC06, false, stream(5, 2, 3000, 12, 0.3))
 	add("namd06", FSPEC06, false, mix(
-		[]func(int64) Generator{spatial(21, 8, 4, 8, 2000, 13, false), stream(3, 1, 1500, 13, 0.2)},
+		[]ScenarioSpec{spatial(21, 8, 4, 8, 2000, 13, false), stream(3, 1, 1500, 13, 0.2)},
 		[]int{2, 3}))
 	add("povray06", FSPEC06, false, chase(600, 3, 18))
 
 	// ---- ISPEC06 (8): integer SPEC 2006 — sparse, irregular. ----
 	add("mcf", ISPEC06, true, mix(
-		[]func(int64) Generator{chase(8000, 1, 8), spatial(42, 5, 8, 8, 6000, 8, false)},
+		[]ScenarioSpec{chase(8000, 1, 8), spatial(42, 5, 8, 8, 6000, 8, false)},
 		[]int{2, 3}))
 	add("omnetpp06", ISPEC06, true, mix(
-		[]func(int64) Generator{chase(5000, 2, 9), spatial(57, 4, 8, 8, 4000, 9, false)},
+		[]ScenarioSpec{chase(5000, 2, 9), spatial(57, 4, 8, 8, 4000, 9, false)},
 		[]int{1, 1}))
 	add("gcc06", ISPEC06, true, mix(
-		[]func(int64) Generator{spatial(86, 6, 6, 8, 4000, 9, false), stream(3, 1, 3000, 10, 0.2)},
+		[]ScenarioSpec{spatial(86, 6, 6, 8, 4000, 9, false), stream(3, 1, 3000, 10, 0.2)},
 		[]int{3, 1}))
 	add("libquantum", ISPEC06, true, stream(2, 1, 11000, 6, 0.2))
 	add("bzip2", ISPEC06, false, mix(
-		[]func(int64) Generator{stream(4, 1, 2500, 12, 0.3), chase(1200, 2, 14)},
+		[]ScenarioSpec{stream(4, 1, 2500, 12, 0.3), chase(1200, 2, 14)},
 		[]int{3, 1}))
 	add("astar", ISPEC06, false, chase(6000, 2, 9))
 	add("xalanc06", ISPEC06, true, spatial(114, 5, 10, 8, 5000, 9, false))
@@ -199,62 +199,62 @@ func buildWorkloads() []Workload {
 	add("lbm17", FSPEC17, true, stream(16, 1, 13000, 6, 0.4))
 	add("cam4", FSPEC17, true, stream(7, 1, 9000, 7, 0.3))
 	add("pop2", FSPEC17, true, mix(
-		[]func(int64) Generator{stream(6, 1, 8000, 7, 0.3), deltas([]int{4, 1, 4, 1}, 5000, 8)},
+		[]ScenarioSpec{stream(6, 1, 8000, 7, 0.3), deltas([]int{4, 1, 4, 1}, 5000, 8)},
 		[]int{3, 1}))
 	add("roms", FSPEC17, true, stream(9, 1, 10000, 7, 0.3))
 	add("fotonik3d", FSPEC17, true, stream(10, 1, 11000, 6, 0.35))
 	add("cactuBSSN", FSPEC17, false, stream(8, 3, 9000, 7, 0.3))
 	add("nab", FSPEC17, false, mix(
-		[]func(int64) Generator{spatial(24, 9, 4, 8, 2200, 12, false), stream(3, 1, 1800, 13, 0.2)},
+		[]ScenarioSpec{spatial(24, 9, 4, 8, 2200, 12, false), stream(3, 1, 1800, 13, 0.2)},
 		[]int{2, 3}))
 	add("namd17", FSPEC17, false, spatial(28, 8, 4, 8, 2000, 13, false))
 	add("povray17", FSPEC17, false, chase(500, 3, 19))
 	add("wrf", FSPEC17, true, mix(
-		[]func(int64) Generator{stream(6, 1, 7000, 8, 0.3), spatial(32, 8, 6, 8, 3500, 9, true)},
+		[]ScenarioSpec{stream(6, 1, 7000, 8, 0.3), spatial(32, 8, 6, 8, 3500, 9, true)},
 		[]int{3, 2}))
 
 	// ---- ISPEC17 (8): integer SPEC 2017 — sparse pages, global deltas,
 	// reordered footprints (the SMS/BOP-friendly class). ----
 	add("omnetpp17", ISPEC17, true, mix(
-		[]func(int64) Generator{spatial(120, 4, 10, 8, 5000, 9, false), chase(3500, 1, 10)},
+		[]ScenarioSpec{spatial(120, 4, 10, 8, 5000, 9, false), chase(3500, 1, 10)},
 		[]int{3, 1}))
 	add("xalancbmk17", ISPEC17, true, spatial(120, 5, 10, 8, 5000, 9, false))
 	add("leela", ISPEC17, false, mix(
-		[]func(int64) Generator{spatial(72, 4, 8, 8, 1500, 14, false), chase(800, 2, 16)},
+		[]ScenarioSpec{spatial(72, 4, 8, 8, 1500, 14, false), chase(800, 2, 16)},
 		[]int{3, 1}))
 	add("exchange2", ISPEC17, false, spatial(42, 5, 6, 8, 1200, 15, false))
 	add("deepsjeng", ISPEC17, true, mix(
-		[]func(int64) Generator{deltas([]int{5, 2, 5, 2}, 6000, 8), spatial(86, 4, 10, 8, 4000, 9, false)},
+		[]ScenarioSpec{deltas([]int{5, 2, 5, 2}, 6000, 8), spatial(86, 4, 10, 8, 4000, 9, false)},
 		[]int{1, 2}))
 	add("mcf17", ISPEC17, true, mix(
-		[]func(int64) Generator{chase(7000, 1, 8), deltas([]int{7, 3}, 5000, 9)},
+		[]ScenarioSpec{chase(7000, 1, 8), deltas([]int{7, 3}, 5000, 9)},
 		[]int{2, 1}))
 	add("x264", ISPEC17, false, mix(
-		[]func(int64) Generator{stream(6, 2, 6000, 8, 0.3), spatial(100, 6, 8, 8, 4000, 9, true)},
+		[]ScenarioSpec{stream(6, 2, 6000, 8, 0.3), spatial(100, 6, 8, 8, 4000, 9, true)},
 		[]int{2, 3}))
 	add("gcc17", ISPEC17, true, spatial(120, 5, 8, 8, 4500, 9, false))
 
 	// ---- Cloud (8): big-data stacks — large code footprints, reordering. ----
 	add("bigbench", Cloud, true, mix(
-		[]func(int64) Generator{spatial(120, 8, 10, 8, 7000, 8, true), stream(4, 1, 5000, 9, 0.2)},
+		[]ScenarioSpec{spatial(120, 8, 10, 8, 7000, 8, true), stream(4, 1, 5000, 9, 0.2)},
 		[]int{4, 1}))
 	add("cassandra", Cloud, true, mix(
-		[]func(int64) Generator{spatial(120, 6, 10, 8, 6000, 9, false), chase(3000, 2, 10)},
+		[]ScenarioSpec{spatial(120, 6, 10, 8, 6000, 9, false), chase(3000, 2, 10)},
 		[]int{3, 1}))
 	add("hbase", Cloud, true, mix(
-		[]func(int64) Generator{spatial(120, 6, 8, 8, 5500, 9, false), chase(2500, 2, 11)},
+		[]ScenarioSpec{spatial(120, 6, 8, 8, 5500, 9, false), chase(2500, 2, 11)},
 		[]int{3, 1}))
 	add("kmeans", Cloud, true, mix(
-		[]func(int64) Generator{stream(8, 1, 9000, 7, 0.2), spatial(57, 10, 6, 8, 5000, 8, true)},
+		[]ScenarioSpec{stream(8, 1, 9000, 7, 0.2), spatial(57, 10, 6, 8, 5000, 8, true)},
 		[]int{2, 3}))
 	add("hadoop-stream", Cloud, true, mix(
-		[]func(int64) Generator{stream(10, 1, 8000, 8, 0.25), spatial(120, 7, 8, 8, 5000, 9, false)},
+		[]ScenarioSpec{stream(10, 1, 8000, 8, 0.25), spatial(120, 7, 8, 8, 5000, 9, false)},
 		[]int{2, 3}))
 	add("cloud-sort", Cloud, false, mix(
-		[]func(int64) Generator{stream(6, 1, 7000, 8, 0.35), spatial(114, 8, 8, 8, 4500, 9, true)},
+		[]ScenarioSpec{stream(6, 1, 7000, 8, 0.35), spatial(114, 8, 8, 8, 4500, 9, true)},
 		[]int{1, 2}))
 	add("cloud-etl", Cloud, false, mix(
-		[]func(int64) Generator{spatial(120, 6, 8, 8, 2500, 13, false), stream(3, 1, 2000, 14, 0.3)},
+		[]ScenarioSpec{spatial(120, 6, 8, 8, 2500, 13, false), stream(3, 1, 2000, 14, 0.3)},
 		[]int{3, 1}))
 	add("cloud-index", Cloud, false, spatial(120, 5, 10, 8, 2200, 13, false))
 
@@ -262,51 +262,23 @@ func buildWorkloads() []Workload {
 	add("sysmark-excel", SYSmark, true, spatial(120, 7, 8, 8, 5000, 9, true))
 	add("sysmark-word", SYSmark, false, spatial(86, 5, 8, 8, 1800, 15, false))
 	add("sysmark-photoshop", SYSmark, true, mix(
-		[]func(int64) Generator{spatial(100, 9, 8, 8, 5000, 9, true), stream(5, 1, 4000, 10, 0.3)},
+		[]ScenarioSpec{spatial(100, 9, 8, 8, 5000, 9, true), stream(5, 1, 4000, 10, 0.3)},
 		[]int{3, 1}))
 	add("sysmark-sketchup", SYSmark, true, mix(
-		[]func(int64) Generator{spatial(114, 7, 8, 8, 4500, 9, false), chase(2000, 2, 11)},
+		[]ScenarioSpec{spatial(114, 7, 8, 8, 4500, 9, false), chase(2000, 2, 11)},
 		[]int{3, 1}))
 	add("sysmark-ppt", SYSmark, false, spatial(72, 5, 6, 8, 1500, 16, false))
 	add("sysmark-outlook", SYSmark, false, mix(
-		[]func(int64) Generator{spatial(57, 4, 8, 8, 1200, 17, false), chase(800, 2, 18)},
+		[]ScenarioSpec{spatial(57, 4, 8, 8, 1200, 17, false), chase(800, 2, 18)},
 		[]int{2, 1}))
 	add("sysmark-media", SYSmark, false, mix(
-		[]func(int64) Generator{stream(6, 1, 6000, 8, 0.3), spatial(86, 7, 8, 8, 4000, 9, true)},
+		[]ScenarioSpec{stream(6, 1, 6000, 8, 0.3), spatial(86, 7, 8, 8, 4000, 9, true)},
 		[]int{2, 3}))
 	add("sysmark-browse", SYSmark, false, spatial(100, 4, 10, 8, 1400, 16, false))
 
-	return ws
-}
+	// ---- Irregular (8): pointer-chasing data structures — linked-list
+	// walks, tree descents, hash probing (irregular.go). ----
+	ss = append(ss, irregularSpecs()...)
 
-// ByCategory returns the workloads of one class.
-func ByCategory(cat Category) []Workload {
-	var out []Workload
-	for _, w := range Workloads {
-		if w.Category == cat {
-			out = append(out, w)
-		}
-	}
-	return out
-}
-
-// MemIntensive returns the paper's 42-workload high-MPKI subset.
-func MemIntensive() []Workload {
-	var out []Workload
-	for _, w := range Workloads {
-		if w.MemIntensive {
-			out = append(out, w)
-		}
-	}
-	return out
-}
-
-// ByName returns the named workload.
-func ByName(name string) (Workload, bool) {
-	for _, w := range Workloads {
-		if w.Name == name {
-			return w, true
-		}
-	}
-	return Workload{}, false
+	return ss
 }
