@@ -7,6 +7,7 @@
 //	dspatchd -addr 127.0.0.1:9000 -cache-dir ~/.cache/dspatchd
 //	dspatchd -job-workers 4 -sim-workers 2 -queue 128
 //	dspatchd -drain-timeout 60s                # SIGTERM grace period
+//	dspatchd -scenario specs.json              # extend the workload roster at startup
 //
 // Fleet mode (see the README's Fleet section):
 //
@@ -50,6 +51,7 @@ import (
 
 	"dspatch/internal/service"
 	"dspatch/internal/service/chaos"
+	"dspatch/internal/trace"
 )
 
 func main() {
@@ -89,6 +91,7 @@ func appMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	campLow := fs.Int("campaign-low", 0, "active-campaign count that re-opens admission after a shed (0 = default campaign-high/2)")
 	chaosFile := fs.String("chaos-file", "", "fault-injection schedule JSON (test tooling; see internal/service/chaos)")
 	chaosWorker := fs.String("chaos-worker", "", "label matching this daemon in the -chaos-file schedule")
+	scenario := fs.String("scenario", "", "register scenario spec file(s) at startup (JSON object or array; comma-separated paths)")
 	if err := fs.Parse(args); err != nil {
 		if err == flag.ErrHelp {
 			return 0
@@ -161,6 +164,25 @@ func appMain(ctx context.Context, args []string, stdout, stderr io.Writer) int {
 	if *noCache {
 		activeCacheDir = ""
 		fmt.Fprintln(stderr, "note: persistent run cache disabled by -no-cache")
+	}
+
+	// Startup scenario registration: names become part of this daemon's
+	// roster before any request (or journal resume) resolves them. Campaigns
+	// can also carry their own inline "scenarios" block; this flag is for
+	// long-lived rosters shared across campaigns.
+	if *scenario != "" {
+		for _, path := range strings.Split(*scenario, ",") {
+			if path = strings.TrimSpace(path); path == "" {
+				continue
+			}
+			ws, err := trace.RegisterSpecFile(path)
+			if err != nil {
+				return fail(err.Error())
+			}
+			for _, w := range ws {
+				fmt.Fprintf(stdout, "registered scenario %q (%s, %s)\n", w.Name, w.Category, w.Source)
+			}
+		}
 	}
 
 	var fleet *service.FleetConfig

@@ -13,6 +13,8 @@
 //	dspatchsim -stats -workload tpcc -l2 dspatch+spp -stats-json  # same, machine-readable
 //	dspatchsim -trace-export tpcc.trace -workload tpcc -refs 50000
 //	dspatchsim -trace-import tpcc.trace -experiment fig12
+//	dspatchsim -trace-convert app.champsim.gz -convert-out app.dsptrc  # ChampSim/gem5 LLC trace -> DSPTRC01
+//	dspatchsim -scenario specs.json -campaign sweep.json   # register declarative scenarios, then sweep them
 //	dspatchsim -experiment all -cpuprofile cpu.prof
 //	dspatchsim -list
 package main
@@ -22,6 +24,7 @@ import (
 	"fmt"
 	"io"
 	"os"
+	"path/filepath"
 	"runtime"
 	"runtime/pprof"
 	"strings"
@@ -65,6 +68,11 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 	l2 := fs.String("l2", "dspatch", "L2 prefetcher for -stats (see GET /v1/prefetchers or internal/sim)")
 	traceExport := fs.String("trace-export", "", "record the -workload reference stream and write it to this file")
 	traceImport := fs.String("trace-import", "", "load a trace file; its refs replace the generator for that (workload, seed)")
+	traceConvert := fs.String("trace-convert", "", "convert an external LLC trace (ChampSim binary or text; plain or gzipped) to DSPTRC01")
+	convertOut := fs.String("convert-out", "", "output path for -trace-convert (default <name>.dsptrc)")
+	convertName := fs.String("convert-name", "", "workload name recorded in the converted trace (default input basename)")
+	convertFormat := fs.String("convert-format", "auto", "input layout for -trace-convert: auto, text or champsim")
+	scenario := fs.String("scenario", "", "register scenario spec file(s) before running (JSON object or array; comma-separated paths)")
 	workload := fs.String("workload", "", "workload name for -trace-export or -stats (see internal/trace roster)")
 	seed := fs.Int64("seed", 1, "generator seed for -trace-export or -stats")
 	cpuprofile := fs.String("cpuprofile", "", "write a pprof CPU profile to this file")
@@ -113,6 +121,12 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 		// Campaign scale lives in the spec; a silently-ignored override would
 		// leave the user comparing wrong-scale results.
 		return fail("-refs/-full/-seed do not apply to -campaign (set refs and seeds in the spec)")
+	case (set["convert-out"] || set["convert-name"] || set["convert-format"]) && *traceConvert == "":
+		return fail("-convert-out/-convert-name/-convert-format only apply to -trace-convert")
+	case *traceConvert != "" && (*exp != "" || *bench || *benchDiff != "" || *campaign != "" || *stats || *traceExport != "" || *traceImport != ""):
+		return fail("-trace-convert is a standalone conversion; import the result with -trace-import or a trace-kind scenario spec")
+	case *scenario != "" && *exp == "" && *campaign == "" && !*stats && *traceExport == "" && !*bench:
+		return fail("-scenario requires something to run it with: -experiment, -campaign, -stats, -bench or -trace-export")
 	}
 
 	if *list {
@@ -131,6 +145,13 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 		}
 		return 0
 	}
+	if *traceConvert != "" {
+		if err := convertTrace(*traceConvert, *convertOut, *convertName, *convertFormat, *seed, *refs, stdout); err != nil {
+			fmt.Fprintln(stderr, err)
+			return 1
+		}
+		return 0
+	}
 	if *exp == "" && !*bench && *traceExport == "" && *traceImport == "" && *campaign == "" && !*stats {
 		fmt.Fprintln(stderr, "usage: dspatchsim -experiment <id|all> [-full] [-refs N] [-parallel N] [-cache-dir DIR]")
 		fmt.Fprintln(stderr, "       dspatchsim -campaign SPEC.json [-campaign-out FILE.ndjson] [-campaign-csv FILE.csv]")
@@ -139,6 +160,8 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 		fmt.Fprintln(stderr, "       dspatchsim -bench-diff OLD.json,NEW.json")
 		fmt.Fprintln(stderr, "       dspatchsim -trace-export FILE -workload NAME [-refs N] [-seed N]")
 		fmt.Fprintln(stderr, "       dspatchsim -trace-import FILE [-experiment ...]")
+		fmt.Fprintln(stderr, "       dspatchsim -trace-convert IN [-convert-out FILE.dsptrc] [-convert-name NAME] [-convert-format auto|text|champsim]")
+		fmt.Fprintln(stderr, "       dspatchsim -scenario SPECS.json {-experiment ...|-campaign ...|-stats ...|-trace-export ...}")
 		fmt.Fprintln(stderr, "ids:", strings.Join(experimentOrder, " "))
 		return 2
 	}
@@ -164,6 +187,25 @@ func appMain(args []string, stdout, stderr io.Writer) int {
 	// Like the cache dir, the batching toggle is applied every invocation:
 	// the engine is process-global and must not inherit a stale setting.
 	experiments.SetBatching(*batch)
+
+	// Scenario registration precedes everything that resolves workload
+	// names. Unlike -trace-import, spec-registered scenarios carry content
+	// fingerprints into every cache key, so the persistent cache stays on.
+	if *scenario != "" {
+		for _, path := range strings.Split(*scenario, ",") {
+			if path = strings.TrimSpace(path); path == "" {
+				continue
+			}
+			ws, err := trace.RegisterSpecFile(path)
+			if err != nil {
+				fmt.Fprintln(stderr, err)
+				return 1
+			}
+			for _, w := range ws {
+				fmt.Fprintf(stdout, "registered scenario %q (%s, %s)\n", w.Name, w.Category, w.Source)
+			}
+		}
+	}
 
 	if *campaign != "" {
 		if err := runCampaign(*campaign, *campaignOut, *campaignCSV, *parallel, stdout, stderr); err != nil {
@@ -324,6 +366,49 @@ func exportTrace(path, name string, seed int64, refs int) (int, error) {
 		return 0, fmt.Errorf("trace-export: %w", err)
 	}
 	return refs, f.Close()
+}
+
+// convertTrace ingests an external LLC trace (ChampSim binary or text,
+// plain or gzipped) and writes it as a DSPTRC01 scenario file, ready for
+// -trace-import or a trace-kind scenario spec. refs > 0 bounds the
+// conversion; seed is recorded in the header (external traces have no
+// generator seed; it only distinguishes store entries).
+func convertTrace(in, out, name, format string, seed int64, refs int, stdout io.Writer) error {
+	if name == "" {
+		base := filepath.Base(in)
+		for ext := filepath.Ext(base); ext != "" && ext != base; ext = filepath.Ext(base) {
+			base = strings.TrimSuffix(base, ext)
+		}
+		name = base
+	}
+	if name == "" {
+		return fmt.Errorf("trace-convert: cannot derive a workload name from %q; pass -convert-name", in)
+	}
+	if out == "" {
+		out = name + ".dsptrc"
+	}
+	f, err := os.Open(in)
+	if err != nil {
+		return fmt.Errorf("trace-convert: %w", err)
+	}
+	defer f.Close()
+	m, err := trace.Convert(f, trace.ConvertOptions{Name: name, Seed: seed, MaxRefs: refs, Format: format})
+	if err != nil {
+		return fmt.Errorf("trace-convert: %w", err)
+	}
+	o, err := os.Create(out)
+	if err != nil {
+		return fmt.Errorf("trace-convert: %w", err)
+	}
+	if err := m.Export(o, 0); err != nil {
+		o.Close()
+		return fmt.Errorf("trace-convert: %w", err)
+	}
+	if err := o.Close(); err != nil {
+		return fmt.Errorf("trace-convert: %w", err)
+	}
+	fmt.Fprintf(stdout, "converted %s: %d refs -> %s (workload %q seed %d)\n", in, m.Len(), out, name, seed)
+	return nil
 }
 
 // importTrace loads a scenario file and registers it as the process-wide

@@ -65,6 +65,14 @@ func memoizable(j Job) (runKey, bool) {
 	names := make([]string, len(j.Workloads))
 	for i, w := range j.Workloads {
 		names[i] = w.Name
+		// Non-builtin workloads fold their content fingerprint into the key:
+		// an imported trace or registered spec is cached by what it contains,
+		// so renaming identical content still hits and editing a spec misses.
+		// Builtin fingerprints are empty, keeping historical cache entries
+		// valid.
+		if w.Fingerprint != "" {
+			names[i] = w.Name + "\x01" + w.Fingerprint
+		}
 	}
 	l2 := j.Opt.L2
 	if l2 == "" {

@@ -16,6 +16,7 @@ import (
 
 	"dspatch/internal/sim"
 	"dspatch/internal/sweep"
+	"dspatch/internal/trace"
 )
 
 // Client is a minimal Go client for a dspatchd daemon. The zero value is
@@ -496,16 +497,30 @@ func (c *Client) Experiments(ctx context.Context) ([]ExperimentInfo, error) {
 	return out, err
 }
 
-// WorkloadInfo is one entry of GET /v1/workloads.
+// WorkloadInfo is one entry of GET /v1/workloads and of the POST
+// /v1/scenarios response.
 type WorkloadInfo struct {
 	Name         string `json:"name"`
 	Category     string `json:"category"`
 	MemIntensive bool   `json:"mem_intensive"`
+	// Source is "builtin", "spec" or "imported".
+	Source string `json:"source"`
+	// Fingerprint is the content identity of non-builtin workloads (empty
+	// for builtins, whose name alone identifies the stream).
+	Fingerprint string `json:"fingerprint,omitempty"`
 }
 
 // Workloads lists the workload roster.
 func (c *Client) Workloads(ctx context.Context) ([]WorkloadInfo, error) {
 	var out []WorkloadInfo
 	err := c.do(ctx, http.MethodGet, "/v1/workloads", nil, &out)
+	return out, err
+}
+
+// RegisterScenarios registers scenario specs on the daemon (POST
+// /v1/scenarios), returning the resulting roster entries.
+func (c *Client) RegisterScenarios(ctx context.Context, specs []trace.ScenarioSpec) ([]WorkloadInfo, error) {
+	var out []WorkloadInfo
+	err := c.do(ctx, http.MethodPost, "/v1/scenarios", specs, &out)
 	return out, err
 }

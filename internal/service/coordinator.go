@@ -11,6 +11,7 @@ import (
 	"dspatch/internal/experiments"
 	"dspatch/internal/sim"
 	"dspatch/internal/sweep"
+	"dspatch/internal/trace"
 )
 
 // The coordinator executes a campaign across a fleet of worker daemons.
@@ -48,6 +49,40 @@ type fleetRun struct {
 	// or successful Put) — the precondition for journaling a completion
 	// that references it.
 	durable bool
+	// dspec caches the over-the-wire form of spec: the point with the
+	// defining scenario specs of its non-builtin workloads attached, so
+	// workers can resolve names the coordinator registered locally.
+	dspec *sweep.Point
+}
+
+// dispatchSpec returns the point to send to a worker. Campaign point records
+// stay spec-free (recorded streams are a pure function of the campaign), but
+// the dispatched copy must be self-contained: spec-sourced workloads travel
+// as their defining spec, imported traces as inline DSPTRC01 bytes, and
+// builtin names need nothing. Computed once per run; retries reuse it.
+func (r *fleetRun) dispatchSpec() (sweep.Point, error) {
+	if r.dspec != nil {
+		return *r.dspec, nil
+	}
+	sp := r.spec
+	var scens []trace.ScenarioSpec
+	seen := map[string]bool{}
+	for _, name := range sp.Workloads {
+		if seen[name] {
+			continue
+		}
+		seen[name] = true
+		s, ok, err := trace.SpecFor(name)
+		if err != nil {
+			return sweep.Point{}, err
+		}
+		if ok {
+			scens = append(scens, s)
+		}
+	}
+	sp.Scenarios = scens
+	r.dspec = &sp
+	return sp, nil
 }
 
 type runWaiter struct {
@@ -313,6 +348,23 @@ func (s *Server) runFleetCampaign(ctx context.Context, camp sweep.Campaign, emit
 				return wake, nil
 			}
 			r := runs[pendingRuns[dpos]]
+			sp, serr := r.dispatchSpec()
+			if serr != nil {
+				// The run cannot be made self-contained (e.g. an imported trace
+				// over the forwarding size limit): burn attempts through the
+				// unified failure path so the point drops with a reason.
+				disp.Lease(dpos, "(local)", now)
+				class := "unforwardable workload: " + serr.Error()
+				if disp.Fail(dpos, class, now) {
+					s.pointsRedispatched.Add(1)
+					continue
+				}
+				reason := fmt.Sprintf("max attempts (%d) exhausted: %s", cfg.MaxAttempts, class)
+				if err := dropRun(r, reason); err != nil {
+					return wake, err
+				}
+				continue
+			}
 			w := pool.pick(disp.LastWorker(dpos))
 			if w == nil {
 				// No worker has capacity. If the whole fleet is ejected past
@@ -342,7 +394,7 @@ func (s *Server) runFleetCampaign(ctx context.Context, camp sweep.Campaign, emit
 			}
 			noWorkerSince = time.Time{}
 			deadline := disp.Lease(dpos, w.url, now)
-			go dispatchRun(ctx, deadline, w, r.spec, dpos, events)
+			go dispatchRun(ctx, deadline, w, sp, dpos, events)
 		}
 	}
 

@@ -13,11 +13,12 @@
 //	POST   /v1/experiments/{id}  submit a paper table/figure (ScaleSpec) -> JobView
 //	POST   /v1/campaigns         submit a declarative parameter sweep (sweep.Campaign) -> JobView
 //	GET    /v1/campaigns/{id}    stream the campaign's NDJSON records; ?wait=10s follows live
+//	POST   /v1/scenarios         register scenario specs (ScenarioSpec or [ScenarioSpec]) -> roster entries
 //	GET    /v1/jobs              list jobs (newest last)
 //	GET    /v1/jobs/{id}         fetch one job; ?wait=10s long-polls until terminal
 //	DELETE /v1/jobs/{id}         cancel a queued or running job (campaigns included)
 //	GET    /v1/experiments       the experiment registry
-//	GET    /v1/workloads         the workload roster
+//	GET    /v1/workloads         the workload roster (name, category, source: builtin/spec/imported)
 //	GET    /v1/prefetchers       selectable L2 prefetchers
 //	GET    /v1/cache             persistent run-cache location and size
 //	GET    /healthz              liveness + job/queue gauges
@@ -55,6 +56,7 @@ import (
 	"runtime"
 	"sort"
 	"strconv"
+	"strings"
 	"sync"
 	"sync/atomic"
 	"time"
@@ -511,6 +513,7 @@ func New(cfg Config) (*Server, error) {
 	s.mux.HandleFunc("POST /v1/experiments/{id}", s.handleSubmitExperiment)
 	s.mux.HandleFunc("POST /v1/campaigns", s.handleSubmitCampaign)
 	s.mux.HandleFunc("GET /v1/campaigns/{id}", s.handleCampaignStream)
+	s.mux.HandleFunc("POST /v1/scenarios", s.handleRegisterScenarios)
 	s.mux.HandleFunc("GET /v1/experiments", s.handleListExperiments)
 	s.mux.HandleFunc("GET /v1/workloads", s.handleWorkloads)
 	s.mux.HandleFunc("GET /v1/prefetchers", s.handlePrefetchers)
@@ -1077,7 +1080,7 @@ func (s *Server) handleSubmitRun(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var spec RunSpec
-	if !decodeBody(w, r, &spec, false) {
+	if !decodeBodyLimit(w, r, &spec, false, maxScenarioBodyBytes) {
 		return
 	}
 	if err := spec.Normalize(); err != nil {
@@ -1093,7 +1096,7 @@ func (s *Server) handleSubmitCampaign(w http.ResponseWriter, r *http.Request) {
 		return
 	}
 	var spec sweep.Campaign
-	if !decodeBody(w, r, &spec, false) {
+	if !decodeBodyLimit(w, r, &spec, false, maxScenarioBodyBytes) {
 		return
 	}
 	if err := spec.Validate(); err != nil {
@@ -1312,14 +1315,52 @@ func (s *Server) handleListExperiments(w http.ResponseWriter, r *http.Request) {
 }
 
 func (s *Server) handleWorkloads(w http.ResponseWriter, r *http.Request) {
-	type info struct {
-		Name         string `json:"name"`
-		Category     string `json:"category"`
-		MemIntensive bool   `json:"mem_intensive"`
-	}
-	var out []info
+	var out []WorkloadInfo
 	for _, wl := range trace.Workloads() {
-		out = append(out, info{Name: wl.Name, Category: string(wl.Category), MemIntensive: wl.MemIntensive})
+		out = append(out, workloadView(wl))
+	}
+	writeJSON(w, http.StatusOK, out)
+}
+
+func workloadView(wl trace.Workload) WorkloadInfo {
+	return WorkloadInfo{
+		Name:         wl.Name,
+		Category:     string(wl.Category),
+		MemIntensive: wl.MemIntensive,
+		Source:       wl.Source,
+		Fingerprint:  wl.Fingerprint,
+	}
+}
+
+// handleRegisterScenarios registers ad-hoc scenario specs process-wide: the
+// body is one ScenarioSpec object or an array of them, and registration
+// follows the registry's strict-idempotent rules (identical re-registration
+// is a no-op, redefining an existing workload is a 409). Registered names
+// are immediately usable in runs, campaigns and experiments; for
+// campaign-scoped scenarios prefer the campaign's inline "scenarios" block.
+func (s *Server) handleRegisterScenarios(w http.ResponseWriter, r *http.Request) {
+	body, err := io.ReadAll(io.LimitReader(r.Body, maxScenarioBodyBytes))
+	if err != nil {
+		httpError(w, http.StatusBadRequest, "reading body: "+err.Error())
+		return
+	}
+	specs, err := trace.ParseSpecs(body)
+	if err != nil {
+		httpError(w, http.StatusBadRequest, err.Error())
+		return
+	}
+	out := make([]WorkloadInfo, 0, len(specs))
+	for _, sp := range specs {
+		wl, err := trace.RegisterSpec(sp)
+		if err != nil {
+			code := http.StatusBadRequest
+			if strings.Contains(err.Error(), "conflicts with existing") {
+				code = http.StatusConflict
+			}
+			httpError(w, code, err.Error())
+			return
+		}
+		out = append(out, workloadView(wl))
 	}
 	writeJSON(w, http.StatusOK, out)
 }
@@ -1501,11 +1542,24 @@ func (s *Server) writePrefMetrics(b *bytes.Buffer) {
 	}
 }
 
+// Body caps: ordinary bodies get 1 MiB; scenario-bearing bodies (runs,
+// campaigns, scenario registration) may inline base64 DSPTRC01 trace
+// payloads — the coordinator forwards imported traces to workers this way —
+// and get the larger cap, sized above trace.SpecFor's forwarding limit.
+const (
+	maxBodyBytes         = 1 << 20
+	maxScenarioBodyBytes = 48 << 20
+)
+
 // decodeBody strictly decodes a JSON request body into dst. allowEmpty
 // accepts a missing/empty body as the zero value. On failure it writes the
 // 400 and reports false.
 func decodeBody(w http.ResponseWriter, r *http.Request, dst any, allowEmpty bool) bool {
-	body, err := io.ReadAll(io.LimitReader(r.Body, 1<<20))
+	return decodeBodyLimit(w, r, dst, allowEmpty, maxBodyBytes)
+}
+
+func decodeBodyLimit(w http.ResponseWriter, r *http.Request, dst any, allowEmpty bool, limit int64) bool {
+	body, err := io.ReadAll(io.LimitReader(r.Body, limit))
 	if err != nil {
 		httpError(w, http.StatusBadRequest, "reading body: "+err.Error())
 		return false

@@ -34,7 +34,13 @@
 //	  },
 //	  "baseline_l2": "none",                // default "none": each point's speedup is computed
 //	                                        //   against the same point with l2 = baseline_l2
-//	  "max_points": 1000                    // optional cap; a grid larger than it is an error
+//	  "max_points": 1000,                   // optional cap; a grid larger than it is an error
+//	  "scenarios": [                        // optional: ad-hoc scenario specs this campaign's
+//	    {"name": "my-chase", "kind": "pointer",      // workload names may reference; registered
+//	     "pointer": {"style": "list", "nodes": 4096, // strictly before expansion (redefining an
+//	      "nodes_per_page": 8, "depth": 256,         // existing workload differently is an error,
+//	      "mean_gap": 12}}                           // identical re-registration is a no-op)
+//	  ]
 //	}
 //
 // Expansion order is canonical and documented: workloads, seeds, refs,
@@ -63,6 +69,7 @@ import (
 	"strings"
 
 	"dspatch/internal/sim"
+	"dspatch/internal/trace"
 )
 
 // HardMaxPoints bounds any campaign's expanded point count, whatever the
@@ -143,6 +150,13 @@ type Campaign struct {
 	// MaxPoints optionally caps the campaign (and bounds a grid strategy:
 	// a larger grid is an error, pointing at random sampling).
 	MaxPoints int `json:"max_points,omitempty"`
+	// Scenarios defines ad-hoc scenario specs scoped to this campaign: they
+	// are validated and registered before expansion, making their names
+	// available to Base.Workloads and the workloads axis. Registration is
+	// strict — redefining an existing workload with different content is an
+	// error — and idempotent, so re-validating or resubmitting the same
+	// campaign (including journal-resume after a daemon restart) is safe.
+	Scenarios []trace.ScenarioSpec `json:"scenarios,omitempty"`
 }
 
 // axis is one expansion dimension: n values, applied to a point by index.
@@ -319,6 +333,16 @@ func (c *Campaign) indices() ([]int64, error) {
 func (c *Campaign) Expand() ([]int64, []Point, error) {
 	if c.BaselineL2 != "" && !sim.KnownPF(sim.PF(c.BaselineL2)) {
 		return nil, nil, fmt.Errorf("sweep: baseline_l2: unknown prefetcher %q", c.BaselineL2)
+	}
+	if len(c.Base.Scenarios) > 0 {
+		// Scenarios belong in the campaign-level block so stored point records
+		// stay spec-free and byte-identical across front ends.
+		return nil, nil, fmt.Errorf("sweep: base.scenarios is not allowed; use the campaign-level \"scenarios\" block")
+	}
+	for i := range c.Scenarios {
+		if _, err := trace.RegisterSpec(c.Scenarios[i]); err != nil {
+			return nil, nil, fmt.Errorf("sweep: scenarios[%d]: %w", i, err)
+		}
 	}
 	if c.MaxPoints < 0 {
 		return nil, nil, fmt.Errorf("sweep: max_points must be non-negative, got %d", c.MaxPoints)

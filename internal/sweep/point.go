@@ -46,6 +46,14 @@ type Point struct {
 	// (sim.Result.Prefetchers): campaign point records gain a "prefetchers"
 	// field and /v1 job results expose it behind ?stats=1.
 	CollectStats bool `json:"collect_stats,omitempty"`
+	// Scenarios optionally carries scenario specs the point's workload names
+	// refer to. Normalize registers them (strictly and idempotently: identical
+	// re-registration is a no-op, redefining a name is an error) before name
+	// validation, which is how ad-hoc scenarios and inline trace payloads
+	// reach fleet workers — the coordinator attaches the defining specs to
+	// every dispatched point. Campaign specs use the campaign-level
+	// "scenarios" block instead, so stored point records stay spec-free.
+	Scenarios []trace.ScenarioSpec `json:"scenarios,omitempty"`
 }
 
 // Normalize validates p against the roster and guardrails and fills every
@@ -57,6 +65,11 @@ func (p *Point) Normalize() error {
 	}
 	if len(p.Workloads) > MaxRunLanes {
 		return fmt.Errorf("workloads: at most %d lanes per run, got %d", MaxRunLanes, len(p.Workloads))
+	}
+	for i := range p.Scenarios {
+		if _, err := trace.RegisterSpec(p.Scenarios[i]); err != nil {
+			return fmt.Errorf("scenarios[%d]: %w", i, err)
+		}
 	}
 	for _, name := range p.Workloads {
 		if _, ok := trace.ByName(name); !ok {

@@ -1,0 +1,267 @@
+package trace
+
+import (
+	"bytes"
+	"compress/gzip"
+	"encoding/binary"
+	"strings"
+	"testing"
+)
+
+func textRefs(t *testing.T, src string) *Materialized {
+	t.Helper()
+	m, err := Convert(strings.NewReader(src), ConvertOptions{Name: "t", Seed: 1})
+	if err != nil {
+		t.Fatalf("Convert: %v", err)
+	}
+	return m
+}
+
+func TestConvertTextBasics(t *testing.T) {
+	m := textRefs(t, `
+# comment line
+0x400100 0x7f0000001000
+0x400104 0x7f0000001040 w
+0x400108 4096 r 7
+0x40010c 0x7f0000001080 r 3 1
+`)
+	if m.Len() != 4 {
+		t.Fatalf("Len = %d, want 4", m.Len())
+	}
+	g := m.Cursor(m.Len())
+	var r Ref
+	g.Next(&r)
+	if r.PC != 0x400100 || r.Write || r.Dep || r.Gap != 1 {
+		t.Errorf("ref 0: %+v", r)
+	}
+	g.Next(&r)
+	if !r.Write {
+		t.Errorf("ref 1 not a write: %+v", r)
+	}
+	g.Next(&r)
+	if r.Gap != 7 || r.Write {
+		t.Errorf("ref 2: %+v", r)
+	}
+	g.Next(&r)
+	if !r.Dep || r.Gap != 3 {
+		t.Errorf("ref 3: %+v", r)
+	}
+}
+
+func TestConvertTextCommaSeparated(t *testing.T) {
+	m := textRefs(t, "0x10,0x2000,w,5,0\n0x14,0x2040\n")
+	if m.Len() != 2 {
+		t.Fatalf("Len = %d, want 2", m.Len())
+	}
+}
+
+func TestConvertTextHugePC(t *testing.T) {
+	// Full 64-bit PCs and addresses must round-trip the varint columns.
+	m := textRefs(t, "0xffffffffffffffff 0xfffffffffffff000\n0x1 0x40\n")
+	var r Ref
+	g := m.Cursor(m.Len())
+	g.Next(&r)
+	if uint64(r.PC) != 0xffffffffffffffff {
+		t.Errorf("PC = %#x, want all-ones", uint64(r.PC))
+	}
+	var buf bytes.Buffer
+	if err := m.Export(&buf, 0); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	back, err := Import(bytes.NewReader(buf.Bytes()))
+	if err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	var r2 Ref
+	back.Cursor(back.Len()).Next(&r2)
+	if r2 != r {
+		t.Errorf("huge PC did not round-trip: %+v vs %+v", r2, r)
+	}
+}
+
+func TestConvertTextErrors(t *testing.T) {
+	cases := []struct {
+		name, src, want string
+	}{
+		{"empty", "", "empty input"},
+		{"comments only", "# nothing\n\n", "no memory references"},
+		{"one field", "0x400100\n", "line 1"},
+		{"six fields", "1 2 r 3 1 9\n", "line 1"},
+		{"bad pc", "zzz 0x1000\n", "pc"},
+		{"bad addr", "0x400100 bread\n", "addr"},
+		{"bad rw", "0x400100 0x1000 x\n", "read/write flag"},
+		{"bad gap", "0x400100 0x1000 r notanum\n", "gap"},
+		{"bad dep", "0x400100 0x1000 r 3 2\n", "dep flag"},
+		{"garbage mid-file", "0x1 0x40\n0x2 0x80\n!!!\n", "line 3"},
+	}
+	for _, tc := range cases {
+		t.Run(tc.name, func(t *testing.T) {
+			_, err := Convert(strings.NewReader(tc.src), ConvertOptions{Name: "t", Seed: 1, Format: "text"})
+			if tc.src == "" {
+				// Empty input fails at format sniffing, before the text parser.
+				_, err = Convert(strings.NewReader(tc.src), ConvertOptions{Name: "t", Seed: 1})
+			}
+			if err == nil || !strings.Contains(err.Error(), tc.want) {
+				t.Fatalf("error = %v, want substring %q", err, tc.want)
+			}
+		})
+	}
+}
+
+func TestConvertRequiresName(t *testing.T) {
+	if _, err := Convert(strings.NewReader("0x1 0x40\n"), ConvertOptions{}); err == nil {
+		t.Fatal("expected missing-name error")
+	}
+}
+
+func TestConvertUnknownFormat(t *testing.T) {
+	_, err := Convert(strings.NewReader("0x1 0x40\n"), ConvertOptions{Name: "t", Format: "pin"})
+	if err == nil || !strings.Contains(err.Error(), "unknown format") {
+		t.Fatalf("error = %v, want unknown format", err)
+	}
+}
+
+func TestConvertMaxRefs(t *testing.T) {
+	m := textRefs(t, "0x1 0x40\n0x2 0x80\n0x3 0xc0\n")
+	if m.Len() != 3 {
+		t.Fatalf("unbounded Len = %d", m.Len())
+	}
+	m2, err := Convert(strings.NewReader("0x1 0x40\n0x2 0x80\n0x3 0xc0\n"), ConvertOptions{Name: "t", Seed: 1, MaxRefs: 2})
+	if err != nil {
+		t.Fatalf("Convert: %v", err)
+	}
+	if m2.Len() != 2 {
+		t.Errorf("MaxRefs Len = %d, want 2", m2.Len())
+	}
+}
+
+// champsimInstr assembles one 64-byte ChampSim input_instr record.
+func champsimInstr(ip uint64, destReg [2]byte, srcReg [4]byte, destMem [2]uint64, srcMem [4]uint64) []byte {
+	rec := make([]byte, champsimRecordSize)
+	binary.LittleEndian.PutUint64(rec[0:8], ip)
+	copy(rec[10:12], destReg[:])
+	copy(rec[12:16], srcReg[:])
+	for i, a := range destMem {
+		binary.LittleEndian.PutUint64(rec[16+8*i:], a)
+	}
+	for i, a := range srcMem {
+		binary.LittleEndian.PutUint64(rec[32+8*i:], a)
+	}
+	return rec
+}
+
+func TestConvertChampSim(t *testing.T) {
+	var in bytes.Buffer
+	// A no-mem instruction, a load into reg 5, then a dependent load whose
+	// source registers include reg 5, then a store.
+	in.Write(champsimInstr(0x100, [2]byte{}, [4]byte{}, [2]uint64{}, [4]uint64{}))
+	in.Write(champsimInstr(0x104, [2]byte{5}, [4]byte{}, [2]uint64{}, [4]uint64{0x7000_1000}))
+	in.Write(champsimInstr(0x108, [2]byte{6}, [4]byte{5}, [2]uint64{}, [4]uint64{0x7000_2000}))
+	in.Write(champsimInstr(0x10c, [2]byte{}, [4]byte{}, [2]uint64{0x7000_3000}, [4]uint64{}))
+	m, err := Convert(bytes.NewReader(in.Bytes()), ConvertOptions{Name: "cs", Seed: 1})
+	if err != nil {
+		t.Fatalf("Convert: %v", err)
+	}
+	if m.Len() != 3 {
+		t.Fatalf("Len = %d, want 3", m.Len())
+	}
+	g := m.Cursor(m.Len())
+	var r Ref
+	g.Next(&r)
+	if r.PC != 0x104 || r.Gap != 1 || r.Dep || r.Write {
+		t.Errorf("ref 0: %+v", r)
+	}
+	g.Next(&r)
+	if r.PC != 0x108 || !r.Dep || r.Write {
+		t.Errorf("ref 1 (dependent load): %+v", r)
+	}
+	g.Next(&r)
+	if r.PC != 0x10c || !r.Write || r.Dep {
+		t.Errorf("ref 2 (store): %+v", r)
+	}
+}
+
+func TestConvertChampSimTruncated(t *testing.T) {
+	rec := champsimInstr(0x100, [2]byte{}, [4]byte{}, [2]uint64{}, [4]uint64{0x1000})
+	_, err := Convert(bytes.NewReader(rec[:37]), ConvertOptions{Name: "cs", Seed: 1, Format: "champsim"})
+	if err == nil || !strings.Contains(err.Error(), "truncated champsim record at instruction 0") {
+		t.Fatalf("error = %v, want truncation at instruction 0", err)
+	}
+	full := append(append([]byte{}, rec...), rec[:12]...)
+	_, err = Convert(bytes.NewReader(full), ConvertOptions{Name: "cs", Seed: 1, Format: "champsim"})
+	if err == nil || !strings.Contains(err.Error(), "instruction 1") {
+		t.Fatalf("error = %v, want truncation at instruction 1", err)
+	}
+}
+
+func TestConvertGzip(t *testing.T) {
+	var gz bytes.Buffer
+	zw := gzip.NewWriter(&gz)
+	zw.Write([]byte("0x1 0x40\n0x2 0x80\n"))
+	zw.Close()
+	m, err := Convert(bytes.NewReader(gz.Bytes()), ConvertOptions{Name: "t", Seed: 1})
+	if err != nil {
+		t.Fatalf("Convert gzipped: %v", err)
+	}
+	if m.Len() != 2 {
+		t.Errorf("Len = %d, want 2", m.Len())
+	}
+}
+
+// TestConvertRoundTripBitIdentity proves the converter's output is a
+// first-class DSPTRC01 artifact: convert -> export -> import -> re-export is
+// byte-identical, and replaying the import yields the converted refs.
+func TestConvertRoundTripBitIdentity(t *testing.T) {
+	var in bytes.Buffer
+	for i := 0; i < 500; i++ {
+		rec := champsimInstr(uint64(0x400000+i*4), [2]byte{byte(i % 7)}, [4]byte{byte((i + 3) % 7)},
+			[2]uint64{}, [4]uint64{uint64(0x7f00_0000 + i*64)})
+		in.Write(rec)
+	}
+	m, err := Convert(bytes.NewReader(in.Bytes()), ConvertOptions{Name: "rt", Seed: 9})
+	if err != nil {
+		t.Fatalf("Convert: %v", err)
+	}
+	var exp1 bytes.Buffer
+	if err := m.Export(&exp1, 0); err != nil {
+		t.Fatalf("Export: %v", err)
+	}
+	back, err := Import(bytes.NewReader(exp1.Bytes()))
+	if err != nil {
+		t.Fatalf("Import: %v", err)
+	}
+	var exp2 bytes.Buffer
+	if err := back.Export(&exp2, 0); err != nil {
+		t.Fatalf("re-Export: %v", err)
+	}
+	if !bytes.Equal(exp1.Bytes(), exp2.Bytes()) {
+		t.Fatal("export -> import -> export not byte-identical")
+	}
+	if got, want := back.ContentFingerprint(), m.ContentFingerprint(); got != want || got == "" {
+		t.Fatalf("fingerprint mismatch: %q vs %q", got, want)
+	}
+	ga, gb := m.Cursor(m.Len()), back.Cursor(back.Len())
+	for i := 0; i < m.Len(); i++ {
+		var ra, rb Ref
+		ga.Next(&ra)
+		gb.Next(&rb)
+		if ra != rb {
+			t.Fatalf("replay diverged at ref %d: %+v vs %+v", i, ra, rb)
+		}
+	}
+}
+
+func TestFromRefsFingerprintStable(t *testing.T) {
+	refs := []Ref{{PC: 1, Line: 2, Gap: 3}, {PC: 4, Line: 5, Write: true, Dep: true, Gap: 6}}
+	a, err := FromRefs("f", 1, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	b, err := FromRefs("f", 1, refs)
+	if err != nil {
+		t.Fatal(err)
+	}
+	if a.ContentFingerprint() != b.ContentFingerprint() || a.ContentFingerprint() == "" {
+		t.Errorf("fingerprints differ: %q vs %q", a.ContentFingerprint(), b.ContentFingerprint())
+	}
+}

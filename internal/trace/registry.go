@@ -1,6 +1,7 @@
 package trace
 
 import (
+	"bytes"
 	"fmt"
 	"sort"
 	"sync"
@@ -114,6 +115,7 @@ func (r *Registry) RegisterSpec(s ScenarioSpec) (Workload, error) {
 		Source:       SourceSpec,
 		Fingerprint:  s.Fingerprint(),
 		Build:        s.generator,
+		spec:         &s,
 	}
 	return r.registerChecked(w)
 }
@@ -218,3 +220,49 @@ func MemIntensive() []Workload { return DefaultRegistry.MemIntensive() }
 
 // RegisterSpec validates and registers a scenario spec process-wide.
 func RegisterSpec(s ScenarioSpec) (Workload, error) { return DefaultRegistry.RegisterSpec(s) }
+
+// maxForwardTraceBytes bounds the export a SpecFor trace spec may inline:
+// forwarded specs travel inside JSON run submissions to fleet workers.
+const maxForwardTraceBytes = 32 << 20
+
+// SpecFor returns a self-contained spec that reproduces the named workload
+// in another process — the fleet coordinator attaches these to dispatched
+// points so workers simulate the exact same stream. Builtin workloads need
+// no spec (ok = false); spec-sourced workloads return their defining spec;
+// imported or converted traces return a trace-kind spec carrying the
+// stream's DSPTRC01 export bytes inline, whose content fingerprint — and
+// therefore every cache key — matches the local registration.
+func SpecFor(name string) (ScenarioSpec, bool, error) {
+	w, ok := ByName(name)
+	if !ok {
+		return ScenarioSpec{}, false, fmt.Errorf("trace: unknown workload %q", name)
+	}
+	switch w.Source {
+	case SourceSpec:
+		if w.spec == nil {
+			return ScenarioSpec{}, false, fmt.Errorf("trace: workload %q retained no spec", name)
+		}
+		return *w.spec, true, nil
+	case SourceImported:
+		if w.stream == nil {
+			return ScenarioSpec{}, false, fmt.Errorf("trace: imported workload %q retained no stream", name)
+		}
+		var buf bytes.Buffer
+		if err := w.stream.Export(&buf, 0); err != nil {
+			return ScenarioSpec{}, false, fmt.Errorf("trace: exporting %q for forwarding: %w", name, err)
+		}
+		if buf.Len() > maxForwardTraceBytes {
+			return ScenarioSpec{}, false, fmt.Errorf("trace: workload %q exports %d bytes, over the %d-byte forwarding limit",
+				name, buf.Len(), maxForwardTraceBytes)
+		}
+		return ScenarioSpec{
+			Name:         name,
+			Category:     w.Category,
+			MemIntensive: w.MemIntensive,
+			Kind:         KindTrace,
+			Trace:        &TraceSpec{Data: buf.Bytes()},
+		}, true, nil
+	default:
+		return ScenarioSpec{}, false, nil
+	}
+}

@@ -1,0 +1,161 @@
+package trace
+
+import (
+	"bytes"
+	"os"
+	"path/filepath"
+	"strings"
+	"testing"
+)
+
+func chaseSpec(name string, nodes int) ScenarioSpec {
+	return ScenarioSpec{
+		Name: name, Kind: KindPointer,
+		Pointer: &PointerChaseConfig{Style: "list", Nodes: nodes, NodesPerPage: 8, Depth: 64, MeanGap: 10},
+	}
+}
+
+func TestRegisterSpecIdempotentAndStrict(t *testing.T) {
+	t.Cleanup(ResetShared)
+	w1, err := RegisterSpec(chaseSpec("reg-test-chase", 1024))
+	if err != nil {
+		t.Fatalf("RegisterSpec: %v", err)
+	}
+	if w1.Source != SourceSpec || w1.Fingerprint == "" {
+		t.Fatalf("registered workload: %+v", w1)
+	}
+	// Identical re-registration: a no-op returning the same entry.
+	w2, err := RegisterSpec(chaseSpec("reg-test-chase", 1024))
+	if err != nil {
+		t.Fatalf("idempotent re-register: %v", err)
+	}
+	if w2.Fingerprint != w1.Fingerprint {
+		t.Errorf("fingerprints differ: %q vs %q", w2.Fingerprint, w1.Fingerprint)
+	}
+	// Different content under the same name: an error, never a redefinition.
+	if _, err := RegisterSpec(chaseSpec("reg-test-chase", 2048)); err == nil {
+		t.Fatal("redefinition accepted")
+	}
+	// Builtin names are protected too.
+	mcf := chaseSpec("mcf", 1024)
+	if _, err := RegisterSpec(mcf); err == nil {
+		t.Fatal("builtin shadowing accepted")
+	}
+	// The roster lookup sees the registration.
+	if w, ok := ByName("reg-test-chase"); !ok || w.Category != Imported {
+		t.Errorf("ByName = %+v, %v", w, ok)
+	}
+	for _, w := range ByCategory(Imported) {
+		if w.Name == "reg-test-chase" {
+			return
+		}
+	}
+	t.Error("registered scenario missing from its category index")
+}
+
+func TestRegistryResetDropsRegistrations(t *testing.T) {
+	t.Cleanup(ResetShared)
+	if _, err := RegisterSpec(chaseSpec("reg-reset-probe", 512)); err != nil {
+		t.Fatal(err)
+	}
+	ResetShared()
+	if _, ok := ByName("reg-reset-probe"); ok {
+		t.Error("Reset kept a spec registration")
+	}
+	if _, ok := ByName("mcf"); !ok {
+		t.Error("Reset lost the builtin roster")
+	}
+}
+
+func TestSpecForBuiltinNeedsNothing(t *testing.T) {
+	if _, ok, err := SpecFor("mcf"); err != nil || ok {
+		t.Fatalf("SpecFor(mcf) = ok %v err %v, want no spec needed", ok, err)
+	}
+	if _, _, err := SpecFor("no-such-workload"); err == nil {
+		t.Fatal("SpecFor accepted an unknown name")
+	}
+}
+
+func TestSpecForRoundTripsSpecScenario(t *testing.T) {
+	t.Cleanup(ResetShared)
+	w, err := RegisterSpec(chaseSpec("specfor-chase", 4096))
+	if err != nil {
+		t.Fatal(err)
+	}
+	s, ok, err := SpecFor("specfor-chase")
+	if err != nil || !ok {
+		t.Fatalf("SpecFor = ok %v err %v", ok, err)
+	}
+	// The forwarded spec must reproduce the exact fingerprint — it is what
+	// keeps coordinator and worker cache keys identical.
+	if got := s.Fingerprint(); got != w.Fingerprint {
+		t.Errorf("forwarded fingerprint %q != registered %q", got, w.Fingerprint)
+	}
+}
+
+func TestSpecForForwardsImportedTraceInline(t *testing.T) {
+	t.Cleanup(ResetShared)
+	m, err := FromRefs("specfor-trc", 3, []Ref{{PC: 1, Line: 10, Gap: 2}, {PC: 2, Line: 11, Gap: 2, Dep: true}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	RegisterShared(m)
+	s, ok, err := SpecFor("specfor-trc")
+	if err != nil || !ok {
+		t.Fatalf("SpecFor = ok %v err %v", ok, err)
+	}
+	if s.Kind != KindTrace || s.Trace == nil || len(s.Trace.Data) == 0 {
+		t.Fatalf("forwarded spec is not an inline trace: %+v", s)
+	}
+	// Registering the forwarded spec in a "worker" registry reproduces the
+	// same content fingerprint, so cache keys line up across the fleet.
+	back, err := Import(bytes.NewReader(s.Trace.Data))
+	if err != nil {
+		t.Fatalf("forwarded data does not import: %v", err)
+	}
+	if back.ContentFingerprint() != m.ContentFingerprint() {
+		t.Errorf("fingerprint drifted across forwarding: %q vs %q",
+			back.ContentFingerprint(), m.ContentFingerprint())
+	}
+}
+
+func TestRegisterSpecFileResolvesRelativeTracePaths(t *testing.T) {
+	t.Cleanup(ResetShared)
+	dir := t.TempDir()
+	m, err := FromRefs("file-trc", 1, []Ref{{PC: 7, Line: 70, Gap: 1}})
+	if err != nil {
+		t.Fatal(err)
+	}
+	var buf bytes.Buffer
+	if err := m.Export(&buf, 0); err != nil {
+		t.Fatal(err)
+	}
+	if err := os.WriteFile(filepath.Join(dir, "file.dsptrc"), buf.Bytes(), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	spec := `[{"name": "file-trc", "kind": "trace", "trace": {"path": "file.dsptrc"}}]`
+	if err := os.WriteFile(filepath.Join(dir, "specs.json"), []byte(spec), 0o644); err != nil {
+		t.Fatal(err)
+	}
+	ws, err := RegisterSpecFile(filepath.Join(dir, "specs.json"))
+	if err != nil {
+		t.Fatalf("RegisterSpecFile: %v", err)
+	}
+	if len(ws) != 1 || ws[0].Source != SourceImported {
+		t.Fatalf("registered: %+v", ws)
+	}
+	if ws[0].Fingerprint != m.ContentFingerprint() {
+		t.Errorf("fingerprint %q, want %q", ws[0].Fingerprint, m.ContentFingerprint())
+	}
+}
+
+func TestRegisterSpecFileErrors(t *testing.T) {
+	if _, err := RegisterSpecFile(filepath.Join(t.TempDir(), "missing.json")); err == nil {
+		t.Fatal("missing file accepted")
+	}
+	bad := filepath.Join(t.TempDir(), "bad.json")
+	os.WriteFile(bad, []byte("{nope"), 0o644)
+	if _, err := RegisterSpecFile(bad); err == nil || !strings.Contains(err.Error(), "parse") {
+		t.Fatalf("error = %v, want parse error", err)
+	}
+}

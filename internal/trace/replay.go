@@ -272,6 +272,7 @@ func RegisterShared(m *Materialized) {
 			Build: func(int64) Generator {
 				return m.Cursor(m.Len())
 			},
+			stream: m,
 		})
 	}
 }
@@ -312,6 +313,7 @@ func (r *Registry) registerTraceSpec(s ScenarioSpec) (Workload, error) {
 		Build: func(int64) Generator {
 			return m.Cursor(m.Len())
 		},
+		stream: m,
 	})
 	if err != nil {
 		return Workload{}, err

@@ -5,6 +5,8 @@ import (
 	"encoding/hex"
 	"encoding/json"
 	"fmt"
+	"os"
+	"path/filepath"
 )
 
 // ScenarioSpec is the declarative, JSON-serializable description of one
@@ -315,6 +317,33 @@ func (s *ScenarioSpec) Fingerprint() string {
 	}
 	sum := sha256.Sum256(b)
 	return "spec-" + hex.EncodeToString(sum[:8])
+}
+
+// RegisterSpecFile reads a JSON spec file (one object or an array) and
+// registers every spec process-wide, returning the roster entries. A
+// trace-kind spec with a relative path resolves against the file's
+// directory, so a spec file and its trace payload travel together.
+func RegisterSpecFile(path string) ([]Workload, error) {
+	data, err := os.ReadFile(path)
+	if err != nil {
+		return nil, fmt.Errorf("trace: scenario file: %w", err)
+	}
+	specs, err := ParseSpecs(data)
+	if err != nil {
+		return nil, fmt.Errorf("trace: scenario file %s: %w", path, err)
+	}
+	out := make([]Workload, 0, len(specs))
+	for _, sp := range specs {
+		if sp.Kind == KindTrace && sp.Trace != nil && sp.Trace.Path != "" && !filepath.IsAbs(sp.Trace.Path) {
+			sp.Trace.Path = filepath.Join(filepath.Dir(path), sp.Trace.Path)
+		}
+		w, err := RegisterSpec(sp)
+		if err != nil {
+			return nil, fmt.Errorf("trace: scenario file %s: %w", path, err)
+		}
+		out = append(out, w)
+	}
+	return out, nil
 }
 
 // ParseSpecs decodes one ScenarioSpec or a JSON array of them.

@@ -37,6 +37,12 @@ type Workload struct {
 	// hits the cache and an edited one misses. Builtin workloads leave it
 	// empty — their name alone identifies the stream.
 	Fingerprint string
+
+	// spec retains the defining ScenarioSpec of SourceSpec workloads and
+	// stream the materialized refs of SourceImported ones; SpecFor uses them
+	// to synthesize self-contained specs for fleet forwarding.
+	spec   *ScenarioSpec
+	stream *Materialized
 }
 
 // stream is shorthand for a pure streaming scenario spec. Larger stream
