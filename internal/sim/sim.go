@@ -69,7 +69,12 @@ type Options struct {
 // by the plain-data PortStats snapshot, and Prefetchers carries optional
 // per-prefetcher telemetry — so entries persisted by older builds no longer
 // match the current shape.
-const ResultVersion = 3
+//
+// Version 4: mix-workload sub-generator seeds are derived by a splitmix64
+// finalizer instead of the old linear seed + part*7919 stride, so every
+// mix-built workload streams differently past part 0 and cached results for
+// them are stale.
+const ResultVersion = 4
 
 // LaneSeed derives the generator seed of lane i of a run whose Options.Seed
 // is base. Lane 0 always streams from base itself, so single-thread results

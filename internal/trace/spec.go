@@ -298,9 +298,23 @@ func (s *ScenarioSpec) generator(seed int64) Generator {
 	panic(fmt.Sprintf("trace: spec %q kind %q has no generator", s.Name, s.Kind))
 }
 
-// mixPartSeed derives part i's sub-generator seed from the mix seed.
+// mixPartSeed derives part i's sub-generator seed from the mix seed. Part 0
+// always streams from the mix seed itself; higher parts mix their index in
+// with a splitmix64-style finalizer, mirroring sim.LaneSeed. The old linear
+// derivation seed + i*7919 made (seed, part 1) and (seed+7919, part 0) share
+// one sub-stream, silently correlating mix workloads across the seed grids
+// campaign sweeps run.
 func mixPartSeed(seed int64, i int) int64 {
-	return seed + int64(i)*7919
+	if i == 0 {
+		return seed
+	}
+	h := uint64(seed) ^ uint64(i)*0x9E3779B97F4A7C15
+	h ^= h >> 30
+	h *= 0xBF58476D1CE4E5B9
+	h ^= h >> 27
+	h *= 0x94D049BB133111EB
+	h ^= h >> 31
+	return int64(h)
 }
 
 // Fingerprint is the spec's content identity: a hash of its canonical JSON
